@@ -1,0 +1,67 @@
+package prepare
+
+import (
+	"prepare/internal/cloudsim"
+	"prepare/internal/control"
+)
+
+// Cloud substrate types, exposed so custom applications can be built on
+// the simulated cluster and managed by the PREPARE control loop.
+type (
+	// Cluster owns simulated hosts and VMs and exposes the actuation API
+	// (elastic scaling, live migration).
+	Cluster = cloudsim.Cluster
+	// Host is a simulated physical machine.
+	Host = cloudsim.Host
+	// VM is a simulated virtual machine; applications write its demand
+	// and usage fields each tick, fault injectors perturb it, and the
+	// monitor reads it out of band.
+	VM = cloudsim.VM
+	// HostID identifies a host.
+	HostID = cloudsim.HostID
+	// ClusterAction records one actuation in the cluster's log.
+	ClusterAction = cloudsim.Action
+)
+
+// NewCluster returns an empty simulated cluster.
+func NewCluster() *Cluster { return cloudsim.NewCluster() }
+
+// MigrationSeconds returns the simulated live-migration duration for a
+// VM with the given memory allocation (Table I: ~8.5 s at 512 MB).
+func MigrationSeconds(memMB float64) int64 { return cloudsim.MigrationSeconds(memMB) }
+
+// ManagedApp is the application contract the control loop manages. Both
+// built-in simulated applications implement it; implement it yourself to
+// manage a custom application with PREPARE.
+type ManagedApp = control.App
+
+// Controller runs one management scheme (PREPARE, reactive, or none)
+// against an application on a cluster. Drive it by calling OnTick once
+// per simulated second, after the application has ticked.
+type Controller = control.Controller
+
+// ControlConfig tunes the control loop (sampling interval, look-ahead
+// window, alarm filtering, training time, actuation policy, unsupervised
+// mode, ...).
+type ControlConfig = control.Config
+
+// NewController builds a control loop for the scheme over the
+// application.
+//
+// Typical custom-app wiring:
+//
+//	cluster := prepare.NewCluster()
+//	cluster.AddDefaultHost("h1")
+//	cluster.PlaceVM("vm1", "h1", 100, 512)
+//	app := myApp{cluster: cluster}             // implements ManagedApp
+//	ctl, _ := prepare.NewController(prepare.SchemePREPARE, cluster, app,
+//	    prepare.ControlConfig{TrainAtS: 600})
+//	for t := int64(1); t <= horizon; t++ {
+//	    now := prepare.SimTime(t)
+//	    app.Tick(now)
+//	    cluster.Tick(now)
+//	    if err := ctl.OnTick(now); err != nil { ... }
+//	}
+func NewController(scheme Scheme, cluster *Cluster, app ManagedApp, cfg ControlConfig) (*Controller, error) {
+	return control.New(scheme, cluster, app, cfg)
+}

@@ -1,0 +1,145 @@
+// Command preparepredict trains PREPARE's anomaly prediction model on a
+// labeled metrics CSV and replays a test CSV through it, reporting the
+// prediction accuracy (A_T, A_F) and the confirmed alerts.
+//
+// The CSV format is "time_s,<13 attribute names>,label" as produced by
+// preparetrace -kind dataset.
+//
+// Usage:
+//
+//	preparepredict -train train.csv -test test.csv [-lookahead 30]
+//	    [-order 2] [-naive] [-filter-k 3] [-filter-w 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prepare"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "preparepredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("preparepredict", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "labeled training CSV (required)")
+	testPath := fs.String("test", "", "labeled test CSV (required)")
+	lookahead := fs.Int64("lookahead", 30, "look-ahead window in seconds")
+	interval := fs.Int64("interval", 5, "sampling interval in seconds")
+	order := fs.Int("order", 2, "Markov order: 1 (simple) or 2 (2-dependent)")
+	naive := fs.Bool("naive", false, "use naive Bayes instead of TAN")
+	filterK := fs.Int("filter-k", 0, "alarm filter threshold (0 disables)")
+	filterW := fs.Int("filter-w", 4, "alarm filter window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" || *testPath == "" {
+		return fmt.Errorf("-train and -test are required")
+	}
+
+	trainSamples, err := readSamples(*trainPath)
+	if err != nil {
+		return err
+	}
+	testSamples, err := readSamples(*testPath)
+	if err != nil {
+		return err
+	}
+	if len(trainSamples) == 0 || len(testSamples) == 0 {
+		return fmt.Errorf("train and test CSVs must be non-empty")
+	}
+
+	cfg := prepare.PredictorConfig{
+		Order:             prepare.TwoDependent,
+		Naive:             *naive,
+		SamplingIntervalS: *interval,
+	}
+	if *order == 1 {
+		cfg.Order = prepare.SimpleMarkov
+	}
+	p, err := prepare.NewPredictor(cfg, prepare.AttributeNames())
+	if err != nil {
+		return err
+	}
+	rows, labels := prepare.RowsFromSamples(trainSamples)
+	prepare.RelabelForTraining(rows, labels, p.StepsFor(*lookahead))
+	if err := p.Train(rows, labels); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d samples (%d abnormal after localization gating)\n",
+		len(rows), countAbnormal(labels))
+
+	var filter *prepare.AlarmFilter
+	if *filterK > 0 {
+		filter, err = prepare.NewAlarmFilter(*filterK, *filterW)
+		if err != nil {
+			return err
+		}
+	}
+
+	testRows, testLabels := prepare.RowsFromSamples(testSamples)
+	steps := p.StepsFor(*lookahead)
+	var conf prepare.Confusion
+	for i := range testRows {
+		if err := p.Observe(testRows[i]); err != nil {
+			return err
+		}
+		v, err := p.Predict(steps)
+		if err != nil {
+			return err
+		}
+		alert := v.Abnormal
+		if filter != nil {
+			alert = filter.Offer(alert)
+		}
+		if alert {
+			fmt.Printf("alert t=%v score=%.2f top=%s\n",
+				testSamples[i].Time, v.Score, topAttribute(v))
+		}
+		target := i + steps
+		if target >= len(testLabels) || testLabels[target] == prepare.LabelUnknown {
+			continue
+		}
+		conf.Add(alert, testLabels[target] == prepare.LabelAbnormal)
+	}
+	fmt.Printf("lookahead %ds: A_T = %.1f%%, A_F = %.1f%% over %d predictions\n",
+		*lookahead, 100*conf.TruePositiveRate(), 100*conf.FalseAlarmRate(), conf.Total())
+	return nil
+}
+
+func readSamples(path string) ([]prepare.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return prepare.ReadSamplesCSV(f)
+}
+
+func countAbnormal(labels []prepare.Label) int {
+	n := 0
+	for _, l := range labels {
+		if l == prepare.LabelAbnormal {
+			n++
+		}
+	}
+	return n
+}
+
+func topAttribute(v prepare.Verdict) string {
+	if len(v.Strengths) == 0 || v.Strengths[0].L <= 0 {
+		return "-"
+	}
+	names := prepare.AttributeNames()
+	idx := v.Strengths[0].Attribute
+	if idx < 0 || idx >= len(names) {
+		return "-"
+	}
+	return names[idx]
+}

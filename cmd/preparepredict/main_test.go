@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prepare"
+	"prepare/internal/simclock"
+)
+
+func writeFixtureCSV(t *testing.T, path string, declineFrom int) {
+	t.Helper()
+	var samples []prepare.Sample
+	for i := 0; i < 160; i++ {
+		var sm prepare.Sample
+		sm.Time = simclock.Time(i * 5)
+		free := 900.0
+		if i >= declineFrom {
+			free = 900 - 12*float64(i-declineFrom)
+		}
+		if free < 0 {
+			free = 0
+		}
+		for j := range sm.Values {
+			sm.Values[j] = 50
+		}
+		sm.Values.Set(prepare.Attribute(4), free) // free_mem
+		if free < 300 {
+			sm.Label = prepare.LabelAbnormal
+		} else {
+			sm.Label = prepare.LabelNormal
+		}
+		samples = append(samples, sm)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := prepare.WriteSamplesCSV(f, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresPaths(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -train/-test should fail")
+	}
+	if err := run([]string{"-train", "x.csv"}); err == nil {
+		t.Error("missing -test should fail")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-train", "/no/such.csv", "-test", "/no/such2.csv"}); err == nil {
+		t.Error("missing files should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "train.csv")
+	testPath := filepath.Join(dir, "test.csv")
+	writeFixtureCSV(t, trainPath, 80)
+	writeFixtureCSV(t, testPath, 90)
+	if err := run([]string{"-train", trainPath, "-test", testPath,
+		"-lookahead", "20", "-filter-k", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Simple Markov + naive Bayes variant.
+	if err := run([]string{"-train", trainPath, "-test", testPath,
+		"-order", "1", "-naive"}); err != nil {
+		t.Fatalf("run simple/naive: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+// Command preparesim runs the PREPARE reproduction experiments and
+// prints the paper's tables and figures as text.
+//
+// Usage:
+//
+//	preparesim -experiment fig6 [-seeds 5] [-seed 100]
+//	preparesim -experiment fig7 [-app systems] [-fault memleak]
+//	preparesim -experiment fig8
+//	preparesim -experiment fig9 [-app rubis] [-fault cpuhog]
+//	preparesim -experiment fig10 [-app systems] [-fault memleak]
+//	preparesim -experiment fig11 [-app systems] [-fault memleak]
+//	preparesim -experiment fig12
+//	preparesim -experiment fig13
+//	preparesim -experiment all
+//	preparesim -experiment run -app rubis -fault memleak -scheme prepare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prepare"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "preparesim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	experiment string
+	app        string
+	fault      string
+	scheme     string
+	format     string
+	seeds      int
+	seed       int64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("preparesim", flag.ContinueOnError)
+	opts := options{}
+	fs.StringVar(&opts.experiment, "experiment", "fig6",
+		"which experiment to run: fig6..fig13, table1, unseen, report, run, or all")
+	fs.StringVar(&opts.app, "app", "systems", "application: systems or rubis")
+	fs.StringVar(&opts.fault, "fault", "memleak", "fault: memleak, cpuhog or bottleneck")
+	fs.StringVar(&opts.scheme, "scheme", "prepare",
+		"management scheme for -experiment run: none, reactive or prepare")
+	fs.StringVar(&opts.format, "format", "text", "output format: text, csv or svg")
+	fs.IntVar(&opts.seeds, "seeds", 5, "repetitions per cell (fig6/fig8)")
+	fs.Int64Var(&opts.seed, "seed", 100, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch opts.experiment {
+	case "all":
+		for _, exp := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table1"} {
+			o := opts
+			o.experiment = exp
+			if err := dispatch(o); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return dispatch(opts)
+	}
+}
+
+func dispatch(opts options) error {
+	app, ok := appByName(opts.app)
+	if !ok {
+		return fmt.Errorf("unknown app %q (want systems or rubis)", opts.app)
+	}
+	fault, ok := faultByName(opts.fault)
+	if !ok {
+		return fmt.Errorf("unknown fault %q (want memleak, cpuhog or bottleneck)", opts.fault)
+	}
+
+	switch opts.experiment {
+	case "fig6", "fig8":
+		var (
+			cells []prepare.ViolationCell
+			err   error
+			title string
+		)
+		if opts.experiment == "fig6" {
+			cells, err = prepare.Figure6(opts.seeds, opts.seed)
+			title = "Figure 6: SLO violation time, elastic resource scaling prevention"
+		} else {
+			cells, err = prepare.Figure8(opts.seeds, opts.seed)
+			title = "Figure 8: SLO violation time, live VM migration prevention"
+		}
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteViolationCSV(os.Stdout, cells)
+		case "svg":
+			return prepare.WriteViolationSVG(os.Stdout, title, cells)
+		}
+		fmt.Print(prepare.FormatViolationCells(title, cells))
+	case "fig7", "fig9":
+		var (
+			series []prepare.TraceSeries
+			err    error
+		)
+		if opts.experiment == "fig7" {
+			series, err = prepare.Figure7(app, fault, opts.seed)
+		} else {
+			series, err = prepare.Figure9(app, fault, opts.seed)
+		}
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteTraceCSV(os.Stdout, series)
+		case "svg":
+			return prepare.WriteTraceSVG(os.Stdout,
+				fmt.Sprintf("%s: %s / %s", strings.ToUpper(opts.experiment), opts.app, opts.fault),
+				metricName(app), series)
+		}
+		fmt.Print(prepare.FormatTraces(
+			fmt.Sprintf("%s: SLO metric trace, %s / %s", strings.ToUpper(opts.experiment), opts.app, opts.fault),
+			metricName(app), series, 15))
+	case "fig10":
+		curves, err := prepare.Figure10(app, fault, opts.seed)
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteAccuracyCSV(os.Stdout, curves)
+		case "svg":
+			return prepare.WriteAccuracySVG(os.Stdout, fmt.Sprintf("Figure 10: per-component vs monolithic, %s / %s", opts.app, opts.fault), curves)
+		}
+		fmt.Print(prepare.FormatAccuracyCurves(
+			fmt.Sprintf("Figure 10: per-component vs monolithic, %s / %s", opts.app, opts.fault), curves))
+	case "fig11":
+		curves, err := prepare.Figure11(app, fault, opts.seed)
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteAccuracyCSV(os.Stdout, curves)
+		case "svg":
+			return prepare.WriteAccuracySVG(os.Stdout, fmt.Sprintf("Figure 11: 2-dependent vs simple Markov, %s / %s", opts.app, opts.fault), curves)
+		}
+		fmt.Print(prepare.FormatAccuracyCurves(
+			fmt.Sprintf("Figure 11: 2-dependent vs simple Markov, %s / %s", opts.app, opts.fault), curves))
+	case "fig12":
+		curves, err := prepare.Figure12(opts.seed)
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteAccuracyCSV(os.Stdout, curves)
+		case "svg":
+			return prepare.WriteAccuracySVG(os.Stdout, "Figure 12: alarm filtering settings (bottleneck / RUBiS)", curves)
+		}
+		fmt.Print(prepare.FormatAccuracyCurves(
+			"Figure 12: alarm filtering settings (bottleneck / RUBiS)", curves))
+	case "table1":
+		rows, err := prepare.Table1(200)
+		if err != nil {
+			return err
+		}
+		fmt.Print(prepare.FormatTable1(rows))
+	case "fig13":
+		curves, err := prepare.Figure13(opts.seed)
+		if err != nil {
+			return err
+		}
+		switch opts.format {
+		case "csv":
+			return prepare.WriteAccuracyCSV(os.Stdout, curves)
+		case "svg":
+			return prepare.WriteAccuracySVG(os.Stdout, "Figure 13: sampling intervals (bottleneck / RUBiS)", curves)
+		}
+		fmt.Print(prepare.FormatAccuracyCurves(
+			"Figure 13: sampling intervals (bottleneck / RUBiS)", curves))
+	case "report":
+		return prepare.WriteReport(os.Stdout, prepare.ReportOptions{
+			Seeds: opts.seeds, Seed: opts.seed,
+		})
+	case "unseen":
+		fmt.Println("Section V extension: first-occurrence prevention (RUBiS memleak)")
+		base := prepare.Scenario{
+			App: app, Fault: fault, Seed: opts.seed, SkipFirstInjection: true,
+		}
+		for _, variant := range []struct {
+			name         string
+			scheme       prepare.Scheme
+			unsupervised bool
+		}{
+			{"without-intervention", prepare.SchemeNone, false},
+			{"prepare-supervised", prepare.SchemePREPARE, false},
+			{"prepare-unsupervised", prepare.SchemePREPARE, true},
+		} {
+			sc := base
+			sc.Scheme = variant.scheme
+			sc.Unsupervised = variant.unsupervised
+			res, err := prepare.Run(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s violation %4ds, actions %d\n",
+				variant.name, res.EvalViolationSeconds, len(res.Steps))
+		}
+	case "run":
+		scheme, ok := schemeByName(opts.scheme)
+		if !ok {
+			return fmt.Errorf("unknown scheme %q (want none, reactive or prepare)", opts.scheme)
+		}
+		res, err := prepare.Run(prepare.Scenario{
+			App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
+		})
+		if err != nil {
+			return err
+		}
+		printRun(res)
+	default:
+		return fmt.Errorf("unknown experiment %q", opts.experiment)
+	}
+	return nil
+}
+
+func printRun(res prepare.Result) {
+	fmt.Printf("scenario: %s / %s / %s (seed %d)\n",
+		res.Scenario.App, res.Scenario.Fault, res.Scenario.Scheme, res.Scenario.Seed)
+	fmt.Printf("SLO violation time: %ds in evaluation window, %ds total\n",
+		res.EvalViolationSeconds, res.TotalViolationSeconds)
+	fmt.Printf("confirmed alerts: %d, prevention steps: %d\n", len(res.Alerts), len(res.Steps))
+	for _, s := range res.Steps {
+		fmt.Printf("  t=%-6v %-10s %-10v %s\n", s.Time, s.VM, s.Kind, s.Detail)
+	}
+}
+
+func metricName(app prepare.AppKind) string {
+	if app == prepare.SystemS {
+		return "throughput Ktuples/s"
+	}
+	return "avg response time ms"
+}
+
+func appByName(name string) (prepare.AppKind, bool) {
+	switch name {
+	case "systems":
+		return prepare.SystemS, true
+	case "rubis":
+		return prepare.RUBiS, true
+	default:
+		return 0, false
+	}
+}
+
+func faultByName(name string) (prepare.FaultKind, bool) {
+	switch name {
+	case "memleak":
+		return prepare.MemoryLeak, true
+	case "cpuhog":
+		return prepare.CPUHog, true
+	case "bottleneck":
+		return prepare.Bottleneck, true
+	default:
+		return 0, false
+	}
+}
+
+func schemeByName(name string) (prepare.Scheme, bool) {
+	switch name {
+	case "none":
+		return prepare.SchemeNone, true
+	case "reactive":
+		return prepare.SchemeReactive, true
+	case "prepare":
+		return prepare.SchemePREPARE, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"prepare"
+)
+
+func TestNameLookups(t *testing.T) {
+	if a, ok := appByName("systems"); !ok || a != prepare.SystemS {
+		t.Error("appByName(systems) wrong")
+	}
+	if a, ok := appByName("rubis"); !ok || a != prepare.RUBiS {
+		t.Error("appByName(rubis) wrong")
+	}
+	if _, ok := appByName("nope"); ok {
+		t.Error("unknown app resolved")
+	}
+	if f, ok := faultByName("memleak"); !ok || f != prepare.MemoryLeak {
+		t.Error("faultByName(memleak) wrong")
+	}
+	if f, ok := faultByName("cpuhog"); !ok || f != prepare.CPUHog {
+		t.Error("faultByName(cpuhog) wrong")
+	}
+	if f, ok := faultByName("bottleneck"); !ok || f != prepare.Bottleneck {
+		t.Error("faultByName(bottleneck) wrong")
+	}
+	if _, ok := faultByName("gremlins"); ok {
+		t.Error("unknown fault resolved")
+	}
+	if s, ok := schemeByName("prepare"); !ok || s != prepare.SchemePREPARE {
+		t.Error("schemeByName(prepare) wrong")
+	}
+	if _, ok := schemeByName("magic"); ok {
+		t.Error("unknown scheme resolved")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if metricName(prepare.SystemS) != "throughput Ktuples/s" {
+		t.Error("systems metric name wrong")
+	}
+	if metricName(prepare.RUBiS) != "avg response time ms" {
+		t.Error("rubis metric name wrong")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "nope"},
+		{"-experiment", "run", "-app", "nope"},
+		{"-experiment", "run", "-fault", "nope"},
+		{"-experiment", "run", "-scheme", "nope"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunSingleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	err := run([]string{"-experiment", "run", "-app", "rubis", "-fault", "cpuhog",
+		"-scheme", "reactive", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Command preparetrace generates deterministic traces for offline use:
+// workload rate traces (the synthetic NASA-like process) and labeled
+// per-VM metrics datasets collected from a fault-injection run.
+//
+// Usage:
+//
+//	preparetrace -kind workload -horizon 1200 -seed 7 > rates.csv
+//	preparetrace -kind dataset -app rubis -fault memleak -vm vm-db \
+//	    -split train > train.csv
+//	preparetrace -kind dataset -app rubis -fault memleak -vm vm-db \
+//	    -split test > test.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prepare"
+	"prepare/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "preparetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("preparetrace", flag.ContinueOnError)
+	kind := fs.String("kind", "workload", "trace kind: workload or dataset")
+	horizon := fs.Int64("horizon", 1200, "workload trace length in seconds")
+	seed := fs.Int64("seed", 7, "random seed")
+	app := fs.String("app", "rubis", "application for -kind dataset: systems or rubis")
+	fault := fs.String("fault", "memleak", "fault for -kind dataset")
+	vm := fs.String("vm", "", "VM to export (default: the fault target)")
+	split := fs.String("split", "all", "dataset portion: train, test or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *kind {
+	case "workload":
+		cfg := workload.DefaultNASAConfig(*seed)
+		cfg.Horizon = int(*horizon) + 1
+		gen, err := workload.NewNASATrace(cfg)
+		if err != nil {
+			return err
+		}
+		return workload.WriteCSV(os.Stdout, workload.Sample(gen, *horizon))
+	case "dataset":
+		return writeDataset(*app, *fault, *vm, *split, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}
+
+func writeDataset(appName, faultName, vmName, split string, seed int64) error {
+	var app prepare.AppKind
+	switch appName {
+	case "systems":
+		app = prepare.SystemS
+	case "rubis":
+		app = prepare.RUBiS
+	default:
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	var fault prepare.FaultKind
+	switch faultName {
+	case "memleak":
+		fault = prepare.MemoryLeak
+	case "cpuhog":
+		fault = prepare.CPUHog
+	case "bottleneck":
+		fault = prepare.Bottleneck
+	default:
+		return fmt.Errorf("unknown fault %q", faultName)
+	}
+
+	ds, err := prepare.CollectDataset(prepare.Scenario{App: app, Fault: fault, Seed: seed})
+	if err != nil {
+		return err
+	}
+	target := prepare.VMID(vmName)
+	if vmName == "" {
+		target = ds.FaultTarget
+		if target == "" && len(ds.Order) > 0 {
+			target = ds.Order[0]
+		}
+	}
+	samples, ok := ds.PerVM[target]
+	if !ok {
+		return fmt.Errorf("no samples for VM %q (have %v)", target, ds.Order)
+	}
+	var out []prepare.Sample
+	for _, sm := range samples {
+		inTrain := sm.Time.Seconds() < ds.TrainAtS
+		switch split {
+		case "train":
+			if inTrain {
+				out = append(out, sm)
+			}
+		case "test":
+			if !inTrain {
+				out = append(out, sm)
+			}
+		case "all":
+			out = append(out, sm)
+		default:
+			return fmt.Errorf("unknown split %q", split)
+		}
+	}
+	return prepare.WriteSamplesCSV(os.Stdout, out)
+}

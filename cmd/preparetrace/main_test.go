@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-kind", "dataset", "-app", "nope"},
+		{"-kind", "dataset", "-fault", "nope"},
+		{"-kind", "dataset", "-split", "nope"},
+		{"-kind", "dataset", "-vm", "ghost"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunWorkloadTrace(t *testing.T) {
+	if err := run([]string{"-kind", "workload", "-horizon", "30"}); err != nil {
+		t.Fatalf("workload trace: %v", err)
+	}
+}
+
+func TestRunDatasetSplits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, split := range []string{"train", "test", "all"} {
+		if err := run([]string{"-kind", "dataset", "-app", "rubis",
+			"-fault", "cpuhog", "-split", split, "-seed", "3"}); err != nil {
+			t.Fatalf("dataset %s: %v", split, err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package prepare_test
+
+import (
+	"fmt"
+
+	"prepare"
+)
+
+// The k-of-W false alarm filter confirms an alert only after at least K
+// of the last W raw predictions were alerts (the paper uses K=3, W=4).
+func ExampleNewAlarmFilter() {
+	filter, _ := prepare.NewAlarmFilter(3, 4)
+	stream := []bool{false, true, false, true, true, true}
+	for i, raw := range stream {
+		fmt.Printf("sample %d: raw=%v confirmed=%v\n", i, raw, filter.Offer(raw))
+	}
+	// Output:
+	// sample 0: raw=false confirmed=false
+	// sample 1: raw=true confirmed=false
+	// sample 2: raw=false confirmed=false
+	// sample 3: raw=true confirmed=false
+	// sample 4: raw=true confirmed=true
+	// sample 5: raw=true confirmed=true
+}
+
+// Train a predictor on a labeled history and classify states directly.
+func ExampleNewPredictor() {
+	var rows [][]float64
+	var labels []prepare.Label
+	for i := 0; i < 120; i++ {
+		freeMB, cpu := 800.0, 40.0
+		label := prepare.LabelNormal
+		if i >= 80 && i < 110 { // anomaly episode
+			freeMB, cpu = 50, 95
+			label = prepare.LabelAbnormal
+		}
+		// Small deterministic wiggle so the discretizers have a range.
+		rows = append(rows, []float64{freeMB + float64(i%5), cpu + float64(i%3)})
+		labels = append(labels, label)
+	}
+
+	p, _ := prepare.NewPredictor(prepare.PredictorConfig{Bins: 6}, []string{"free_mb", "cpu_pct"})
+	_ = p.Train(rows, labels)
+
+	healthy, _ := p.ClassifyCurrent([]float64{801, 41})
+	exhausted, _ := p.ClassifyCurrent([]float64{52, 96})
+	fmt.Println("healthy state abnormal:", healthy)
+	fmt.Println("exhausted state abnormal:", exhausted)
+	// Output:
+	// healthy state abnormal: false
+	// exhausted state abnormal: true
+}
+
+// The 13 canonical per-VM attributes, in predictor column order.
+func ExampleAttributeNames() {
+	names := prepare.AttributeNames()
+	fmt.Println(len(names), names[0], names[3])
+	// Output:
+	// 13 cpu_user free_mem
+}

@@ -1,0 +1,103 @@
+// Custom application under PREPARE: implement the ManagedApp contract
+// for your own workload model and let the full predict-diagnose-prevent
+// loop manage it. Here a single-VM "batch worker" suffers a recurrent
+// external CPU hog; PREPARE learns it during the first occurrence and
+// prevents the second.
+//
+//	go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prepare"
+)
+
+// batchWorker is a minimal custom application: one VM processing jobs at
+// a fixed demand; its SLO is violated whenever demand exceeds the CPU it
+// can actually get.
+type batchWorker struct {
+	cluster  *prepare.Cluster
+	vm       prepare.VMID
+	demand   float64
+	violated bool
+	rate     float64
+}
+
+func (w *batchWorker) Tick(now prepare.SimTime) {
+	vm, err := w.cluster.VM(w.vm)
+	if err != nil {
+		return
+	}
+	usable := vm.UsableCPU()
+	granted := w.demand
+	if granted > usable {
+		granted = usable
+	}
+	w.violated = granted < w.demand
+	w.rate = granted
+
+	vm.CPUDemand = w.demand
+	vm.CPUUsage = granted
+	vm.WorkingSetMB = 220
+	vm.NetInKBps = w.demand * 12
+	vm.NetOutKBps = granted * 11
+	vm.DiskReadKBps = 25
+	vm.DiskWriteKBs = 10
+}
+
+func (w *batchWorker) SLOViolated() bool     { return w.violated }
+func (w *batchWorker) SLOMetric() float64    { return w.rate }
+func (w *batchWorker) VMIDs() []prepare.VMID { return []prepare.VMID{w.vm} }
+
+func main() {
+	cluster := prepare.NewCluster()
+	if _, err := cluster.AddDefaultHost("h1"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.AddDefaultHost("spare"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.PlaceVM("worker", "h1", 100, 512); err != nil {
+		log.Fatal(err)
+	}
+	app := &batchWorker{cluster: cluster, vm: "worker", demand: 60}
+
+	ctl, err := prepare.NewController(prepare.SchemePREPARE, cluster, app,
+		prepare.ControlConfig{TrainAtS: 300, MonitorSeed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vm, err := cluster.VM("worker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := int64(1); t <= 900; t++ {
+		// A co-located CPU hog appears twice; the first occurrence is
+		// training data, the second is predicted and prevented.
+		switch t {
+		case 100, 500:
+			vm.ExternalCPU = 70
+		case 250, 650:
+			vm.ExternalCPU = 0
+		}
+		now := prepare.SimTime(t)
+		app.Tick(now)
+		cluster.Tick(now)
+		if err := ctl.OnTick(now); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	slo := ctl.SLOLog()
+	fmt.Println("custom batch worker under PREPARE")
+	fmt.Printf("first hog  (unprotected training data): %ds of SLO violation\n",
+		slo.ViolationSeconds(100, 260))
+	fmt.Printf("second hog (managed):                   %ds of SLO violation\n",
+		slo.ViolationSeconds(500, 660))
+	for _, s := range ctl.Steps() {
+		fmt.Printf("  t=%-5v %-8s %-10v %s\n", s.Time, s.VM, s.Kind, s.Detail)
+	}
+}

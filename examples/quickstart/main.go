@@ -1,0 +1,67 @@
+// Quickstart: run one PREPARE experiment cell end to end and print what
+// the predict-diagnose-prevent loop did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prepare"
+)
+
+func main() {
+	// A RUBiS deployment with a recurrent memory leak in the database
+	// VM, managed by the full PREPARE loop: per-VM anomaly prediction,
+	// false alarm filtering, cause inference, and predictive prevention.
+	res, err := prepare.Run(prepare.Scenario{
+		App:    prepare.RUBiS,
+		Fault:  prepare.MemoryLeak,
+		Scheme: prepare.SchemePREPARE,
+		Seed:   100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("PREPARE quickstart — RUBiS with a recurrent DB memory leak")
+	fmt.Printf("run length: %ds; models trained at t=%ds\n",
+		res.Scenario.DurationS, res.Scenario.TrainAtS)
+	fmt.Printf("SLO violation time: %ds total, %ds after the models were trained\n",
+		res.TotalViolationSeconds, res.EvalViolationSeconds)
+
+	fmt.Printf("\nconfirmed anomaly alerts (%d):\n", len(res.Alerts))
+	for i, a := range res.Alerts {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Alerts)-5)
+			break
+		}
+		fmt.Printf("  t=%-6v vm=%-8s score=%+.2f\n", a.Time, a.VM, a.Score)
+	}
+
+	fmt.Printf("\nprevention actions (%d):\n", len(res.Steps))
+	for _, s := range res.Steps {
+		fmt.Printf("  t=%-6v %-8s %-10v %s\n", s.Time, s.VM, s.Kind, s.Detail)
+	}
+
+	// Compare against doing nothing.
+	baseline, err := prepare.Run(prepare.Scenario{
+		App:    prepare.RUBiS,
+		Fault:  prepare.MemoryLeak,
+		Scheme: prepare.SchemeNone,
+		Seed:   100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout intervention the SLO would have been violated for %ds — ",
+		baseline.EvalViolationSeconds)
+	if baseline.EvalViolationSeconds > 0 {
+		saved := 100 * float64(baseline.EvalViolationSeconds-res.EvalViolationSeconds) /
+			float64(baseline.EvalViolationSeconds)
+		fmt.Printf("PREPARE prevented %.0f%% of it\n", saved)
+	} else {
+		fmt.Println("nothing to prevent")
+	}
+}

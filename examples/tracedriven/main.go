@@ -1,0 +1,82 @@
+// Trace-driven analysis: collect a labeled monitoring dataset from an
+// unmanaged fault-injection run, then evaluate the anomaly prediction
+// models offline across look-ahead windows — the methodology behind the
+// paper's Figures 10-13.
+//
+//	go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prepare"
+)
+
+func main() {
+	fmt.Println("Trace-driven prediction accuracy (System S, memory leak)")
+	fmt.Println()
+
+	ds, err := prepare.CollectDataset(prepare.Scenario{
+		App:   prepare.SystemS,
+		Fault: prepare.MemoryLeak,
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d VMs, fault target %s, train/test split at t=%ds\n\n",
+		len(ds.Order), ds.FaultTarget, ds.TrainAtS)
+
+	lookaheads := []int64{10, 20, 30, 45}
+
+	// Per-component vs monolithic (Figure 10's comparison).
+	per, err := prepare.AccuracySweep(ds, lookaheads, prepare.AccuracyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mono, err := prepare.AccuracySweep(ds, lookaheads, prepare.AccuracyOptions{Monolithic: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-component vs monolithic prediction model:")
+	fmt.Printf("%-14s %10s %10s %14s %14s\n", "lookahead(s)", "AT(per)", "AF(per)", "AT(mono)", "AF(mono)")
+	for i := range per {
+		fmt.Printf("%-14d %9.1f%% %9.1f%% %13.1f%% %13.1f%%\n",
+			per[i].LookaheadS, 100*per[i].AT, 100*per[i].AF, 100*mono[i].AT, 100*mono[i].AF)
+	}
+
+	// 2-dependent vs simple Markov value prediction (Figure 11).
+	twoDep, err := prepare.AccuracySweep(ds, lookaheads, prepare.AccuracyOptions{
+		Predict: prepare.PredictorConfig{Order: prepare.TwoDependent},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simple, err := prepare.AccuracySweep(ds, lookaheads, prepare.AccuracyOptions{
+		Predict: prepare.PredictorConfig{Order: prepare.SimpleMarkov},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n2-dependent vs simple Markov value prediction:")
+	fmt.Printf("%-14s %10s %10s %14s %14s\n", "lookahead(s)", "AT(2dep)", "AF(2dep)", "AT(simple)", "AF(simple)")
+	for i := range twoDep {
+		fmt.Printf("%-14d %9.1f%% %9.1f%% %13.1f%% %13.1f%%\n",
+			twoDep[i].LookaheadS, 100*twoDep[i].AT, 100*twoDep[i].AF,
+			100*simple[i].AT, 100*simple[i].AF)
+	}
+
+	// Alarm filtering (Figure 12's trade-off).
+	fmt.Println("\nk-of-4 alarm filtering at a 30 s look-ahead:")
+	for _, k := range []int{1, 2, 3} {
+		points, err := prepare.AccuracySweep(ds, []int64{30}, prepare.AccuracyOptions{
+			FilterK: k, FilterW: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d: A_T = %5.1f%%  A_F = %5.1f%%\n",
+			k, 100*points[0].AT, 100*points[0].AF)
+	}
+}

@@ -1,0 +1,128 @@
+package prepare
+
+import (
+	"io"
+
+	"prepare/internal/experiment"
+)
+
+// Figure6 reproduces the paper's Figure 6: SLO violation time for every
+// application × fault × scheme cell using elastic resource scaling as
+// the prevention action, over `seeds` repetitions starting at baseSeed.
+func Figure6(seeds int, baseSeed int64) ([]ViolationCell, error) {
+	return experiment.FigureSLOViolation(ScalingFirst, seeds, baseSeed)
+}
+
+// Figure8 reproduces Figure 8: the same comparison with live VM
+// migration as the prevention action.
+func Figure8(seeds int, baseSeed int64) ([]ViolationCell, error) {
+	return experiment.FigureSLOViolation(MigrationOnly, seeds, baseSeed)
+}
+
+// Figure7 reproduces one subplot of Figure 7: the sampled SLO metric
+// traces of the three schemes around the second fault injection, with
+// elastic resource scaling as the prevention action.
+func Figure7(app AppKind, fault FaultKind, seed int64) ([]TraceSeries, error) {
+	return experiment.FigureTraces(app, fault, ScalingFirst, seed)
+}
+
+// Figure9 reproduces one subplot of Figure 9: the trace comparison with
+// live VM migration as the prevention action.
+func Figure9(app AppKind, fault FaultKind, seed int64) ([]TraceSeries, error) {
+	return experiment.FigureTraces(app, fault, MigrationOnly, seed)
+}
+
+// Figure10 reproduces one subplot of Figure 10: prediction accuracy of
+// the per-component scheme versus the monolithic model.
+func Figure10(app AppKind, fault FaultKind, seed int64) ([]AccuracyCurve, error) {
+	return experiment.FigurePerComponentVsMonolithic(app, fault, seed)
+}
+
+// Figure11 reproduces one subplot of Figure 11: the 2-dependent Markov
+// model versus the simple Markov model.
+func Figure11(app AppKind, fault FaultKind, seed int64) ([]AccuracyCurve, error) {
+	return experiment.FigureMarkovComparison(app, fault, seed)
+}
+
+// Figure12 reproduces Figure 12: accuracy under k=1,2,3 of W=4 false
+// alarm filtering for a bottleneck fault in RUBiS.
+func Figure12(seed int64) ([]AccuracyCurve, error) {
+	return experiment.FigureAlarmFiltering(seed)
+}
+
+// Figure13 reproduces Figure 13: accuracy under 1, 5, and 10 second
+// sampling intervals for a bottleneck fault in RUBiS.
+func Figure13(seed int64) ([]AccuracyCurve, error) {
+	return experiment.FigureSamplingInterval(seed)
+}
+
+// FormatViolationCells renders Figure 6/8 cells as a text table.
+func FormatViolationCells(title string, cells []ViolationCell) string {
+	return experiment.FormatViolationCells(title, cells)
+}
+
+// FormatTraces renders Figure 7/9 trace series as a text table, sampling
+// every stride seconds.
+func FormatTraces(title, metricName string, series []TraceSeries, stride int64) string {
+	return experiment.FormatTraces(title, metricName, series, stride)
+}
+
+// FormatAccuracyCurves renders Figure 10-13 accuracy curves as a text
+// table.
+func FormatAccuracyCurves(title string, curves []AccuracyCurve) string {
+	return experiment.FormatAccuracyCurves(title, curves)
+}
+
+// Table1Row is one row of the paper's overhead table (Table I).
+type Table1Row = experiment.Table1Row
+
+// Table1 measures the CPU cost of each PREPARE module over the given
+// number of timing rounds, mirroring the paper's Table I.
+func Table1(rounds int) ([]Table1Row, error) {
+	return experiment.Table1(rounds)
+}
+
+// FormatTable1 renders Table I rows as a text table.
+func FormatTable1(rows []Table1Row) string {
+	return experiment.FormatTable1(rows)
+}
+
+// WriteAccuracyCSV dumps accuracy curves as plotting-ready CSV.
+func WriteAccuracyCSV(w io.Writer, curves []AccuracyCurve) error {
+	return experiment.WriteAccuracyCSV(w, curves)
+}
+
+// WriteTraceCSV dumps trace series as plotting-ready CSV.
+func WriteTraceCSV(w io.Writer, series []TraceSeries) error {
+	return experiment.WriteTraceCSV(w, series)
+}
+
+// WriteViolationCSV dumps Figure 6/8 cells as CSV.
+func WriteViolationCSV(w io.Writer, cells []ViolationCell) error {
+	return experiment.WriteViolationCSV(w, cells)
+}
+
+// ReportOptions tunes WriteReport.
+type ReportOptions = experiment.ReportOptions
+
+// WriteReport runs the paper's full evaluation and writes a markdown
+// report covering every figure and table — the one-command
+// reproducibility artifact.
+func WriteReport(w io.Writer, opts ReportOptions) error {
+	return experiment.WriteReport(w, opts)
+}
+
+// WriteViolationSVG renders Figure 6/8 cells as a grouped bar chart SVG.
+func WriteViolationSVG(w io.Writer, title string, cells []ViolationCell) error {
+	return experiment.WriteViolationSVG(w, title, cells)
+}
+
+// WriteAccuracySVG renders accuracy curves as a line chart SVG.
+func WriteAccuracySVG(w io.Writer, title string, curves []AccuracyCurve) error {
+	return experiment.WriteAccuracySVG(w, title, curves)
+}
+
+// WriteTraceSVG renders trace series as a line chart SVG.
+func WriteTraceSVG(w io.Writer, title, metricName string, series []TraceSeries) error {
+	return experiment.WriteTraceSVG(w, title, metricName, series)
+}

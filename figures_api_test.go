@@ -1,0 +1,138 @@
+package prepare
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigureWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cells, err := Figure6(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 18 {
+		t.Fatalf("Figure6 cells = %d", len(cells))
+	}
+	var buf bytes.Buffer
+	if err := WriteViolationCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(FormatViolationCells("t", cells), "prepare") {
+		t.Error("formatting broken")
+	}
+
+	series, err := Figure7(SystemS, MemoryLeak, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("Figure7 series = %d", len(series))
+	}
+	buf.Reset()
+	if err := WriteTraceCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if FormatTraces("t", "m", series, 30) == "" {
+		t.Error("trace formatting empty")
+	}
+
+	curves, err := Figure12(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteAccuracyCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(FormatAccuracyCurves("t", curves), "lookahead") {
+		t.Error("accuracy formatting broken")
+	}
+}
+
+func TestFigure8And9Wrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cells, err := Figure8(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 18 {
+		t.Fatalf("Figure8 cells = %d", len(cells))
+	}
+	series, err := Figure9(RUBiS, CPUHog, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("Figure9 series = %d", len(series))
+	}
+}
+
+func TestFigure10And11And13Wrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	if _, err := Figure10(RUBiS, MemoryLeak, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure11(SystemS, MemoryLeak, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure13(50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Wrapper(t *testing.T) {
+	rows, err := Table1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	if !strings.Contains(FormatTable1(rows), "Anomaly prediction") {
+		t.Error("Table1 formatting broken")
+	}
+}
+
+func TestWriteReportWrapper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ReportOptions{Seeds: 1, Seed: 50, SkipMigration: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PREPARE reproduction report") {
+		t.Error("report missing title")
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	samples := []Sample{}
+	var sm Sample
+	sm.Values.Set(Attribute(4), 123)
+	sm.Label = LabelNormal
+	samples = append(samples, sm)
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSamplesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Values.Get(Attribute(4)) != 123 {
+		t.Errorf("round trip = %+v", back)
+	}
+	rows, labels := RowsFromSamples(back)
+	if len(rows) != 1 || labels[0] != LabelNormal {
+		t.Error("RowsFromSamples broken")
+	}
+}

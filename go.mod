@@ -1,0 +1,3 @@
+module prepare
+
+go 1.22

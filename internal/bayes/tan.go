@@ -1,0 +1,389 @@
+// Package bayes implements the Tree-Augmented Naive Bayesian network
+// (TAN) classifier PREPARE uses for multi-variate anomaly classification
+// and metric attribution, plus the plain naive Bayes classifier as the
+// weaker baseline from the authors' earlier work.
+//
+// The TAN model (Cohen et al., OSDI'04; Friedman et al.) extends naive
+// Bayes with a tree of dependencies among the attributes: each attribute
+// has the class variable plus at most one other attribute as parents.
+// The tree is the maximum spanning tree over pairwise conditional mutual
+// information given the class (the Chow-Liu construction).
+//
+// Classification follows the paper's Equation (1): the state is abnormal
+// when
+//
+//	sum_i log[P(a_i|a_pi, C=1)/P(a_i|a_pi, C=0)] + log[P(C=1)/P(C=0)] > 0
+//
+// and Equation (2) defines the per-attribute strength
+// L_i = log[P(a_i|a_pi, C=1)/P(a_i|a_pi, C=0)], whose ranking drives
+// PREPARE's anomaly cause inference (Figure 3).
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// laplaceAlpha is the additive smoothing constant for all probability
+// estimates.
+const laplaceAlpha = 0.5
+
+// Instance is one labeled training example: discretized attribute values
+// plus the anomaly label.
+type Instance struct {
+	Bins     []int
+	Abnormal bool
+}
+
+// Errors returned by training and classification.
+var (
+	ErrNoInstances = errors.New("bayes: no training instances")
+	ErrShape       = errors.New("bayes: instance shape mismatch")
+)
+
+// Model is a trained TAN (or naive Bayes) classifier.
+type Model struct {
+	numAttrs int
+	bins     []int // bins per attribute
+	parent   []int // parent attribute index, -1 when class-only
+	// cpt[i][c] is a [parentBins][attrBins] table of smoothed
+	// conditional probabilities P(a_i = v | a_pi = u, C = c); parentBins
+	// is 1 for root/naive attributes.
+	cpt        [][2][][]float64
+	classCount [2]float64
+	total      float64
+}
+
+// Options controls training.
+type Options struct {
+	// Naive disables the dependency tree, producing a plain naive Bayes
+	// classifier (every attribute's only parent is the class).
+	Naive bool
+}
+
+// Train fits a TAN (or naive Bayes) model. bins gives the number of
+// discretized states per attribute; every instance must have len(bins)
+// values within range.
+func Train(instances []Instance, bins []int, opts Options) (*Model, error) {
+	if len(instances) == 0 {
+		return nil, ErrNoInstances
+	}
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("bayes: bins must be non-empty")
+	}
+	for i, b := range bins {
+		if b < 1 {
+			return nil, fmt.Errorf("bayes: attribute %d has %d bins, want >= 1", i, b)
+		}
+	}
+	n := len(bins)
+	for idx, inst := range instances {
+		if len(inst.Bins) != n {
+			return nil, fmt.Errorf("%w: instance %d has %d attrs, want %d", ErrShape, idx, len(inst.Bins), n)
+		}
+		for i, v := range inst.Bins {
+			if v < 0 || v >= bins[i] {
+				return nil, fmt.Errorf("%w: instance %d attr %d value %d not in [0,%d)",
+					ErrShape, idx, i, v, bins[i])
+			}
+		}
+	}
+
+	m := &Model{
+		numAttrs: n,
+		bins:     append([]int(nil), bins...),
+		parent:   make([]int, n),
+	}
+	for c := range m.classCount {
+		m.classCount[c] = 0
+	}
+	for _, inst := range instances {
+		m.classCount[classIdx(inst.Abnormal)]++
+		m.total++
+	}
+
+	if opts.Naive || n == 1 {
+		for i := range m.parent {
+			m.parent[i] = -1
+		}
+	} else {
+		m.parent = buildTree(instances, bins)
+	}
+	m.estimateCPTs(instances)
+	return m, nil
+}
+
+func classIdx(abnormal bool) int {
+	if abnormal {
+		return 1
+	}
+	return 0
+}
+
+// buildTree computes the Chow-Liu maximum spanning tree over conditional
+// mutual information and returns the parent array (root has parent -1).
+func buildTree(instances []Instance, bins []int) []int {
+	n := len(bins)
+	cmi := make([][]float64, n)
+	for i := range cmi {
+		cmi[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := conditionalMutualInfo(instances, bins, i, j)
+			cmi[i][j] = v
+			cmi[j][i] = v
+		}
+	}
+	// Prim's algorithm from attribute 0.
+	parent := make([]int, n)
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(-1)
+		bestFrom[i] = -1
+		parent[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = cmi[0][j]
+		bestFrom[j] = 0
+	}
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (pick == -1 || best[j] > best[pick]) {
+				pick = j
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		inTree[pick] = true
+		parent[pick] = bestFrom[pick]
+		for j := 0; j < n; j++ {
+			if !inTree[j] && cmi[pick][j] > best[j] {
+				best[j] = cmi[pick][j]
+				bestFrom[j] = pick
+			}
+		}
+	}
+	return parent
+}
+
+// conditionalMutualInfo estimates I(A_i; A_j | C) with Laplace smoothing.
+func conditionalMutualInfo(instances []Instance, bins []int, i, j int) float64 {
+	bi, bj := bins[i], bins[j]
+	joint := [2][]float64{make([]float64, bi*bj), make([]float64, bi*bj)}
+	margI := [2][]float64{make([]float64, bi), make([]float64, bi)}
+	margJ := [2][]float64{make([]float64, bj), make([]float64, bj)}
+	classN := [2]float64{}
+	for _, inst := range instances {
+		c := classIdx(inst.Abnormal)
+		vi, vj := inst.Bins[i], inst.Bins[j]
+		joint[c][vi*bj+vj]++
+		margI[c][vi]++
+		margJ[c][vj]++
+		classN[c]++
+	}
+	total := classN[0] + classN[1]
+	info := 0.0
+	for c := 0; c < 2; c++ {
+		if classN[c] == 0 {
+			continue
+		}
+		pc := classN[c] / total
+		nc := classN[c]
+		for vi := 0; vi < bi; vi++ {
+			for vj := 0; vj < bj; vj++ {
+				pxy := (joint[c][vi*bj+vj] + laplaceAlpha) / (nc + laplaceAlpha*float64(bi*bj))
+				px := (margI[c][vi] + laplaceAlpha) / (nc + laplaceAlpha*float64(bi))
+				py := (margJ[c][vj] + laplaceAlpha) / (nc + laplaceAlpha*float64(bj))
+				if pxy > 0 {
+					info += pc * pxy * math.Log(pxy/(px*py))
+				}
+			}
+		}
+	}
+	return info
+}
+
+// estimateCPTs fills the smoothed conditional probability tables.
+func (m *Model) estimateCPTs(instances []Instance) {
+	m.cpt = make([][2][][]float64, m.numAttrs)
+	for i := 0; i < m.numAttrs; i++ {
+		pb := 1
+		if m.parent[i] >= 0 {
+			pb = m.bins[m.parent[i]]
+		}
+		for c := 0; c < 2; c++ {
+			table := make([][]float64, pb)
+			for u := range table {
+				table[u] = make([]float64, m.bins[i])
+			}
+			m.cpt[i][c] = table
+		}
+	}
+	for _, inst := range instances {
+		c := classIdx(inst.Abnormal)
+		for i, v := range inst.Bins {
+			u := 0
+			if p := m.parent[i]; p >= 0 {
+				u = inst.Bins[p]
+			}
+			m.cpt[i][c][u][v]++
+		}
+	}
+	// Normalize with smoothing: each (attr, class, parentValue) row
+	// becomes a distribution over attr values.
+	for i := 0; i < m.numAttrs; i++ {
+		for c := 0; c < 2; c++ {
+			for u := range m.cpt[i][c] {
+				row := m.cpt[i][c][u]
+				total := 0.0
+				for _, n := range row {
+					total += n
+				}
+				denom := total + laplaceAlpha*float64(len(row))
+				for v := range row {
+					row[v] = (row[v] + laplaceAlpha) / denom
+				}
+			}
+		}
+	}
+}
+
+// NumAttributes returns the number of attributes the model was trained
+// on.
+func (m *Model) NumAttributes() int { return m.numAttrs }
+
+// Parents returns a copy of the dependency-tree parent array (-1 marks
+// attributes whose only parent is the class variable).
+func (m *Model) Parents() []int {
+	return append([]int(nil), m.parent...)
+}
+
+// ClassPrior returns the smoothed log prior ratio
+// log P(C=1)/P(C=0).
+func (m *Model) ClassPrior() float64 {
+	p1 := (m.classCount[1] + laplaceAlpha) / (m.total + 2*laplaceAlpha)
+	p0 := (m.classCount[0] + laplaceAlpha) / (m.total + 2*laplaceAlpha)
+	return math.Log(p1 / p0)
+}
+
+// checkShape validates an observation vector.
+func (m *Model) checkShape(bins []int) error {
+	if len(bins) != m.numAttrs {
+		return fmt.Errorf("%w: got %d attrs, want %d", ErrShape, len(bins), m.numAttrs)
+	}
+	for i, v := range bins {
+		if v < 0 || v >= m.bins[i] {
+			return fmt.Errorf("%w: attr %d value %d not in [0,%d)", ErrShape, i, v, m.bins[i])
+		}
+	}
+	return nil
+}
+
+// strength returns L_i (Equation 2) for attribute i under the
+// observation.
+func (m *Model) strength(bins []int, i int) float64 {
+	u := 0
+	if p := m.parent[i]; p >= 0 {
+		u = bins[p]
+	}
+	v := bins[i]
+	return math.Log(m.cpt[i][1][u][v] / m.cpt[i][0][u][v])
+}
+
+// Score returns the left-hand side of Equation (1): positive scores
+// classify as abnormal.
+func (m *Model) Score(bins []int) (float64, error) {
+	if err := m.checkShape(bins); err != nil {
+		return 0, err
+	}
+	score := m.ClassPrior()
+	for i := range bins {
+		score += m.strength(bins, i)
+	}
+	return score, nil
+}
+
+// Classify reports whether the observation is classified abnormal.
+func (m *Model) Classify(bins []int) (bool, error) {
+	score, err := m.Score(bins)
+	if err != nil {
+		return false, err
+	}
+	return score > 0, nil
+}
+
+// ScoreMarginals evaluates Equation (1) in expectation over per-attribute
+// predicted value distributions (as produced by the Markov value
+// predictors): each attribute contributes E_v[L_i(v)] under its marginal,
+// with the parent attribute fixed at its most likely predicted value.
+// Compared to classifying the argmax values, the expected score shifts
+// smoothly as probability mass drifts toward anomalous bins, which is
+// what gives the anomaly predictor usable lead time. It returns the
+// score and the per-attribute expected strengths sorted descending.
+func (m *Model) ScoreMarginals(marginals [][]float64) (float64, []Strength, error) {
+	if len(marginals) != m.numAttrs {
+		return 0, nil, fmt.Errorf("%w: got %d marginals, want %d", ErrShape, len(marginals), m.numAttrs)
+	}
+	argmax := make([]int, m.numAttrs)
+	for i, dist := range marginals {
+		if len(dist) != m.bins[i] {
+			return 0, nil, fmt.Errorf("%w: marginal %d has %d bins, want %d", ErrShape, i, len(dist), m.bins[i])
+		}
+		best, bestIdx := -1.0, 0
+		for v, p := range dist {
+			if p > best {
+				best = p
+				bestIdx = v
+			}
+		}
+		argmax[i] = bestIdx
+	}
+	strengths := make([]Strength, m.numAttrs)
+	score := m.ClassPrior()
+	for i := 0; i < m.numAttrs; i++ {
+		u := 0
+		if p := m.parent[i]; p >= 0 {
+			u = argmax[p]
+		}
+		expL := 0.0
+		for v, pv := range marginals[i] {
+			if pv <= 0 {
+				continue
+			}
+			expL += pv * math.Log(m.cpt[i][1][u][v]/m.cpt[i][0][u][v])
+		}
+		strengths[i] = Strength{Attribute: i, L: expL}
+		score += expL
+	}
+	sort.SliceStable(strengths, func(a, b int) bool { return strengths[a].L > strengths[b].L })
+	return score, strengths, nil
+}
+
+// Strength is one attribute's contribution to an abnormal classification.
+type Strength struct {
+	Attribute int
+	L         float64
+}
+
+// AttributeStrengths returns L_i for every attribute under the
+// observation, sorted descending — the paper's ranked list of metrics
+// most related to the predicted anomaly.
+func (m *Model) AttributeStrengths(bins []int) ([]Strength, error) {
+	if err := m.checkShape(bins); err != nil {
+		return nil, err
+	}
+	out := make([]Strength, m.numAttrs)
+	for i := 0; i < m.numAttrs; i++ {
+		out[i] = Strength{Attribute: i, L: m.strength(bins, i)}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].L > out[b].L })
+	return out, nil
+}

@@ -1,0 +1,480 @@
+package cloudsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"prepare/internal/simclock"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster()
+	for _, id := range []HostID{"h1", "h2", "h3"} {
+		if _, err := c.AddDefaultHost(id); err != nil {
+			t.Fatalf("AddDefaultHost(%s): %v", id, err)
+		}
+	}
+	return c
+}
+
+func TestAddHostValidation(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddHost("h", 0, 100); err == nil {
+		t.Error("zero CPU capacity should fail")
+	}
+	if _, err := c.AddHost("h", 100, -1); err == nil {
+		t.Error("negative memory should fail")
+	}
+	if _, err := c.AddHost("h", 100, 100); err != nil {
+		t.Fatalf("valid host: %v", err)
+	}
+	if _, err := c.AddHost("h", 100, 100); err == nil {
+		t.Error("duplicate host should fail")
+	}
+}
+
+func TestPlaceVM(t *testing.T) {
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 1024)
+	if err != nil {
+		t.Fatalf("PlaceVM: %v", err)
+	}
+	if vm.Host().ID != "h1" {
+		t.Errorf("vm host = %s, want h1", vm.Host().ID)
+	}
+	h, err := c.Host("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeCPU() != 100 {
+		t.Errorf("free cpu = %g, want 100", h.FreeCPU())
+	}
+	if h.FreeMemMB() != DefaultHostMemMB-1024 {
+		t.Errorf("free mem = %g", h.FreeMemMB())
+	}
+}
+
+func TestPlaceVMErrors(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "nosuch", 100, 512); !errors.Is(err, ErrNoSuchHost) {
+		t.Errorf("want ErrNoSuchHost, got %v", err)
+	}
+	if _, err := c.PlaceVM("vm1", "h1", 300, 512); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("oversized CPU: want ErrInsufficient, got %v", err)
+	}
+	if _, err := c.PlaceVM("vm1", "h1", 0, 512); err == nil {
+		t.Error("zero allocation should fail")
+	}
+	if _, err := c.PlaceVM("vm1", "h1", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm1", "h2", 100, 512); err == nil {
+		t.Error("duplicate VM id should fail")
+	}
+}
+
+func TestScaleCPU(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleCPU(10, "vm1", 120); err != nil {
+		t.Fatalf("ScaleCPU up: %v", err)
+	}
+	vm, _ := c.VM("vm1")
+	if vm.CPUAllocation != 120 {
+		t.Errorf("alloc = %g, want 120", vm.CPUAllocation)
+	}
+	// Over capacity fails and leaves allocation unchanged.
+	if err := c.ScaleCPU(11, "vm1", 500); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+	if vm.CPUAllocation != 120 {
+		t.Errorf("failed scale mutated allocation to %g", vm.CPUAllocation)
+	}
+	// Scaling down always works.
+	if err := c.ScaleCPU(12, "vm1", 30); err != nil {
+		t.Fatalf("ScaleCPU down: %v", err)
+	}
+	if err := c.ScaleCPU(13, "vm1", -5); err == nil {
+		t.Error("negative allocation should fail")
+	}
+	if err := c.ScaleCPU(14, "nosuch", 10); !errors.Is(err, ErrNoSuchVM) {
+		t.Errorf("want ErrNoSuchVM, got %v", err)
+	}
+}
+
+func TestScaleMem(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleMem(10, "vm1", 2048); err != nil {
+		t.Fatalf("ScaleMem: %v", err)
+	}
+	vm, _ := c.VM("vm1")
+	if vm.MemAllocationMB != 2048 {
+		t.Errorf("mem alloc = %g, want 2048", vm.MemAllocationMB)
+	}
+	if err := c.ScaleMem(11, "vm1", 9999); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestScaleSharedHostCapacity(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 100, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm2", "h1", 80, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Only 20 points left; scaling vm1 to 130 needs 30.
+	if err := c.ScaleCPU(5, "vm1", 130); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+	if err := c.ScaleCPU(5, "vm1", 120); err != nil {
+		t.Errorf("within capacity should work: %v", err)
+	}
+}
+
+func TestMigrationLifecycle(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := c.VM("vm1")
+	now := simclock.Time(100)
+	if err := c.Migrate(now, "vm1", 150, 1024); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if !vm.Migrating() {
+		t.Fatal("vm should be migrating")
+	}
+	// Usable CPU is reduced mid-migration.
+	if got := vm.UsableCPU(); got >= 100 {
+		t.Errorf("mid-migration usable CPU = %g, want < 100", got)
+	}
+	// A second migration while in flight fails.
+	if err := c.Migrate(now+1, "vm1", 150, 1024); !errors.Is(err, ErrMigrating) {
+		t.Errorf("want ErrMigrating, got %v", err)
+	}
+	// Scaling during migration fails.
+	if err := c.ScaleCPU(now+1, "vm1", 120); !errors.Is(err, ErrMigrating) {
+		t.Errorf("want ErrMigrating, got %v", err)
+	}
+
+	dur := MigrationSeconds(512)
+	for i := int64(1); i <= dur; i++ {
+		c.Tick(now.Add(i))
+	}
+	if vm.Migrating() {
+		t.Fatal("migration should have completed")
+	}
+	if vm.Host().ID == "h1" {
+		t.Error("vm should have moved off h1")
+	}
+	if vm.CPUAllocation != 150 || vm.MemAllocationMB != 1024 {
+		t.Errorf("post-migration alloc = %g/%g, want 150/1024", vm.CPUAllocation, vm.MemAllocationMB)
+	}
+	// Source host freed.
+	h1, _ := c.Host("h1")
+	if h1.AllocatedCPU() != 0 {
+		t.Errorf("source host still has %g CPU allocated", h1.AllocatedCPU())
+	}
+	// Target host reservation converted to real allocation exactly once.
+	dst := vm.Host()
+	if dst.AllocatedCPU() != 150 {
+		t.Errorf("target host allocated = %g, want 150", dst.AllocatedCPU())
+	}
+}
+
+func TestMigrateDesiredBelowCurrentClamps(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(0, "vm1", 10, 10); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	vm, _ := c.VM("vm1")
+	for i := int64(1); i <= MigrationSeconds(512); i++ {
+		c.Tick(simclock.Time(i))
+	}
+	if vm.CPUAllocation < 100 || vm.MemAllocationMB < 512 {
+		t.Errorf("migration must not shrink allocations: %g/%g", vm.CPUAllocation, vm.MemAllocationMB)
+	}
+}
+
+func TestMigrateNoEligibleTarget(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddDefaultHost("only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm1", "only", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(0, "vm1", 100, 512); !errors.Is(err, ErrNoEligibleTarget) {
+		t.Errorf("want ErrNoEligibleTarget, got %v", err)
+	}
+}
+
+func TestMigrationPrefersEmptiestHost(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("busy", "h2", 150, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(0, "vm1", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := c.VM("vm1")
+	for i := int64(1); i <= MigrationSeconds(512); i++ {
+		c.Tick(simclock.Time(i))
+	}
+	if vm.Host().ID != "h3" {
+		t.Errorf("vm migrated to %s, want h3 (emptiest)", vm.Host().ID)
+	}
+}
+
+func TestMigrationSecondsMatchesTable1(t *testing.T) {
+	// Table I: 8.56 s for a 512 MB VM. Accept 8 or 9 after rounding.
+	got := MigrationSeconds(512)
+	if got < 8 || got > 9 {
+		t.Errorf("MigrationSeconds(512) = %d, want ~8.5", got)
+	}
+	if MigrationSeconds(2048) <= got {
+		t.Error("bigger VMs must take longer to migrate")
+	}
+}
+
+func TestUsableCPUWithHog(t *testing.T) {
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.UsableCPU(); got != 100 {
+		t.Errorf("usable = %g, want 100", got)
+	}
+	vm.ExternalCPU = 60
+	if got := vm.UsableCPU(); got != 40 {
+		t.Errorf("usable with hog = %g, want 40", got)
+	}
+	vm.ExternalCPU = 150
+	if got := vm.UsableCPU(); got != 0 {
+		t.Errorf("usable with oversized hog = %g, want 0", got)
+	}
+}
+
+func TestFreeMemAndPressure(t *testing.T) {
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.WorkingSetMB = 400
+	if got := vm.FreeMemMB(); got != 600 {
+		t.Errorf("free mem = %g, want 600", got)
+	}
+	if got := vm.MemPressure(); got != 1 {
+		t.Errorf("pressure with ample memory = %g, want 1", got)
+	}
+	vm.LeakedMB = 550 // free = 50, threshold = 100
+	if got := vm.MemPressure(); got <= 1 {
+		t.Errorf("pressure under low memory = %g, want > 1", got)
+	}
+	vm.LeakedMB = 700 // free clamps to 0
+	if got := vm.FreeMemMB(); got != 0 {
+		t.Errorf("free mem = %g, want 0", got)
+	}
+	if got := vm.MemPressure(); got != 8 {
+		t.Errorf("pressure at zero free = %g, want 8", got)
+	}
+}
+
+func TestActionsLogged(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleCPU(5, "vm1", 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleMem(6, "vm1", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(7, "vm1", 80, 1024); err != nil {
+		t.Fatal(err)
+	}
+	actions := c.Actions()
+	if len(actions) != 3 {
+		t.Fatalf("logged %d actions, want 3", len(actions))
+	}
+	wantKinds := []ActionKind{ActionScaleCPU, ActionScaleMem, ActionMigrate}
+	for i, a := range actions {
+		if a.Kind != wantKinds[i] {
+			t.Errorf("action %d kind = %v, want %v", i, a.Kind, wantKinds[i])
+		}
+	}
+	if actions[0].CostMS != CPUScalingLatencyMS {
+		t.Errorf("cpu scaling cost = %g", actions[0].CostMS)
+	}
+}
+
+func TestPropertyCapacityNeverExceeded(t *testing.T) {
+	// Random placements and scalings must never drive a host's allocation
+	// above capacity.
+	f := func(ops []uint8) bool {
+		c := NewCluster()
+		if _, err := c.AddDefaultHost("h1"); err != nil {
+			return false
+		}
+		if _, err := c.AddDefaultHost("h2"); err != nil {
+			return false
+		}
+		if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+			return false
+		}
+		if _, err := c.PlaceVM("vm2", "h1", 50, 512); err != nil {
+			return false
+		}
+		now := simclock.Time(0)
+		for _, op := range ops {
+			now++
+			id := VMID("vm1")
+			if op%2 == 1 {
+				id = "vm2"
+			}
+			alloc := float64(op) * 2 // 0..510, often over capacity
+			if alloc <= 0 {
+				alloc = 1
+			}
+			switch (op / 2) % 3 {
+			case 0:
+				_ = c.ScaleCPU(now, id, alloc)
+			case 1:
+				_ = c.ScaleMem(now, id, alloc*10)
+			case 2:
+				_ = c.Migrate(now, id, alloc, alloc*4)
+			}
+			c.Tick(now)
+			for _, h := range c.Hosts() {
+				if h.AllocatedCPU() > h.CPUCap+1e-9 || h.AllocatedMemMB() > h.MemCapMB+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMigrationConservesVMs(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := NewCluster()
+		for _, id := range []HostID{"a", "b", "c"} {
+			if _, err := c.AddDefaultHost(id); err != nil {
+				return false
+			}
+		}
+		if _, err := c.PlaceVM("vm1", "a", 50+float64(seed%100), 512); err != nil {
+			return false
+		}
+		if err := c.Migrate(0, "vm1", 100, 1024); err != nil {
+			return false
+		}
+		for i := int64(1); i <= 30; i++ {
+			c.Tick(simclock.Time(i))
+		}
+		// Exactly one copy of the VM across all hosts.
+		count := 0
+		for _, h := range c.Hosts() {
+			for range h.VMs() {
+				count++
+			}
+		}
+		return count == 1 && len(c.VMs()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapDebtAccruesAndDrains(t *testing.T) {
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.WorkingSetMB = 400
+	if vm.SwapDebtMB() != 0 {
+		t.Fatal("fresh VM should have no swap debt")
+	}
+	// Drive deep into thrashing.
+	vm.LeakedMB = 590 // free = 10, raw pressure near max
+	for i := int64(1); i <= 20; i++ {
+		c.Tick(simclock.Time(i))
+	}
+	debtAtPeak := vm.SwapDebtMB()
+	if debtAtPeak <= 0 {
+		t.Fatal("thrashing should accrue swap debt")
+	}
+	if vm.MemPressure() <= vm.memPressureRaw() {
+		t.Error("effective pressure should exceed raw pressure while in debt")
+	}
+	// Relieve the pressure; debt must drain monotonically to zero.
+	vm.LeakedMB = 0
+	prev := vm.SwapDebtMB()
+	for i := int64(21); i <= 120; i++ {
+		c.Tick(simclock.Time(i))
+		if vm.SwapDebtMB() > prev {
+			t.Fatalf("debt increased after pressure relief at %d", i)
+		}
+		prev = vm.SwapDebtMB()
+	}
+	if vm.SwapDebtMB() != 0 {
+		t.Errorf("debt did not fully drain: %.1f MB", vm.SwapDebtMB())
+	}
+	if vm.MemPressure() != 1 {
+		t.Errorf("pressure = %g after full recovery, want 1", vm.MemPressure())
+	}
+}
+
+func TestSwapDebtCapped(t *testing.T) {
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.WorkingSetMB = 500 // free = 0 forever
+	for i := int64(1); i <= 500; i++ {
+		c.Tick(simclock.Time(i))
+	}
+	if vm.SwapDebtMB() > 150 {
+		t.Errorf("debt %.1f exceeds cap", vm.SwapDebtMB())
+	}
+}
+
+func TestBorderlinePressureDoesNotRatchet(t *testing.T) {
+	// Mild pressure (raw < 1.25) must not accrue debt, or borderline
+	// states would ratchet into permanent slowdowns.
+	c := newTestCluster(t)
+	vm, err := c.PlaceVM("vm1", "h1", 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.WorkingSetMB = 680 // free = 320 < threshold 350, raw ≈ 1.06
+	for i := int64(1); i <= 200; i++ {
+		c.Tick(simclock.Time(i))
+	}
+	if vm.SwapDebtMB() != 0 {
+		t.Errorf("borderline pressure accrued %.1f MB of debt", vm.SwapDebtMB())
+	}
+}

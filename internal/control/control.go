@@ -1,0 +1,688 @@
+// Package control wires PREPARE's modules into the closed management
+// loop of Figure 1 and implements the two baselines of the evaluation:
+//
+//   - PREPARE: per-VM online anomaly prediction over monitored metrics,
+//     k-of-W false alarm filtering, TAN-based cause inference, predictive
+//     prevention actuation, and online effectiveness validation.
+//   - Reactive intervention: the same cause inference and actuation
+//     modules, but triggered only after an SLO violation has already been
+//     detected.
+//   - Without intervention: monitoring only.
+//
+// The controller is driven by the experiment runner once per simulated
+// second, after the fault injectors and the application have advanced.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prepare/internal/cloudsim"
+	"prepare/internal/infer"
+	"prepare/internal/metrics"
+	"prepare/internal/monitor"
+	"prepare/internal/predict"
+	"prepare/internal/prevent"
+	"prepare/internal/simclock"
+)
+
+// App is the application under management. Both simulated applications
+// (System S and RUBiS) implement it.
+type App interface {
+	// Tick advances the application by one simulated second.
+	Tick(now simclock.Time)
+	// SLOViolated reports the SLO state after the last tick.
+	SLOViolated() bool
+	// SLOMetric returns the headline SLO metric (throughput or response
+	// time) for trace recording.
+	SLOMetric() float64
+	// VMIDs lists the application's VMs.
+	VMIDs() []cloudsim.VMID
+}
+
+// Scheme selects the anomaly management strategy.
+type Scheme int
+
+// The three schemes compared in the paper.
+const (
+	// SchemeNone performs no intervention.
+	SchemeNone Scheme = iota + 1
+	// SchemeReactive intervenes only after an SLO violation is detected.
+	SchemeReactive
+	// SchemePREPARE prevents predicted anomalies before they happen.
+	SchemePREPARE
+)
+
+// String returns the scheme name as used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "without-intervention"
+	case SchemeReactive:
+		return "reactive"
+	case SchemePREPARE:
+		return "prepare"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config tunes the control loop.
+type Config struct {
+	// SamplingIntervalS is the monitoring interval (default 5 s).
+	SamplingIntervalS int64
+	// LookaheadS is the prediction look-ahead window used for prevention
+	// (default 120 s, per the paper).
+	LookaheadS int64
+	// FilterK / FilterW configure false alarm filtering (default 3 of 4).
+	FilterK, FilterW int
+	// TrainAtS is the simulated instant at which the per-VM models are
+	// trained from the labeled data collected so far (set it after the
+	// first fault injection, per the paper's protocol).
+	TrainAtS int64
+	// ValidationDelayS is the look-ahead window after a prevention action
+	// before its effectiveness is validated (default 25 s).
+	ValidationDelayS int64
+	// AlertScoreMargin is the minimum TAN decision score for a raw
+	// predictive alert (default 2.0). Equation (1)'s natural threshold is
+	// zero; the margin suppresses marginal hazard-of-recurrence scores
+	// that otherwise stream low-confidence alerts during normal phases.
+	AlertScoreMargin float64
+	// DisableValidation turns off the online effectiveness validation
+	// (for the ablation study): prevention actions are fire-and-forget
+	// and the next-ranked-metric fallthrough never happens.
+	DisableValidation bool
+	// RetrainIntervalS periodically retrains the per-VM models with all
+	// data collected so far (the paper's models are "periodically updated
+	// with new data measurements to adapt to dynamic systems"). Zero
+	// disables periodic retraining; the value predictors still update
+	// online on every sample either way.
+	RetrainIntervalS int64
+	// Unsupervised replaces the supervised TAN classifier with an
+	// unsupervised outlier detector (the paper's Section V extension):
+	// the models train on unlabeled data, so PREPARE can prevent even the
+	// FIRST occurrence of an anomaly class it has never seen.
+	Unsupervised bool
+	// UnsupervisedDetector selects the detector (default KMeans).
+	UnsupervisedDetector predict.UnsupervisedKind
+	// Predict configures the per-VM predictors.
+	Predict predict.Config
+	// Prevent configures the actuator.
+	Prevent prevent.Config
+	// Policy selects scaling-first or migration-only prevention.
+	Policy prevent.Policy
+	// MonitorNoiseStd / MonitorSeed configure the sampler.
+	MonitorNoiseStd float64
+	MonitorSeed     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplingIntervalS == 0 {
+		c.SamplingIntervalS = monitor.DefaultSamplingInterval
+	}
+	if c.LookaheadS == 0 {
+		c.LookaheadS = 120
+	}
+	if c.FilterK == 0 {
+		c.FilterK = predict.DefaultAlarmK
+	}
+	if c.FilterW == 0 {
+		c.FilterW = predict.DefaultAlarmW
+	}
+	if c.ValidationDelayS == 0 {
+		c.ValidationDelayS = 15
+	}
+	if c.AlertScoreMargin == 0 {
+		c.AlertScoreMargin = 2.0
+	}
+	if c.Policy == 0 {
+		c.Policy = prevent.ScalingFirst
+	}
+	c.Predict.SamplingIntervalS = c.SamplingIntervalS
+	return c
+}
+
+// AlertEvent records one confirmed anomaly alert.
+type AlertEvent struct {
+	Time      simclock.Time
+	VM        cloudsim.VMID
+	Score     float64
+	Predicted bool // true for predictive alerts, false for reactive detections
+}
+
+// pendingValidation tracks a prevention action awaiting its
+// effectiveness check.
+type pendingValidation struct {
+	step     prevent.Step
+	attr     metrics.Attribute
+	diag     infer.Diagnosis
+	deadline simclock.Time
+	extended bool
+}
+
+// Controller runs one management scheme against one application.
+type Controller struct {
+	scheme  Scheme
+	cfg     Config
+	cluster *cloudsim.Cluster
+	app     App
+
+	sampler       *monitor.Sampler
+	sloLog        *monitor.SLOLog
+	predictors    map[cloudsim.VMID]*predict.Predictor
+	unsPredictors map[cloudsim.VMID]*predict.UnsupervisedPredictor
+	filters       map[cloudsim.VMID]*predict.AlarmFilter
+	planner       *prevent.Planner
+	validator     prevent.Validator
+
+	trained  bool
+	pending  map[cloudsim.VMID]*pendingValidation
+	attempts map[cloudsim.VMID]int
+	steps    []prevent.Step
+	alerts   []AlertEvent
+	vmOrder  []cloudsim.VMID
+
+	// Episode tracking for propagation-aware fault localization (the
+	// paper's PAL [13]): anomalies propagate outward from the faulty VM,
+	// so the VM whose alert episode started first is the prime suspect.
+	episodeOnset map[cloudsim.VMID]simclock.Time
+	lastAlert    map[cloudsim.VMID]simclock.Time
+
+	// workload distinguishes external workload changes from internal
+	// faults: simultaneous change points on every component mean the
+	// cause is the workload, and every alerting VM should be acted upon
+	// rather than just the earliest-onset one.
+	workload *infer.WorkloadDetector
+
+	// violatedStreak counts consecutive violated sampling ticks, used to
+	// debounce the reactive baseline's busiest-VM fallback.
+	violatedStreak int
+
+	// lastMigration enforces a per-VM cooldown between migrations: each
+	// live migration costs seconds of degraded capacity, so immediately
+	// re-migrating a VM that was just moved only makes matters worse.
+	lastMigration map[cloudsim.VMID]simclock.Time
+}
+
+// New builds a controller for the scheme over the application.
+func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Controller, error) {
+	if cluster == nil || app == nil {
+		return nil, fmt.Errorf("control: cluster and app are required")
+	}
+	if scheme != SchemeNone && scheme != SchemeReactive && scheme != SchemePREPARE {
+		return nil, fmt.Errorf("control: unsupported scheme %d", scheme)
+	}
+	cfg = cfg.withDefaults()
+	sampler, err := monitor.NewSampler(cluster, app.VMIDs(), monitor.Config{
+		NoiseStd: cfg.MonitorNoiseStd,
+		Seed:     cfg.MonitorSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+	planner, err := prevent.NewPlanner(cluster, cfg.Policy, cfg.Prevent)
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+	vms := app.VMIDs()
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	wd, err := infer.NewWorkloadDetector(vms, 24, 4*cfg.SamplingIntervalS)
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+	return &Controller{
+		scheme:        scheme,
+		cfg:           cfg,
+		cluster:       cluster,
+		app:           app,
+		sampler:       sampler,
+		sloLog:        &monitor.SLOLog{},
+		predictors:    make(map[cloudsim.VMID]*predict.Predictor, len(vms)),
+		unsPredictors: make(map[cloudsim.VMID]*predict.UnsupervisedPredictor, len(vms)),
+		filters:       make(map[cloudsim.VMID]*predict.AlarmFilter, len(vms)),
+		planner:       planner,
+		pending:       make(map[cloudsim.VMID]*pendingValidation, len(vms)),
+		attempts:      make(map[cloudsim.VMID]int, len(vms)),
+		vmOrder:       vms,
+		episodeOnset:  make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		lastAlert:     make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		workload:      wd,
+		lastMigration: make(map[cloudsim.VMID]simclock.Time, len(vms)),
+	}, nil
+}
+
+// Scheme returns the controller's scheme.
+func (c *Controller) Scheme() Scheme { return c.scheme }
+
+// SLOLog returns the recorded SLO state log.
+func (c *Controller) SLOLog() *monitor.SLOLog { return c.sloLog }
+
+// Sampler exposes the monitoring module (for trace-driven analyses).
+func (c *Controller) Sampler() *monitor.Sampler { return c.sampler }
+
+// Steps returns the prevention actions executed so far.
+func (c *Controller) Steps() []prevent.Step {
+	out := make([]prevent.Step, len(c.steps))
+	copy(out, c.steps)
+	return out
+}
+
+// Alerts returns the confirmed alerts raised so far.
+func (c *Controller) Alerts() []AlertEvent {
+	out := make([]AlertEvent, len(c.alerts))
+	copy(out, c.alerts)
+	return out
+}
+
+// Trained reports whether the per-VM models have been trained.
+func (c *Controller) Trained() bool { return c.trained }
+
+// OnTick advances the management loop by one simulated second. Call it
+// after the fault schedule and application have ticked.
+func (c *Controller) OnTick(now simclock.Time) error {
+	violated := c.app.SLOViolated()
+	if err := c.sloLog.Record(now, violated); err != nil {
+		return fmt.Errorf("control: %w", err)
+	}
+	c.sampler.UpdateLoad()
+
+	if now.Seconds()%c.cfg.SamplingIntervalS != 0 {
+		return nil
+	}
+	label := metrics.LabelNormal
+	if violated {
+		label = metrics.LabelAbnormal
+	}
+	samples, err := c.sampler.Collect(now, label)
+	if err != nil {
+		return fmt.Errorf("control: %w", err)
+	}
+	for _, id := range c.vmOrder {
+		// Track inbound traffic for workload-change inference.
+		if err := c.workload.Offer(now, id, samples[id].Values.Get(metrics.NetIn)); err != nil {
+			return fmt.Errorf("control: %w", err)
+		}
+	}
+	if c.scheme == SchemeNone {
+		return nil
+	}
+
+	if !c.trained && now.Seconds() >= c.cfg.TrainAtS && c.cfg.TrainAtS > 0 {
+		if err := c.train(); err != nil {
+			return fmt.Errorf("control: train: %w", err)
+		}
+	} else if c.trained && c.cfg.RetrainIntervalS > 0 &&
+		now.Seconds() > c.cfg.TrainAtS &&
+		(now.Seconds()-c.cfg.TrainAtS)%c.cfg.RetrainIntervalS == 0 {
+		// Periodic model update with everything collected so far, so
+		// anomalies first seen after the initial training become
+		// predictable on their next recurrence.
+		if err := c.train(); err != nil {
+			return fmt.Errorf("control: retrain: %w", err)
+		}
+	}
+	if !c.trained {
+		return nil
+	}
+
+	// Feed the new samples to the value predictors.
+	confirmed := make(map[cloudsim.VMID]predict.Verdict)
+	for _, id := range c.vmOrder {
+		sm := samples[id]
+		row := rowOf(sm)
+		if c.cfg.Unsupervised {
+			if err := c.stepUnsupervised(id, row, violated, confirmed); err != nil {
+				return err
+			}
+			continue
+		}
+		p := c.predictors[id]
+		if err := p.Observe(row); err != nil {
+			return fmt.Errorf("control: observe %s: %w", id, err)
+		}
+		switch c.scheme {
+		case SchemePREPARE:
+			verdict, err := p.PredictWindow(c.cfg.LookaheadS)
+			if err != nil {
+				return fmt.Errorf("control: predict %s: %w", id, err)
+			}
+			if c.filters[id].Offer(verdict.Score > c.cfg.AlertScoreMargin) {
+				confirmed[id] = verdict
+			}
+		case SchemeReactive:
+			// Reactive: only act once the SLO violation is observed; the
+			// per-VM classifiers locate the faulty VM. The same k-of-W
+			// false alarm filter applies (the baseline shares PREPARE's
+			// cause inference modules), so a single bad sample does not
+			// trigger an intervention.
+			verdict, err := p.Evaluate(row)
+			if err != nil {
+				return fmt.Errorf("control: evaluate %s: %w", id, err)
+			}
+			if c.filters[id].Offer(violated && verdict.Abnormal) {
+				confirmed[id] = verdict
+			}
+		}
+	}
+
+	if violated {
+		c.violatedStreak++
+	} else {
+		c.violatedStreak = 0
+	}
+
+	if c.scheme == SchemeReactive && len(confirmed) == 0 && c.violatedStreak >= c.cfg.FilterK {
+		// The violation is real and persistent, but no per-VM classifier
+		// fired (e.g., the symptom manifests only in the SLO): blame the
+		// busiest VM so the reactive baseline still intervenes, as its
+		// real counterpart would.
+		if id, verdict, ok := c.busiestVM(samples); ok {
+			confirmed[id] = verdict
+		}
+	}
+
+	for id := range confirmed {
+		c.alerts = append(c.alerts, AlertEvent{
+			Time:      now,
+			VM:        id,
+			Score:     confirmed[id].Score,
+			Predicted: c.scheme == SchemePREPARE,
+		})
+	}
+
+	// Resolve any due validations, then act on every confirmed faulty VM
+	// that has no action in flight (the paper triggers one prevention per
+	// alerted VM, e.g., memory scaling on one and CPU scaling on another).
+	for _, id := range c.vmOrder {
+		p, ok := c.pending[id]
+		if !ok || now.Before(p.deadline) {
+			continue
+		}
+		if c.cfg.DisableValidation {
+			// Ablation mode: drop the pending action unexamined; the
+			// attempt ladder never advances past the first choice.
+			delete(c.pending, id)
+			continue
+		}
+		_, stillAlerting := confirmed[id]
+		c.resolveValidation(now, id, !stillAlerting && !violated)
+	}
+
+	for _, id := range c.targets(now, confirmed) {
+		if _, busy := c.pending[id]; busy {
+			continue
+		}
+		if err := c.actuate(now, id, confirmed[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// targets applies propagation-aware fault localization: update alert
+// episodes and return the confirmed VMs whose episode onset is within one
+// sampling interval of the earliest onset (downstream victims alert later
+// than the faulty VM, so they are filtered out; near-simultaneous onsets
+// are all acted upon, as in the paper's two-VM example).
+func (c *Controller) targets(now simclock.Time, confirmed map[cloudsim.VMID]predict.Verdict) []cloudsim.VMID {
+	gap := 2 * c.cfg.SamplingIntervalS
+	for _, id := range c.vmOrder {
+		if _, ok := confirmed[id]; !ok {
+			continue
+		}
+		if last, ok := c.lastAlert[id]; !ok || now.Sub(last) > gap {
+			c.episodeOnset[id] = now
+		}
+		c.lastAlert[id] = now
+	}
+	var earliest simclock.Time
+	found := false
+	for id := range confirmed {
+		onset := c.episodeOnset[id]
+		if !found || onset.Before(earliest) {
+			earliest = onset
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	// An external workload change hits every component at once; in that
+	// case all alerting VMs need relief, not just the earliest one.
+	// Similarly, once a real SLO violation persists, onset ordering stops
+	// mattering — every alerting VM gets help (the predictive priority
+	// only applies while the violation is still preventable).
+	workloadChange := c.workload.WorkloadChange(now) ||
+		c.violatedStreak >= c.cfg.FilterK
+	var out []cloudsim.VMID
+	for _, id := range c.vmOrder {
+		if _, ok := confirmed[id]; !ok {
+			continue
+		}
+		if workloadChange || c.episodeOnset[id].Sub(earliest) <= c.cfg.SamplingIntervalS {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// stepUnsupervised advances one VM's unsupervised predictor and feeds
+// the alert filter: in PREPARE mode the predicted window is scored by
+// the outlier detector; the reactive mode scores the current state. The
+// confirmed verdict carries the detector's per-attribute contributions
+// as the attribution strengths, so diagnosis and actuation work
+// unchanged.
+func (c *Controller) stepUnsupervised(id cloudsim.VMID, row []float64, violated bool, confirmed map[cloudsim.VMID]predict.Verdict) error {
+	up := c.unsPredictors[id]
+	if err := up.Observe(row); err != nil {
+		return fmt.Errorf("control: observe %s: %w", id, err)
+	}
+	var (
+		abnormal bool
+		score    float64
+	)
+	switch c.scheme {
+	case SchemePREPARE:
+		v, err := up.PredictWindow(c.cfg.LookaheadS)
+		if err != nil {
+			return fmt.Errorf("control: predict %s: %w", id, err)
+		}
+		abnormal, score = v.Abnormal, v.Score
+	case SchemeReactive:
+		v, err := up.Predict(1)
+		if err != nil {
+			return fmt.Errorf("control: evaluate %s: %w", id, err)
+		}
+		abnormal, score = violated && v.Abnormal, v.Score
+	default:
+		return nil
+	}
+	if !c.filters[id].Offer(abnormal) {
+		return nil
+	}
+	strengths, err := up.Attribution(row)
+	if err != nil {
+		return fmt.Errorf("control: attribution %s: %w", id, err)
+	}
+	confirmed[id] = predict.Verdict{
+		Abnormal:  true,
+		Score:     score,
+		Strengths: strengths,
+	}
+	return nil
+}
+
+// busiestVM builds a fallback diagnosis for the reactive baseline when no
+// classifier fired: pick the VM with the highest CPU utilization sample.
+func (c *Controller) busiestVM(samples map[cloudsim.VMID]metrics.Sample) (cloudsim.VMID, predict.Verdict, bool) {
+	var bestID cloudsim.VMID
+	best := -1.0
+	for _, id := range c.vmOrder {
+		if u := samples[id].Values.Get(metrics.CPUTotal); u > best {
+			best = u
+			bestID = id
+		}
+	}
+	if best < 0 {
+		return "", predict.Verdict{}, false
+	}
+	if c.cfg.Unsupervised {
+		strengths, err := c.unsPredictors[bestID].Attribution(rowOf(samples[bestID]))
+		if err != nil {
+			return "", predict.Verdict{}, false
+		}
+		return bestID, predict.Verdict{Abnormal: true, Strengths: strengths}, true
+	}
+	verdict, err := c.predictors[bestID].Evaluate(rowOf(samples[bestID]))
+	if err != nil {
+		return "", predict.Verdict{}, false
+	}
+	return bestID, verdict, true
+}
+
+// actuate executes the next prevention step for one confirmed faulty VM.
+func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict predict.Verdict) error {
+	vm, err := c.cluster.VM(target)
+	if err != nil {
+		return fmt.Errorf("control: %w", err)
+	}
+	if vm.Migrating() {
+		return nil // an action is already in flight
+	}
+	const migrationCooldownS = 90
+	if c.planner.Policy() == prevent.MigrationOnly {
+		if last, ok := c.lastMigration[target]; ok && now.Sub(last) < migrationCooldownS {
+			return nil // just moved; give the new placement time to work
+		}
+	}
+
+	diag, err := infer.Diagnose(target, verdict)
+	if err != nil {
+		return fmt.Errorf("control: diagnose: %w", err)
+	}
+	step, err := c.planner.Prevent(now, diag, c.attempts[target])
+	if err != nil {
+		if errors.Is(err, prevent.ErrSaturated) {
+			// This resource is at its cap: move to the next option.
+			c.attempts[target]++
+		} else {
+			// Out of options for this VM: push its alert episode to the
+			// back of the queue so localization gives other alerting VMs
+			// a turn, and restart its ladder for the next episode.
+			c.attempts[target] = 0
+			c.episodeOnset[target] = now
+		}
+		return nil
+	}
+	c.steps = append(c.steps, step)
+
+	attr := metrics.CPUTotal
+	if top, ok := diag.TopAttribute(); ok {
+		attr = top
+	}
+	delay := c.cfg.ValidationDelayS
+	if step.Kind == cloudsim.ActionMigrate {
+		delay += cloudsim.MigrationSeconds(vm.MemAllocationMB)
+		c.lastMigration[target] = now
+	}
+	c.pending[target] = &pendingValidation{
+		step:     step,
+		attr:     attr,
+		diag:     diag,
+		deadline: now.Add(delay),
+	}
+	return nil
+}
+
+// resolveValidation applies the look-back/look-ahead effectiveness check
+// to one VM's pending action.
+func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, alertsStopped bool) {
+	p := c.pending[id]
+	series, err := c.sampler.Series(p.step.VM)
+	if err != nil {
+		delete(c.pending, id)
+		return
+	}
+	lookBack := p.step.Time.Add(-c.cfg.ValidationDelayS)
+	before := series.Window(lookBack, p.step.Time)
+	after := series.Window(p.step.Time.Add(1), now.Add(1))
+
+	switch c.validator.Validate(before, after, p.attr, alertsStopped) {
+	case prevent.Effective:
+		c.attempts[p.step.VM] = 0
+		if f, ok := c.filters[p.step.VM]; ok {
+			f.Reset()
+		}
+		delete(c.pending, id)
+	case prevent.Ineffective:
+		// Try the next ranked metric on the next confirmed alert.
+		c.attempts[p.step.VM]++
+		delete(c.pending, id)
+	case prevent.Inconclusive:
+		if !p.extended {
+			p.extended = true
+			p.deadline = now.Add(c.cfg.ValidationDelayS)
+			return
+		}
+		c.attempts[p.step.VM]++
+		delete(c.pending, id)
+	}
+}
+
+// train fits one predictor (and alarm filter) per VM from the collected
+// labeled series. Following the paper, fault localization decides which
+// VMs' samples are actually trained as "abnormal": a sample keeps its
+// abnormal label only if the VM itself deviates from its own fault-free
+// baseline at that instant (at least two attributes beyond 3.5 sigma).
+// Without this gating, every VM's model would learn the application-level
+// violation windows — including VMs whose metrics carry no fault signal —
+// and then raise persistent false alarms on recurring workload patterns.
+func (c *Controller) train() error {
+	names := predict.AttributeNames()
+	for _, id := range c.vmOrder {
+		series, err := c.sampler.Series(id)
+		if err != nil {
+			return err
+		}
+		samples := series.All()
+		rows, labels := predict.RowsFromSamples(samples)
+		if c.cfg.Unsupervised {
+			// Unsupervised mode ignores the labels entirely: the detector
+			// learns the normal operating modes from the raw data.
+			up, err := predict.NewUnsupervised(c.cfg.Predict, names)
+			if err != nil {
+				return err
+			}
+			if err := up.Train(rows, c.cfg.UnsupervisedDetector, c.cfg.MonitorSeed); err != nil {
+				return fmt.Errorf("train %s: %w", id, err)
+			}
+			c.unsPredictors[id] = up
+		} else {
+			predict.RelabelForTraining(rows, labels, int(c.cfg.LookaheadS/c.cfg.SamplingIntervalS))
+			p, err := predict.New(c.cfg.Predict, names)
+			if err != nil {
+				return err
+			}
+			if err := p.Train(rows, labels); err != nil {
+				return fmt.Errorf("train %s: %w", id, err)
+			}
+			c.predictors[id] = p
+		}
+		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
+		if err != nil {
+			return err
+		}
+		c.filters[id] = f
+	}
+	c.trained = true
+	return nil
+}
+
+func rowOf(sm metrics.Sample) []float64 {
+	row := make([]float64, metrics.NumAttributes)
+	for j := 0; j < metrics.NumAttributes; j++ {
+		row[j] = sm.Values[j]
+	}
+	return row
+}

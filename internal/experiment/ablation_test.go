@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+	"prepare/internal/predict"
+)
+
+// TestAblationValidation measures how much the online effectiveness
+// validation (and its next-ranked-metric fallthrough) contributes: with
+// validation disabled, a wrong first attribution is never corrected, so
+// across seeds the SLO violation time must not improve and typically
+// degrades for the memory leak (whose first pinpointed metric is
+// sometimes CPU).
+func TestAblationValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	on, _, err := Repeat(Scenario{
+		App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 100,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _, err := Repeat(Scenario{
+		App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 100,
+		DisableValidation: true,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("validation on: %v, off: %v", on, off)
+	if on.Mean > off.Mean+10 {
+		t.Errorf("validation should not hurt: on %.1f vs off %.1f", on.Mean, off.Mean)
+	}
+}
+
+// TestAblationTANvsNaive compares classification quality: the paper
+// replaced its earlier naive Bayes classifier with TAN for better metric
+// attribution; both should classify competitively, with TAN's attribution
+// (tested elsewhere) being the differentiator.
+func TestAblationTANvsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	ds, err := CollectDataset(Scenario{App: RUBiS, Fault: faults.MemoryLeak, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tan, err := AccuracySweep(ds, []int64{15, 30}, AccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := AccuracySweep(ds, []int64{15, 30}, AccuracyOptions{
+		Predict: predict.Config{Naive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tan {
+		t.Logf("lookahead %d: TAN AT=%.2f AF=%.2f | naive AT=%.2f AF=%.2f",
+			tan[i].LookaheadS, tan[i].AT, tan[i].AF, naive[i].AT, naive[i].AF)
+		if tan[i].AT < naive[i].AT-0.25 {
+			t.Errorf("TAN A_T %.2f far below naive %.2f at %ds",
+				tan[i].AT, naive[i].AT, tan[i].LookaheadS)
+		}
+	}
+}
+
+// TestAblationExpectedVsArgmaxScoring compares the two alerting
+// semantics end to end on the control loop.
+func TestAblationExpectedVsArgmaxScoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	expected, _, err := Repeat(Scenario{
+		App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 100,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmax, _, err := Repeat(Scenario{
+		App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 100,
+		Predict: predict.Config{ArgmaxScore: true},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("expected-score: %v, argmax: %v", expected, argmax)
+	// Both must still beat doing nothing by a wide margin.
+	baseline, _, err := Repeat(Scenario{
+		App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemeNone, Seed: 100,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Stat{expected, argmax} {
+		if s.Mean > baseline.Mean*0.5 {
+			t.Errorf("scoring variant %.1f should clearly beat baseline %.1f", s.Mean, baseline.Mean)
+		}
+	}
+}

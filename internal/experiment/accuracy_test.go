@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"testing"
+
+	"prepare/internal/faults"
+	"prepare/internal/predict"
+)
+
+func collectTestDataset(t *testing.T) Dataset {
+	t.Helper()
+	ds, err := CollectDataset(Scenario{App: RUBiS, Fault: faults.MemoryLeak, Seed: 7})
+	if err != nil {
+		t.Fatalf("CollectDataset: %v", err)
+	}
+	return ds
+}
+
+func TestCollectDataset(t *testing.T) {
+	ds := collectTestDataset(t)
+	if len(ds.Order) != 4 {
+		t.Fatalf("dataset has %d VMs, want 4", len(ds.Order))
+	}
+	if ds.FaultTarget != "vm-db" {
+		t.Errorf("fault target = %s", ds.FaultTarget)
+	}
+	train, test, err := ds.split("vm-db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	for _, sm := range train {
+		if sm.Time.Seconds() >= ds.TrainAtS {
+			t.Fatal("train sample after split point")
+		}
+	}
+}
+
+func TestAccuracySweepPerComponent(t *testing.T) {
+	ds := collectTestDataset(t)
+	points, err := AccuracySweep(ds, []int64{10, 30}, AccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Confusion.Total() == 0 {
+			t.Errorf("lookahead %d: no scored predictions", p.LookaheadS)
+		}
+		if p.AT < 0 || p.AT > 1 || p.AF < 0 || p.AF > 1 {
+			t.Errorf("lookahead %d: rates out of range AT=%f AF=%f", p.LookaheadS, p.AT, p.AF)
+		}
+	}
+	// A gradual memory leak must be predictable with decent accuracy at a
+	// short look-ahead.
+	if points[0].AT < 0.5 {
+		t.Errorf("A_T at 10s = %.2f, want >= 0.5", points[0].AT)
+	}
+}
+
+func TestAccuracySweepMonolithicWorse(t *testing.T) {
+	ds := collectTestDataset(t)
+	per, err := AccuracySweep(ds, []int64{15, 30, 45}, AccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := AccuracySweep(ds, []int64{15, 30, 45}, AccuracyOptions{Monolithic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 10 finding: per-component accuracy clearly beats
+	// the monolithic model. Compare average A_T - A_F quality.
+	quality := func(points []AccuracyPoint) float64 {
+		q := 0.0
+		for _, p := range points {
+			q += p.AT - p.AF
+		}
+		return q / float64(len(points))
+	}
+	if quality(per) <= quality(mono) {
+		t.Errorf("per-component quality %.3f should beat monolithic %.3f",
+			quality(per), quality(mono))
+	}
+}
+
+func TestAccuracySweepValidation(t *testing.T) {
+	ds := collectTestDataset(t)
+	if _, err := AccuracySweep(Dataset{}, []int64{10}, AccuracyOptions{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if _, err := AccuracySweep(ds, nil, AccuracyOptions{}); err == nil {
+		t.Error("no lookaheads should fail")
+	}
+}
+
+func TestAccuracyFilteringReducesFalseAlarms(t *testing.T) {
+	ds, err := CollectDataset(Scenario{App: RUBiS, Fault: faults.Bottleneck, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AccuracySweep(ds, []int64{20}, AccuracyOptions{FilterK: 1, FilterW: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := AccuracySweep(ds, []int64{20}, AccuracyOptions{FilterK: 3, FilterW: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered[0].AF > raw[0].AF+1e-9 {
+		t.Errorf("k=3 A_F %.3f should not exceed k=1 A_F %.3f", filtered[0].AF, raw[0].AF)
+	}
+}
+
+func TestDefaultLookaheads(t *testing.T) {
+	las := DefaultLookaheads()
+	if len(las) != 9 || las[0] != 5 || las[8] != 45 {
+		t.Errorf("lookaheads = %v", las)
+	}
+}
+
+func TestSimpleVsTwoDepSweep(t *testing.T) {
+	ds := collectTestDataset(t)
+	twoDep, err := AccuracySweep(ds, []int64{30, 45}, AccuracyOptions{
+		Predict: predict.Config{Order: predict.TwoDependent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := AccuracySweep(ds, []int64{30, 45}, AccuracyOptions{
+		Predict: predict.Config{Order: predict.SimpleMarkov},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twoDep) != 2 || len(simple) != 2 {
+		t.Fatal("sweep lengths wrong")
+	}
+}

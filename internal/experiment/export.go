@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteAccuracyCSV dumps accuracy curves as plotting-ready CSV:
+// lookahead_s, then AT/AF columns per curve.
+func WriteAccuracyCSV(w io.Writer, curves []AccuracyCurve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("experiment: no curves to export")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"lookahead_s"}
+	for _, c := range curves {
+		header = append(header, "at_"+c.Label, "af_"+c.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: write header: %w", err)
+	}
+	// Index points by lookahead per curve.
+	type key struct {
+		curve int
+		la    int64
+	}
+	points := make(map[key]AccuracyPoint)
+	seen := map[int64]bool{}
+	var las []int64
+	for ci, c := range curves {
+		for _, p := range c.Points {
+			points[key{ci, p.LookaheadS}] = p
+			if !seen[p.LookaheadS] {
+				seen[p.LookaheadS] = true
+				las = append(las, p.LookaheadS)
+			}
+		}
+	}
+	for i := 1; i < len(las); i++ {
+		for j := i; j > 0 && las[j] < las[j-1]; j-- {
+			las[j], las[j-1] = las[j-1], las[j]
+		}
+	}
+	for _, la := range las {
+		row := []string{strconv.FormatInt(la, 10)}
+		for ci := range curves {
+			p, ok := points[key{ci, la}]
+			if !ok {
+				row = append(row, "", "")
+				continue
+			}
+			row = append(row,
+				strconv.FormatFloat(p.AT, 'f', 4, 64),
+				strconv.FormatFloat(p.AF, 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceCSV dumps trace series as plotting-ready CSV:
+// time_s, then metric/violated columns per scheme.
+func WriteTraceCSV(w io.Writer, series []TraceSeries) error {
+	if len(series) == 0 {
+		return fmt.Errorf("experiment: no series to export")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"time_s"}
+	for _, s := range series {
+		header = append(header, "metric_"+s.Scheme.String(), "violated_"+s.Scheme.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: write header: %w", err)
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var row []string
+		for si, s := range series {
+			if i >= len(s.Points) {
+				if si == 0 {
+					row = append(row, "")
+				}
+				row = append(row, "", "")
+				continue
+			}
+			p := s.Points[i]
+			if si == 0 {
+				row = append(row, strconv.FormatInt(p.Time.Seconds(), 10))
+			}
+			row = append(row,
+				strconv.FormatFloat(p.Metric, 'f', 3, 64),
+				strconv.FormatBool(p.Violated))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteViolationCSV dumps Figure 6/8 cells as CSV rows.
+func WriteViolationCSV(w io.Writer, cells []ViolationCell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("experiment: no cells to export")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "fault", "scheme", "mean_s", "std_s", "n"}); err != nil {
+		return fmt.Errorf("experiment: write header: %w", err)
+	}
+	for _, c := range cells {
+		row := []string{
+			c.App.String(), c.Fault.String(), c.Scheme.String(),
+			strconv.FormatFloat(c.Stat.Mean, 'f', 2, 64),
+			strconv.FormatFloat(c.Stat.Std, 'f', 2, 64),
+			strconv.Itoa(c.Stat.N),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+	"prepare/internal/simclock"
+)
+
+func TestWriteAccuracyCSV(t *testing.T) {
+	curves := []AccuracyCurve{
+		{Label: "a", Points: []AccuracyPoint{{LookaheadS: 5, AT: 0.9, AF: 0.1}, {LookaheadS: 10, AT: 0.8, AF: 0.2}}},
+		{Label: "b", Points: []AccuracyPoint{{LookaheadS: 5, AT: 0.7, AF: 0.3}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAccuracyCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "lookahead_s,at_a,af_a,at_b,af_b") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.9000") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Curve b has no 10s point: empty cells.
+	if !strings.HasSuffix(lines[2], ",,") {
+		t.Errorf("missing point should leave empty cells: %q", lines[2])
+	}
+	if err := WriteAccuracyCSV(&buf, nil); err == nil {
+		t.Error("empty curves should fail")
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	series := []TraceSeries{
+		{Scheme: control.SchemeNone, Points: []TracePoint{
+			{Time: simclock.Time(1), Metric: 10, Violated: false},
+			{Time: simclock.Time(2), Metric: 20, Violated: true},
+		}},
+		{Scheme: control.SchemePREPARE, Points: []TracePoint{
+			{Time: simclock.Time(1), Metric: 11, Violated: false},
+			{Time: simclock.Time(2), Metric: 12, Violated: false},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "metric_without-intervention") ||
+		!strings.Contains(lines[0], "violated_prepare") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("violation flag missing: %q", lines[2])
+	}
+	if err := WriteTraceCSV(&buf, nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestWriteViolationCSV(t *testing.T) {
+	cells := []ViolationCell{
+		{App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemeNone,
+			Stat: Stat{Mean: 230.2, Std: 1.3, N: 5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteViolationCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "systems,memleak,without-intervention,230.20,1.30,5") {
+		t.Errorf("csv = %q", out)
+	}
+	if err := WriteViolationCSV(&buf, nil); err == nil {
+		t.Error("empty cells should fail")
+	}
+}
+
+// TestPropertyControllerNeverCatastrophic: across random seeds, PREPARE's
+// violation time never exceeds the unmanaged baseline by more than a
+// small tolerance (the controller must not make things worse).
+func TestPropertyControllerNeverCatastrophic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for seed := int64(200); seed < 206; seed++ {
+		none, err := Run(Scenario{App: RUBiS, Fault: faults.MemoryLeak,
+			Scheme: control.SchemeNone, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := Run(Scenario{App: RUBiS, Fault: faults.MemoryLeak,
+			Scheme: control.SchemePREPARE, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(prep.EvalViolationSeconds) > float64(none.EvalViolationSeconds)*1.1+10 {
+			t.Errorf("seed %d: PREPARE %ds worse than none %ds",
+				seed, prep.EvalViolationSeconds, none.EvalViolationSeconds)
+		}
+	}
+}
+
+// TestAttributionEndToEnd: in a memory-leak run, the controller's steps
+// on the faulty DB VM must include a memory scaling (the paper's Figure 3
+// story: FreeMem ranks top and drives the right actuator), and memory
+// scaling must come before any migration of that VM.
+func TestAttributionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	res, err := Run(Scenario{App: RUBiS, Fault: faults.MemoryLeak,
+		Scheme: control.SchemePREPARE, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMemScale := false
+	for _, s := range res.Steps {
+		if s.VM == "vm-db" && s.Kind.String() == "scale_mem" {
+			sawMemScale = true
+		}
+	}
+	if !sawMemScale {
+		t.Errorf("no memory scaling on the leaking DB VM; steps: %v", res.Steps)
+	}
+}
+
+func TestWriteViolationSVG(t *testing.T) {
+	cells := []ViolationCell{
+		{App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemeNone, Stat: Stat{Mean: 230, Std: 2}},
+		{App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemeReactive, Stat: Stat{Mean: 50, Std: 20}},
+		{App: SystemS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Stat: Stat{Mean: 1, Std: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteViolationSVG(&buf, "Figure 6", cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "systems/memleak") {
+		t.Error("violation SVG malformed")
+	}
+	if err := WriteViolationSVG(&buf, "t", nil); err == nil {
+		t.Error("empty cells should fail")
+	}
+}
+
+func TestWriteAccuracySVG(t *testing.T) {
+	curves := []AccuracyCurve{
+		{Label: "per", Points: []AccuracyPoint{{LookaheadS: 5, AT: 0.9, AF: 0.1}, {LookaheadS: 10, AT: 0.85, AF: 0.12}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAccuracySVG(&buf, "Figure 10", curves); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A_T per") || !strings.Contains(out, "A_F per") {
+		t.Error("accuracy SVG missing series labels")
+	}
+	if err := WriteAccuracySVG(&buf, "t", nil); err == nil {
+		t.Error("empty curves should fail")
+	}
+}
+
+func TestWriteTraceSVG(t *testing.T) {
+	series := []TraceSeries{
+		{Scheme: control.SchemePREPARE, Points: []TracePoint{
+			{Time: simclock.Time(1), Metric: 25}, {Time: simclock.Time(2), Metric: 24},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceSVG(&buf, "Figure 7", "Ktuples/s", series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ktuples/s") {
+		t.Error("trace SVG missing y label")
+	}
+	if err := WriteTraceSVG(&buf, "t", "m", nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"prepare/internal/svgplot"
+)
+
+// WriteViolationSVG renders Figure 6/8 cells as a grouped bar chart
+// (groups = app/fault, bars = schemes, error bars = stddev).
+func WriteViolationSVG(w io.Writer, title string, cells []ViolationCell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("experiment: no cells to plot")
+	}
+	schemes := allSchemes()
+	barLabels := make([]string, len(schemes))
+	for i, s := range schemes {
+		barLabels[i] = s.String()
+	}
+	type key struct{ app, fault string }
+	groupsByKey := map[key]*svgplot.BarGroup{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.App.String(), c.Fault.String()}
+		g, ok := groupsByKey[k]
+		if !ok {
+			g = &svgplot.BarGroup{
+				Label:  k.app + "/" + k.fault,
+				Values: make([]float64, len(schemes)),
+				Errors: make([]float64, len(schemes)),
+			}
+			groupsByKey[k] = g
+			order = append(order, k)
+		}
+		for i, s := range schemes {
+			if c.Scheme == s {
+				g.Values[i] = c.Stat.Mean
+				g.Errors[i] = c.Stat.Std
+			}
+		}
+	}
+	groups := make([]svgplot.BarGroup, 0, len(order))
+	for _, k := range order {
+		groups = append(groups, *groupsByKey[k])
+	}
+	return svgplot.Bars(w, barLabels, groups, svgplot.Options{
+		Title:  title,
+		YLabel: "SLO violation time (s)",
+		Width:  900,
+		Height: 420,
+	})
+}
+
+// WriteAccuracySVG renders accuracy curves as a line chart with an
+// A_T and an A_F line per curve (percentages).
+func WriteAccuracySVG(w io.Writer, title string, curves []AccuracyCurve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("experiment: no curves to plot")
+	}
+	var series []svgplot.Series
+	for _, c := range curves {
+		at := svgplot.Series{Label: "A_T " + c.Label}
+		af := svgplot.Series{Label: "A_F " + c.Label}
+		for _, p := range c.Points {
+			at.X = append(at.X, float64(p.LookaheadS))
+			at.Y = append(at.Y, 100*p.AT)
+			af.X = append(af.X, float64(p.LookaheadS))
+			af.Y = append(af.Y, 100*p.AF)
+		}
+		series = append(series, at, af)
+	}
+	return svgplot.Lines(w, series, svgplot.Options{
+		Title:  title,
+		XLabel: "look-ahead window (s)",
+		YLabel: "accuracy (%)",
+		Width:  700,
+		Height: 420,
+	})
+}
+
+// WriteTraceSVG renders Figure 7/9 trace series as a line chart.
+func WriteTraceSVG(w io.Writer, title, metricName string, series []TraceSeries) error {
+	if len(series) == 0 {
+		return fmt.Errorf("experiment: no series to plot")
+	}
+	var lines []svgplot.Series
+	for _, s := range series {
+		ln := svgplot.Series{Label: s.Scheme.String()}
+		for _, p := range s.Points {
+			ln.X = append(ln.X, float64(p.Time.Seconds()))
+			ln.Y = append(ln.Y, p.Metric)
+		}
+		lines = append(lines, ln)
+	}
+	return svgplot.Lines(w, lines, svgplot.Options{
+		Title:  title,
+		XLabel: "time (s)",
+		YLabel: metricName,
+		Width:  800,
+		Height: 420,
+	})
+}

@@ -1,0 +1,291 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+	"prepare/internal/predict"
+	"prepare/internal/prevent"
+	"prepare/internal/simclock"
+)
+
+// Schemes in presentation order (matching the paper's bar groups).
+func allSchemes() []control.Scheme {
+	return []control.Scheme{control.SchemeNone, control.SchemeReactive, control.SchemePREPARE}
+}
+
+func allFaults() []faults.Kind {
+	return []faults.Kind{faults.MemoryLeak, faults.CPUHog, faults.Bottleneck}
+}
+
+func allApps() []AppKind { return []AppKind{SystemS, RUBiS} }
+
+// ViolationCell is one bar of Figures 6/8: the SLO violation time of one
+// app × fault × scheme combination, mean ± stddev over repetitions.
+type ViolationCell struct {
+	App    AppKind
+	Fault  faults.Kind
+	Scheme control.Scheme
+	Stat   Stat
+}
+
+// FigureSLOViolation reproduces Figure 6 (policy = ScalingFirst) or
+// Figure 8 (policy = MigrationOnly): SLO violation time for every
+// app × fault × scheme cell, over `seeds` repetitions starting at
+// baseSeed.
+func FigureSLOViolation(policy prevent.Policy, seeds int, baseSeed int64) ([]ViolationCell, error) {
+	var out []ViolationCell
+	for _, app := range allApps() {
+		for _, fault := range allFaults() {
+			for _, scheme := range allSchemes() {
+				stat, _, err := Repeat(Scenario{
+					App: app, Fault: fault, Scheme: scheme,
+					Policy: policy, Seed: baseSeed,
+				}, seeds)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %v/%v/%v: %w", app, fault, scheme, err)
+				}
+				out = append(out, ViolationCell{App: app, Fault: fault, Scheme: scheme, Stat: stat})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatViolationCells renders Figure 6/8 cells as a text table.
+func FormatViolationCells(title string, cells []ViolationCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-11s %-22s %15s %12s %12s\n",
+		"app", "fault", "scheme", "violation(s)", "vs none", "vs reactive")
+	baseline := map[string]float64{}
+	reactive := map[string]float64{}
+	for _, c := range cells {
+		key := c.App.String() + "/" + c.Fault.String()
+		switch c.Scheme {
+		case control.SchemeNone:
+			baseline[key] = c.Stat.Mean
+		case control.SchemeReactive:
+			reactive[key] = c.Stat.Mean
+		}
+	}
+	for _, c := range cells {
+		key := c.App.String() + "/" + c.Fault.String()
+		vsNone, vsReactive := "", ""
+		if c.Scheme == control.SchemePREPARE {
+			vsNone = fmt.Sprintf("-%.0f%%", Reduction(baseline[key], c.Stat.Mean))
+			vsReactive = fmt.Sprintf("-%.0f%%", Reduction(reactive[key], c.Stat.Mean))
+		}
+		fmt.Fprintf(&b, "%-8s %-11s %-22s %15s %12s %12s\n",
+			c.App, c.Fault, c.Scheme, c.Stat, vsNone, vsReactive)
+	}
+	return b.String()
+}
+
+// TraceSeries is one curve of Figures 7/9: the SLO metric trace of one
+// scheme around the second fault injection.
+type TraceSeries struct {
+	Scheme control.Scheme
+	Points []TracePoint
+}
+
+// FigureTraces reproduces one subplot of Figure 7 (scaling) or Figure 9
+// (migration): the sampled SLO metric trace of all three schemes during
+// the second fault injection (plus margins).
+func FigureTraces(app AppKind, fault faults.Kind, policy prevent.Policy, seed int64) ([]TraceSeries, error) {
+	var out []TraceSeries
+	for _, scheme := range allSchemes() {
+		res, err := Run(Scenario{App: app, Fault: fault, Scheme: scheme, Policy: policy, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace %v/%v/%v: %w", app, fault, scheme, err)
+		}
+		from := simclock.Time(res.Scenario.Inject2[0] - 60)
+		to := simclock.Time(res.Scenario.Inject2[1] + 120)
+		var window []TracePoint
+		for _, p := range res.Trace {
+			if !p.Time.Before(from) && p.Time.Before(to) {
+				window = append(window, p)
+			}
+		}
+		out = append(out, TraceSeries{Scheme: scheme, Points: window})
+	}
+	return out, nil
+}
+
+// FormatTraces renders trace series as columns sampled every stride
+// seconds.
+func FormatTraces(title, metricName string, series []TraceSeries, stride int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, metricName)
+	fmt.Fprintf(&b, "%-8s", "t(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %22s", s.Scheme)
+	}
+	fmt.Fprintln(&b)
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return b.String()
+	}
+	n := len(series[0].Points)
+	for i := 0; i < n; i += int(stride) {
+		fmt.Fprintf(&b, "%-8d", series[0].Points[i].Time.Seconds())
+		for _, s := range series {
+			if i < len(s.Points) {
+				mark := " "
+				if s.Points[i].Violated {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, " %21.1f%s", s.Points[i].Metric, mark)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintln(&b, "(* marks SLO violation)")
+	return b.String()
+}
+
+// AccuracyCurve labels one accuracy sweep line (e.g., "per-component" vs
+// "monolithic").
+type AccuracyCurve struct {
+	Label  string
+	Points []AccuracyPoint
+}
+
+// FigurePerComponentVsMonolithic reproduces one subplot of Figure 10:
+// prediction accuracy of the per-component scheme versus the monolithic
+// model across look-ahead windows.
+func FigurePerComponentVsMonolithic(app AppKind, fault faults.Kind, seed int64) ([]AccuracyCurve, error) {
+	ds, err := CollectDataset(Scenario{App: app, Fault: fault, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	per, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{})
+	if err != nil {
+		return nil, err
+	}
+	mono, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{Monolithic: true})
+	if err != nil {
+		return nil, err
+	}
+	return []AccuracyCurve{
+		{Label: "per-component", Points: per},
+		{Label: "monolithic", Points: mono},
+	}, nil
+}
+
+// FigureMarkovComparison reproduces one subplot of Figure 11: the
+// 2-dependent Markov model versus the simple Markov model.
+func FigureMarkovComparison(app AppKind, fault faults.Kind, seed int64) ([]AccuracyCurve, error) {
+	ds, err := CollectDataset(Scenario{App: app, Fault: fault, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	twoDep, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
+		Predict: predict.Config{Order: predict.TwoDependent},
+	})
+	if err != nil {
+		return nil, err
+	}
+	simple, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
+		Predict: predict.Config{Order: predict.SimpleMarkov},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []AccuracyCurve{
+		{Label: "2-dep. Markov", Points: twoDep},
+		{Label: "simple Markov", Points: simple},
+	}, nil
+}
+
+// FigureAlarmFiltering reproduces Figure 12: accuracy under k=1,2,3 of
+// W=4 false alarm filtering for a bottleneck fault in RUBiS.
+func FigureAlarmFiltering(seed int64) ([]AccuracyCurve, error) {
+	ds, err := CollectDataset(Scenario{App: RUBiS, Fault: faults.Bottleneck, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var out []AccuracyCurve
+	for _, k := range []int{1, 2, 3} {
+		points, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
+			FilterK: k, FilterW: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AccuracyCurve{Label: fmt.Sprintf("k=%d,W=4", k), Points: points})
+	}
+	return out, nil
+}
+
+// FigureSamplingInterval reproduces Figure 13: accuracy under 1, 5, and
+// 10 second sampling intervals for a bottleneck fault in RUBiS.
+func FigureSamplingInterval(seed int64) ([]AccuracyCurve, error) {
+	var out []AccuracyCurve
+	for _, interval := range []int64{1, 5, 10} {
+		ds, err := CollectDataset(Scenario{
+			App: RUBiS, Fault: faults.Bottleneck, Seed: seed,
+			SamplingIntervalS: interval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points, err := AccuracySweep(ds, []int64{10, 20, 30, 40, 50}, AccuracyOptions{
+			Predict: predict.Config{SamplingIntervalS: interval},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AccuracyCurve{Label: fmt.Sprintf("%ds interval", interval), Points: points})
+	}
+	return out, nil
+}
+
+// FormatAccuracyCurves renders accuracy curves as a text table with A_T
+// and A_F columns per curve.
+func FormatAccuracyCurves(title string, curves []AccuracyCurve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s", "lookahead(s)")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %14s", "AT("+c.Label+")")
+		fmt.Fprintf(&b, " %14s", "AF("+c.Label+")")
+	}
+	fmt.Fprintln(&b)
+	if len(curves) == 0 {
+		return b.String()
+	}
+	// Collect the union of lookaheads (curves normally share them).
+	seen := map[int64]bool{}
+	var las []int64
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if !seen[p.LookaheadS] {
+				seen[p.LookaheadS] = true
+				las = append(las, p.LookaheadS)
+			}
+		}
+	}
+	sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+	for _, la := range las {
+		fmt.Fprintf(&b, "%-14d", la)
+		for _, c := range curves {
+			found := false
+			for _, p := range c.Points {
+				if p.LookaheadS == la {
+					fmt.Fprintf(&b, " %13.1f%%", 100*p.AT)
+					fmt.Fprintf(&b, " %13.1f%%", 100*p.AF)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(&b, " %14s %14s", "-", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

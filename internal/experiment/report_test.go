@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, ReportOptions{Seeds: 1, Seed: 100, SkipMigration: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# PREPARE reproduction report",
+		"Figure 6", "Figure 7(a)", "Figure 10", "Figure 11",
+		"Figure 12", "Figure 13", "Table I", "unseen anomalies",
+		"prepare-unsupervised",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 8") {
+		t.Error("SkipMigration should drop Figure 8")
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+)
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	if _, err := Run(Scenario{App: AppKind(99), Fault: faults.MemoryLeak,
+		Scheme: control.SchemeNone}); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if _, err := Run(Scenario{App: SystemS, Fault: faults.Kind(99),
+		Scheme: control.SchemeNone}); err == nil {
+		t.Error("unknown fault should fail")
+	}
+	if _, err := Run(Scenario{App: RUBiS, Fault: faults.Kind(99),
+		Scheme: control.SchemeNone}); err == nil {
+		t.Error("unknown rubis fault should fail")
+	}
+	if _, err := Run(Scenario{App: SystemS, Fault: faults.MemoryLeak,
+		Scheme: control.Scheme(99)}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestRunShortScenario(t *testing.T) {
+	// A compressed timeline still runs end to end.
+	res, err := Run(Scenario{
+		App: RUBiS, Fault: faults.CPUHog, Scheme: control.SchemeNone,
+		DurationS: 700, Inject1: [2]int64{100, 200}, Inject2: [2]int64{400, 500},
+		TrainAtS: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 700 {
+		t.Errorf("trace length = %d, want 700", len(res.Trace))
+	}
+	if res.TotalViolationSeconds == 0 {
+		t.Error("compressed scenario should still violate")
+	}
+}

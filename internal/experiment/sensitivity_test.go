@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+)
+
+// TestLeakRateSensitivity explores the gradual-to-sudden spectrum the
+// paper's discussion turns on: slower leaks give the predictor more lead
+// time. For every rate, PREPARE must still beat doing nothing; and the
+// slowest leak must be handled essentially perfectly.
+func TestLeakRateSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	type point struct {
+		rate     float64
+		none     int64
+		prepared int64
+	}
+	var points []point
+	for _, rate := range []float64{0.8, 1.5, 3.0} {
+		none, err := Run(Scenario{App: RUBiS, Fault: faults.MemoryLeak,
+			Scheme: control.SchemeNone, Seed: 100, LeakRateMBps: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := Run(Scenario{App: RUBiS, Fault: faults.MemoryLeak,
+			Scheme: control.SchemePREPARE, Seed: 100, LeakRateMBps: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, point{rate, none.EvalViolationSeconds, prep.EvalViolationSeconds})
+		t.Logf("leak %.1f MB/s: none=%ds prepare=%ds", rate, none.EvalViolationSeconds, prep.EvalViolationSeconds)
+	}
+	for _, p := range points {
+		if p.none < 30 {
+			t.Errorf("rate %.1f: baseline violation %ds too small to evaluate", p.rate, p.none)
+			continue
+		}
+		if float64(p.prepared) > 0.6*float64(p.none) {
+			t.Errorf("rate %.1f: PREPARE %ds vs none %ds — insufficient prevention",
+				p.rate, p.prepared, p.none)
+		}
+	}
+}
+
+// TestHogSizeSensitivity: larger hogs must still be contained by CPU
+// scaling up to the point where the host capacity itself runs out.
+func TestHogSizeSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, hog := range []float64{40, 90} {
+		none, err := Run(Scenario{App: RUBiS, Fault: faults.CPUHog,
+			Scheme: control.SchemeNone, Seed: 100, HogCPUPct: hog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := Run(Scenario{App: RUBiS, Fault: faults.CPUHog,
+			Scheme: control.SchemePREPARE, Seed: 100, HogCPUPct: hog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("hog %.0f%%: none=%ds prepare=%ds", hog, none.EvalViolationSeconds, prep.EvalViolationSeconds)
+		// Marginal hogs (barely violating) are below the actionable
+		// threshold; only sustained violations must be prevented.
+		if none.EvalViolationSeconds > 60 &&
+			float64(prep.EvalViolationSeconds) > 0.7*float64(none.EvalViolationSeconds) {
+			t.Errorf("hog %.0f%%: PREPARE %ds vs none %ds", hog, prep.EvalViolationSeconds, none.EvalViolationSeconds)
+		}
+	}
+}

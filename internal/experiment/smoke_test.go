@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+)
+
+// TestSmokeAllCells runs every app × fault × scheme cell once (scaling
+// policy) and prints the violation times, acting as the end-to-end
+// integration test for the whole pipeline.
+func TestSmokeAllCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	for _, app := range []AppKind{SystemS, RUBiS} {
+		for _, fault := range []faults.Kind{faults.MemoryLeak, faults.CPUHog, faults.Bottleneck} {
+			results := map[control.Scheme]Result{}
+			for _, scheme := range []control.Scheme{control.SchemeNone, control.SchemeReactive, control.SchemePREPARE} {
+				res, err := Run(Scenario{App: app, Fault: fault, Scheme: scheme, Seed: 42})
+				if err != nil {
+					t.Fatalf("%v/%v/%v: %v", app, fault, scheme, err)
+				}
+				results[scheme] = res
+				t.Logf("%v %v %v: eval violation %ds, total %ds, steps %d, alerts %d",
+					app, fault, scheme, res.EvalViolationSeconds, res.TotalViolationSeconds,
+					len(res.Steps), len(res.Alerts))
+			}
+			none := results[control.SchemeNone].EvalViolationSeconds
+			reactive := results[control.SchemeReactive].EvalViolationSeconds
+			prep := results[control.SchemePREPARE].EvalViolationSeconds
+			if none == 0 {
+				t.Errorf("%v/%v: without-intervention has zero violation — fault too weak", app, fault)
+			}
+			if prep > none {
+				t.Errorf("%v/%v: PREPARE (%d) worse than none (%d)", app, fault, prep, none)
+			}
+			if reactive > none {
+				t.Errorf("%v/%v: reactive (%d) worse than none (%d)", app, fault, reactive, none)
+			}
+		}
+	}
+}

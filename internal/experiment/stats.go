@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stat is a mean ± standard deviation over repeated runs.
+type Stat struct {
+	Mean float64
+	Std  float64
+	N    int
+}
+
+// String formats the stat the way the paper's bar charts annotate it.
+func (s Stat) String() string {
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std)
+}
+
+// NewStat summarizes a sample of values.
+func NewStat(values []float64) Stat {
+	if len(values) == 0 {
+		return Stat{}
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	ss := 0.0
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return Stat{Mean: mean, Std: math.Sqrt(ss / float64(len(values))), N: len(values)}
+}
+
+// Repeat runs the scenario with n different seeds (seed, seed+1, ...)
+// and summarizes the evaluation-window SLO violation time, reproducing
+// the paper's five-repetition protocol.
+func Repeat(sc Scenario, n int) (Stat, []Result, error) {
+	if n < 1 {
+		return Stat{}, nil, fmt.Errorf("experiment: repetitions %d must be >= 1", n)
+	}
+	values := make([]float64, 0, n)
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		run := sc
+		run.Seed = sc.Seed + int64(i)
+		res, err := Run(run)
+		if err != nil {
+			return Stat{}, nil, err
+		}
+		values = append(values, float64(res.EvalViolationSeconds))
+		results = append(results, res)
+	}
+	return NewStat(values), results, nil
+}
+
+// Reduction returns the percentage reduction of measured versus baseline
+// (e.g., PREPARE vs without-intervention), clamped at 0 when the
+// baseline is zero.
+func Reduction(baseline, measured float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	r := 100 * (baseline - measured) / baseline
+	return r
+}

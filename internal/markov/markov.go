@@ -1,0 +1,341 @@
+// Package markov implements the attribute value predictors of PREPARE:
+// the simple (first-order) Markov chain and the paper's 2-dependent
+// Markov chain, both over discretized attribute values.
+//
+// The simple chain assumes the next value depends only on the current
+// value. The 2-dependent chain (Figure 2 of the paper) combines every
+// two consecutive single states into one combined state, so transitions
+// depend on both the current and the prior value — this converts
+// non-Markovian attributes (e.g., sinusoidally fluctuating metrics whose
+// next value depends on whether they are on an increasing or a
+// decreasing slope) into Markovian ones and improves multi-step
+// prediction accuracy.
+//
+// Both predictors support batch fitting, incremental online updates (the
+// paper periodically updates the value prediction model with new
+// measurements), and k-step-ahead distribution prediction.
+package markov
+
+import (
+	"errors"
+	"fmt"
+)
+
+// laplaceAlpha is the additive smoothing constant for transition counts.
+// It is deliberately small: with heavier smoothing, multi-step prediction
+// leaks probability mass toward absorbing states (e.g., the "CPU pegged"
+// bin that anomalies park in), which turns normal states into false
+// alarms after a few propagation steps.
+const laplaceAlpha = 0.05
+
+// Predictor forecasts the distribution of a discretized attribute value
+// several steps ahead.
+type Predictor interface {
+	// Observe feeds the next observed bin, updating both the model's
+	// transition statistics and its notion of the current state.
+	Observe(bin int) error
+	// Predict returns the probability distribution over bins after the
+	// given number of steps from the current state. With no observations
+	// yet it returns the uniform distribution.
+	Predict(steps int) []float64
+	// PredictSeries returns the distributions at every horizon
+	// 1..maxSteps in a single propagation pass (result[k] is the
+	// distribution k+1 steps ahead).
+	PredictSeries(maxSteps int) [][]float64
+	// NumStates returns the number of discretized states.
+	NumStates() int
+}
+
+// ErrBadState is returned when an observation is outside [0, states).
+var ErrBadState = errors.New("markov: observation out of range")
+
+// SimpleChain is a first-order Markov chain over discretized values.
+type SimpleChain struct {
+	states int
+	counts [][]float64 // counts[i][j]: transitions i -> j
+	cur    int
+	seen   bool
+}
+
+var _ Predictor = (*SimpleChain)(nil)
+
+// NewSimpleChain builds an untrained chain with the given number of
+// discretized states.
+func NewSimpleChain(states int) (*SimpleChain, error) {
+	if states < 1 {
+		return nil, fmt.Errorf("markov: states %d must be >= 1", states)
+	}
+	counts := make([][]float64, states)
+	for i := range counts {
+		counts[i] = make([]float64, states)
+	}
+	return &SimpleChain{states: states, counts: counts}, nil
+}
+
+// NumStates implements Predictor.
+func (c *SimpleChain) NumStates() int { return c.states }
+
+// Observe implements Predictor.
+func (c *SimpleChain) Observe(bin int) error {
+	if bin < 0 || bin >= c.states {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadState, bin, c.states)
+	}
+	if c.seen {
+		c.counts[c.cur][bin]++
+	}
+	c.cur = bin
+	c.seen = true
+	return nil
+}
+
+// Fit feeds an entire observation sequence.
+func (c *SimpleChain) Fit(seq []int) error {
+	for i, b := range seq {
+		if err := c.Observe(b); err != nil {
+			return fmt.Errorf("markov: fit index %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// row returns the smoothed transition distribution out of state i.
+func (c *SimpleChain) row(i int) []float64 {
+	out := make([]float64, c.states)
+	total := 0.0
+	for j, n := range c.counts[i] {
+		out[j] = n + laplaceAlpha
+		total += out[j]
+	}
+	for j := range out {
+		out[j] /= total
+	}
+	return out
+}
+
+// Predict implements Predictor.
+func (c *SimpleChain) Predict(steps int) []float64 {
+	if steps < 1 {
+		dist := make([]float64, c.states)
+		if !c.seen {
+			uniform(dist)
+		} else {
+			dist[c.cur] = 1
+		}
+		return dist
+	}
+	series := c.PredictSeries(steps)
+	return series[steps-1]
+}
+
+// PredictSeries implements Predictor.
+func (c *SimpleChain) PredictSeries(maxSteps int) [][]float64 {
+	if maxSteps < 1 {
+		maxSteps = 1
+	}
+	out := make([][]float64, 0, maxSteps)
+	dist := make([]float64, c.states)
+	if !c.seen {
+		uniform(dist)
+		for s := 0; s < maxSteps; s++ {
+			cp := make([]float64, c.states)
+			copy(cp, dist)
+			out = append(out, cp)
+		}
+		return out
+	}
+	dist[c.cur] = 1
+	rows := make([][]float64, c.states)
+	for i := range rows {
+		rows[i] = c.row(i)
+	}
+	for s := 0; s < maxSteps; s++ {
+		next := make([]float64, c.states)
+		for i, p := range dist {
+			if p == 0 {
+				continue
+			}
+			for j, q := range rows[i] {
+				next[j] += p * q
+			}
+		}
+		dist = next
+		cp := make([]float64, c.states)
+		copy(cp, dist)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// TwoDepChain is the paper's 2-dependent Markov chain: the combined state
+// is the pair (previous bin, current bin), so transition probabilities
+// condition on both.
+type TwoDepChain struct {
+	states int
+	// counts[prev*states+cur][next]
+	counts [][]float64
+	prev   int
+	cur    int
+	nSeen  int // 0, 1 or 2+ observations so far
+}
+
+var _ Predictor = (*TwoDepChain)(nil)
+
+// NewTwoDepChain builds an untrained 2-dependent chain.
+func NewTwoDepChain(states int) (*TwoDepChain, error) {
+	if states < 1 {
+		return nil, fmt.Errorf("markov: states %d must be >= 1", states)
+	}
+	counts := make([][]float64, states*states)
+	for i := range counts {
+		counts[i] = make([]float64, states)
+	}
+	return &TwoDepChain{states: states, counts: counts}, nil
+}
+
+// NumStates implements Predictor.
+func (c *TwoDepChain) NumStates() int { return c.states }
+
+// Observe implements Predictor.
+func (c *TwoDepChain) Observe(bin int) error {
+	if bin < 0 || bin >= c.states {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadState, bin, c.states)
+	}
+	switch c.nSeen {
+	case 0:
+		c.cur = bin
+		c.nSeen = 1
+	case 1:
+		c.prev, c.cur = c.cur, bin
+		c.nSeen = 2
+	default:
+		c.counts[c.prev*c.states+c.cur][bin]++
+		c.prev, c.cur = c.cur, bin
+	}
+	return nil
+}
+
+// Fit feeds an entire observation sequence.
+func (c *TwoDepChain) Fit(seq []int) error {
+	for i, b := range seq {
+		if err := c.Observe(b); err != nil {
+			return fmt.Errorf("markov: fit index %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// rowFor returns the smoothed next-bin distribution for combined state
+// (prev, cur). When the combined state was never observed, it backs off
+// to the aggregate distribution conditioned on cur alone, which keeps
+// sparse pairs from collapsing to uniform noise.
+func (c *TwoDepChain) rowFor(prev, cur int) []float64 {
+	idx := prev*c.states + cur
+	total := 0.0
+	for _, n := range c.counts[idx] {
+		total += n
+	}
+	out := make([]float64, c.states)
+	if total > 0 {
+		for j, n := range c.counts[idx] {
+			out[j] = (n + laplaceAlpha) / (total + laplaceAlpha*float64(c.states))
+		}
+		return out
+	}
+	// Back off: aggregate over all prev with the same cur.
+	aggTotal := 0.0
+	for p := 0; p < c.states; p++ {
+		for j, n := range c.counts[p*c.states+cur] {
+			out[j] += n
+			aggTotal += n
+		}
+	}
+	for j := range out {
+		out[j] = (out[j] + laplaceAlpha) / (aggTotal + laplaceAlpha*float64(c.states))
+	}
+	return out
+}
+
+// Predict implements Predictor. The distribution over combined states is
+// propagated step by step, then marginalized over the latest bin.
+func (c *TwoDepChain) Predict(steps int) []float64 {
+	if steps < 1 {
+		out := make([]float64, c.states)
+		if c.nSeen == 0 {
+			uniform(out)
+		} else {
+			out[c.cur] = 1
+		}
+		return out
+	}
+	series := c.PredictSeries(steps)
+	return series[steps-1]
+}
+
+// PredictSeries implements Predictor.
+func (c *TwoDepChain) PredictSeries(maxSteps int) [][]float64 {
+	if maxSteps < 1 {
+		maxSteps = 1
+	}
+	out := make([][]float64, 0, maxSteps)
+	if c.nSeen <= 1 {
+		for s := 0; s < maxSteps; s++ {
+			dist := make([]float64, c.states)
+			uniform(dist)
+			out = append(out, dist)
+		}
+		return out
+	}
+	// Cache smoothed rows lazily: most combined states are never reached.
+	rows := make([][]float64, c.states*c.states)
+	dist := make([]float64, c.states*c.states)
+	dist[c.prev*c.states+c.cur] = 1
+	for s := 0; s < maxSteps; s++ {
+		next := make([]float64, c.states*c.states)
+		for idx, p := range dist {
+			if p == 0 {
+				continue
+			}
+			prev, cur := idx/c.states, idx%c.states
+			if rows[idx] == nil {
+				rows[idx] = c.rowFor(prev, cur)
+			}
+			for j, q := range rows[idx] {
+				next[cur*c.states+j] += p * q
+			}
+		}
+		dist = next
+		marg := make([]float64, c.states)
+		for idx, p := range dist {
+			marg[idx%c.states] += p
+		}
+		out = append(out, marg)
+	}
+	return out
+}
+
+func uniform(dist []float64) {
+	for i := range dist {
+		dist[i] = 1 / float64(len(dist))
+	}
+}
+
+// ArgMax returns the index of the largest probability (ties break low).
+func ArgMax(dist []float64) int {
+	best, bestIdx := -1.0, 0
+	for i, p := range dist {
+		if p > best {
+			best = p
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// Expectation returns the expected bin index under the distribution.
+func Expectation(dist []float64) float64 {
+	e := 0.0
+	for i, p := range dist {
+		e += float64(i) * p
+	}
+	return e
+}

@@ -1,0 +1,130 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func fitBoth(t *testing.T, seq []int, states int) (*SimpleChain, *TwoDepChain) {
+	t.Helper()
+	s, err := NewSimpleChain(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewTwoDepChain(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fit(seq); err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestPredictSeriesMatchesPredict(t *testing.T) {
+	seq := []int{0, 1, 2, 3, 2, 1, 0, 1, 2, 3, 2, 1, 0, 1, 2}
+	s, d := fitBoth(t, seq, 4)
+	for _, p := range []Predictor{s, d} {
+		series := p.PredictSeries(8)
+		if len(series) != 8 {
+			t.Fatalf("series length %d, want 8", len(series))
+		}
+		for k := 1; k <= 8; k++ {
+			point := p.Predict(k)
+			for j := range point {
+				if math.Abs(point[j]-series[k-1][j]) > 1e-12 {
+					t.Fatalf("step %d bin %d: Predict=%g series=%g", k, j, point[j], series[k-1][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPredictSeriesUntrained(t *testing.T) {
+	s, err := NewSimpleChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := s.PredictSeries(4)
+	if len(series) != 4 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for _, dist := range series {
+		for _, p := range dist {
+			if math.Abs(p-1.0/3) > 1e-12 {
+				t.Errorf("untrained series not uniform: %v", dist)
+			}
+		}
+	}
+	d, err := NewTwoDepChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.PredictSeries(4)); got != 4 {
+		t.Errorf("twodep untrained series length %d", got)
+	}
+}
+
+func TestPredictSeriesMinSteps(t *testing.T) {
+	s, d := fitBoth(t, []int{0, 1, 0, 1}, 2)
+	if got := len(s.PredictSeries(0)); got != 1 {
+		t.Errorf("simple PredictSeries(0) length %d, want 1", got)
+	}
+	if got := len(d.PredictSeries(-3)); got != 1 {
+		t.Errorf("twodep PredictSeries(-3) length %d, want 1", got)
+	}
+}
+
+func TestPredictSeriesDistributionsIndependent(t *testing.T) {
+	// Mutating one returned distribution must not corrupt the others.
+	s, _ := fitBoth(t, []int{0, 1, 2, 0, 1, 2, 0, 1, 2}, 3)
+	series := s.PredictSeries(3)
+	series[0][0] = 42
+	again := s.PredictSeries(3)
+	if again[0][0] == 42 {
+		t.Error("PredictSeries returned shared buffers")
+	}
+}
+
+func TestPropertySeriesRowsAreDistributions(t *testing.T) {
+	f := func(obs []uint8, stepsRaw uint8) bool {
+		const states = 4
+		steps := int(stepsRaw%10) + 1
+		s, err := NewSimpleChain(states)
+		if err != nil {
+			return false
+		}
+		d, err := NewTwoDepChain(states)
+		if err != nil {
+			return false
+		}
+		for _, o := range obs {
+			bin := int(o) % states
+			if s.Observe(bin) != nil || d.Observe(bin) != nil {
+				return false
+			}
+		}
+		for _, p := range []Predictor{s, d} {
+			for _, dist := range p.PredictSeries(steps) {
+				sum := 0.0
+				for _, q := range dist {
+					if q < -1e-12 {
+						return false
+					}
+					sum += q
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

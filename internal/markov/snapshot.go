@@ -1,0 +1,91 @@
+package markov
+
+import "fmt"
+
+// Snapshot is a serializable dump of a chain's state (transition counts
+// plus the current position), used to persist trained predictors.
+type Snapshot struct {
+	// Order is 1 for SimpleChain, 2 for TwoDepChain.
+	Order int `json:"order"`
+	// States is the number of discretized states.
+	States int `json:"states"`
+	// Counts holds the transition counts: States rows for order 1,
+	// States*States rows for order 2.
+	Counts [][]float64 `json:"counts"`
+	// Cur / Prev / Seen capture the chain position.
+	Cur   int `json:"cur"`
+	Prev  int `json:"prev"`
+	NSeen int `json:"nSeen"`
+}
+
+// Snapshot exports the chain state.
+func (c *SimpleChain) Snapshot() Snapshot {
+	counts := make([][]float64, len(c.counts))
+	for i, row := range c.counts {
+		counts[i] = append([]float64(nil), row...)
+	}
+	nSeen := 0
+	if c.seen {
+		nSeen = 1
+	}
+	return Snapshot{Order: 1, States: c.states, Counts: counts, Cur: c.cur, NSeen: nSeen}
+}
+
+// Snapshot exports the chain state.
+func (c *TwoDepChain) Snapshot() Snapshot {
+	counts := make([][]float64, len(c.counts))
+	for i, row := range c.counts {
+		counts[i] = append([]float64(nil), row...)
+	}
+	return Snapshot{Order: 2, States: c.states, Counts: counts, Cur: c.cur, Prev: c.prev, NSeen: c.nSeen}
+}
+
+// FromSnapshot reconstructs a Predictor from a snapshot.
+func FromSnapshot(s Snapshot) (Predictor, error) {
+	if s.States < 1 {
+		return nil, fmt.Errorf("markov: snapshot states %d invalid", s.States)
+	}
+	switch s.Order {
+	case 1:
+		if len(s.Counts) != s.States {
+			return nil, fmt.Errorf("markov: snapshot has %d rows, want %d", len(s.Counts), s.States)
+		}
+		c, err := NewSimpleChain(s.States)
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range s.Counts {
+			if len(row) != s.States {
+				return nil, fmt.Errorf("markov: snapshot row %d has %d cols, want %d", i, len(row), s.States)
+			}
+			copy(c.counts[i], row)
+		}
+		if s.Cur < 0 || s.Cur >= s.States {
+			return nil, fmt.Errorf("markov: snapshot cur %d out of range", s.Cur)
+		}
+		c.cur = s.Cur
+		c.seen = s.NSeen > 0
+		return c, nil
+	case 2:
+		if len(s.Counts) != s.States*s.States {
+			return nil, fmt.Errorf("markov: snapshot has %d rows, want %d", len(s.Counts), s.States*s.States)
+		}
+		c, err := NewTwoDepChain(s.States)
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range s.Counts {
+			if len(row) != s.States {
+				return nil, fmt.Errorf("markov: snapshot row %d has %d cols, want %d", i, len(row), s.States)
+			}
+			copy(c.counts[i], row)
+		}
+		if s.Cur < 0 || s.Cur >= s.States || s.Prev < 0 || s.Prev >= s.States {
+			return nil, fmt.Errorf("markov: snapshot position out of range")
+		}
+		c.cur, c.prev, c.nSeen = s.Cur, s.Prev, s.NSeen
+		return c, nil
+	default:
+		return nil, fmt.Errorf("markov: unknown snapshot order %d", s.Order)
+	}
+}

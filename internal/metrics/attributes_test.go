@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllAttributesCount(t *testing.T) {
+	attrs := AllAttributes()
+	if len(attrs) != NumAttributes {
+		t.Fatalf("AllAttributes() returned %d attributes, want %d", len(attrs), NumAttributes)
+	}
+}
+
+func TestAttributeIndexesAreDense(t *testing.T) {
+	seen := make(map[int]bool, NumAttributes)
+	for _, a := range AllAttributes() {
+		idx := a.Index()
+		if idx < 0 || idx >= NumAttributes {
+			t.Errorf("%v index %d out of range", a, idx)
+		}
+		if seen[idx] {
+			t.Errorf("%v duplicates index %d", a, idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestAttributeNamesUnique(t *testing.T) {
+	seen := make(map[string]bool, NumAttributes)
+	for _, a := range AllAttributes() {
+		name := a.String()
+		if seen[name] {
+			t.Errorf("duplicate attribute name %q", name)
+		}
+		if strings.Contains(name, "attribute(") {
+			t.Errorf("attribute %d has no canonical name", int(a))
+		}
+		seen[name] = true
+	}
+}
+
+func TestAttributeByNameRoundTrip(t *testing.T) {
+	for _, a := range AllAttributes() {
+		got, ok := AttributeByName(a.String())
+		if !ok {
+			t.Errorf("AttributeByName(%q) not found", a.String())
+			continue
+		}
+		if got != a {
+			t.Errorf("AttributeByName(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+}
+
+func TestAttributeByNameUnknown(t *testing.T) {
+	if _, ok := AttributeByName("no_such_metric"); ok {
+		t.Error("AttributeByName should not resolve unknown names")
+	}
+}
+
+func TestInvalidAttribute(t *testing.T) {
+	if Attribute(0).Valid() {
+		t.Error("attribute 0 should be invalid")
+	}
+	if Attribute(NumAttributes + 1).Valid() {
+		t.Error("attribute 14 should be invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Index() on invalid attribute should panic")
+		}
+	}()
+	Attribute(0).Index()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"prepare/internal/simclock"
+)
+
+// WriteSamplesCSV writes samples as CSV with a header of
+// "time_s,<13 attribute names...>,label".
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, NumAttributes+2)
+	header = append(header, "time_s")
+	for _, a := range AllAttributes() {
+		header = append(header, a.String())
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: write header: %w", err)
+	}
+	for _, sm := range samples {
+		row := make([]string, 0, NumAttributes+2)
+		row = append(row, strconv.FormatInt(sm.Time.Seconds(), 10))
+		for _, a := range AllAttributes() {
+			row = append(row, strconv.FormatFloat(sm.Values.Get(a), 'f', 4, 64))
+		}
+		row = append(row, sm.Label.String())
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSamplesCSV parses samples written by WriteSamplesCSV.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	wantCols := NumAttributes + 2
+	if len(records[0]) != wantCols {
+		return nil, fmt.Errorf("metrics: header has %d columns, want %d", len(records[0]), wantCols)
+	}
+	samples := make([]Sample, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != wantCols {
+			return nil, fmt.Errorf("metrics: row %d has %d columns, want %d", i+2, len(rec), wantCols)
+		}
+		sec, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d time: %w", i+2, err)
+		}
+		sm := Sample{Time: simclock.Time(sec)}
+		for j, a := range AllAttributes() {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: row %d %s: %w", i+2, a, err)
+			}
+			sm.Values.Set(a, v)
+		}
+		label, err := parseLabel(rec[wantCols-1])
+		if err != nil {
+			return nil, fmt.Errorf("metrics: row %d: %w", i+2, err)
+		}
+		sm.Label = label
+		samples = append(samples, sm)
+	}
+	return samples, nil
+}
+
+func parseLabel(s string) (Label, error) {
+	switch s {
+	case "normal":
+		return LabelNormal, nil
+	case "abnormal":
+		return LabelAbnormal, nil
+	case "unknown", "":
+		return LabelUnknown, nil
+	default:
+		return 0, fmt.Errorf("unknown label %q", s)
+	}
+}

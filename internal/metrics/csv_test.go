@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prepare/internal/simclock"
+)
+
+func sampleFixture(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		var v Vector
+		for j, a := range AllAttributes() {
+			v.Set(a, float64(i*100+j)+0.5)
+		}
+		label := LabelNormal
+		if i%3 == 0 {
+			label = LabelAbnormal
+		}
+		out[i] = Sample{Time: simclock.Time(i * 5), Values: v, Label: label}
+	}
+	return out
+}
+
+func TestSamplesCSVRoundTrip(t *testing.T) {
+	in := sampleFixture(7)
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, in); err != nil {
+		t.Fatalf("WriteSamplesCSV: %v", err)
+	}
+	out, err := ReadSamplesCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadSamplesCSV: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Time != in[i].Time {
+			t.Errorf("sample %d time = %v, want %v", i, out[i].Time, in[i].Time)
+		}
+		if out[i].Label != in[i].Label {
+			t.Errorf("sample %d label = %v, want %v", i, out[i].Label, in[i].Label)
+		}
+		for _, a := range AllAttributes() {
+			got, want := out[i].Values.Get(a), in[i].Values.Get(a)
+			if diff := got - want; diff > 1e-3 || diff < -1e-3 {
+				t.Errorf("sample %d %v = %g, want %g", i, a, got, want)
+			}
+		}
+	}
+}
+
+func TestReadSamplesCSVEmpty(t *testing.T) {
+	out, err := ReadSamplesCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("got %d samples from empty input", len(out))
+	}
+}
+
+func TestReadSamplesCSVHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamplesCSV(&buf)
+	if err != nil {
+		t.Fatalf("header-only: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("got %d samples", len(out))
+	}
+}
+
+func TestReadSamplesCSVMalformed(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		if err := WriteSamplesCSV(&buf, sampleFixture(1)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	lines := strings.Split(strings.TrimSpace(valid), "\n")
+	header, row := lines[0], lines[1]
+
+	cases := map[string]string{
+		"bad time":     header + "\n" + strings.Replace(row, "0,", "xx,", 1),
+		"bad label":    header + "\n" + strings.Replace(row, "abnormal", "weird", 1),
+		"short header": "time_s,cpu\n",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSamplesCSV(strings.NewReader(data)); err == nil {
+				t.Error("malformed csv should fail")
+			}
+		})
+	}
+}
+
+func TestReadSamplesCSVBadValue(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, sampleFixture(1)); err != nil {
+		t.Fatal(err)
+	}
+	data := strings.Replace(buf.String(), "0.5000", "oops", 1)
+	if _, err := ReadSamplesCSV(strings.NewReader(data)); err == nil {
+		t.Error("non-numeric attribute should fail")
+	}
+}
+
+func TestParseLabelUnknownVariants(t *testing.T) {
+	for _, s := range []string{"unknown", ""} {
+		l, err := parseLabel(s)
+		if err != nil || l != LabelUnknown {
+			t.Errorf("parseLabel(%q) = %v, %v", s, l, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+
+	"prepare/internal/simclock"
+)
+
+// Label classifies a sample according to the application's SLO state at
+// the sample's timestamp. LabelUnknown is the zero value so unlabeled
+// data is the natural default.
+type Label int
+
+const (
+	// LabelUnknown marks samples that have not been correlated with the
+	// SLO violation log yet.
+	LabelUnknown Label = iota
+	// LabelNormal marks samples taken while the SLO was satisfied.
+	LabelNormal
+	// LabelAbnormal marks samples taken while the SLO was violated.
+	LabelAbnormal
+)
+
+// String returns a short human-readable label name.
+func (l Label) String() string {
+	switch l {
+	case LabelNormal:
+		return "normal"
+	case LabelAbnormal:
+		return "abnormal"
+	case LabelUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+}
+
+// Vector holds one value per monitored attribute, indexed by
+// Attribute.Index().
+type Vector [NumAttributes]float64
+
+// Get returns the value of the given attribute.
+func (v Vector) Get(a Attribute) float64 { return v[a.Index()] }
+
+// Set assigns the value of the given attribute.
+func (v *Vector) Set(a Attribute, val float64) { v[a.Index()] = val }
+
+// Sample is one monitoring observation of a single VM: a timestamped
+// vector of the 13 attribute values plus an SLO-derived label.
+type Sample struct {
+	Time   simclock.Time
+	Values Vector
+	Label  Label
+}
+
+// Series is an append-only labeled time series of samples for one VM.
+// The zero value is an empty series ready to use.
+type Series struct {
+	samples []Sample
+}
+
+// NewSeries returns an empty series with capacity for n samples.
+func NewSeries(n int) *Series {
+	return &Series{samples: make([]Sample, 0, n)}
+}
+
+// Append adds a sample to the end of the series. Samples are expected in
+// non-decreasing time order; Append returns an error otherwise so callers
+// catch wiring mistakes early.
+func (s *Series) Append(sm Sample) error {
+	if n := len(s.samples); n > 0 && sm.Time.Before(s.samples[n-1].Time) {
+		return fmt.Errorf("metrics: sample at %v appended after %v", sm.Time, s.samples[n-1].Time)
+	}
+	s.samples = append(s.samples, sm)
+	return nil
+}
+
+// Len returns the number of samples in the series.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample (0-based).
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Last returns the most recent sample. The boolean is false when the
+// series is empty.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// Recent returns up to the last n samples, oldest first. The returned
+// slice is a copy so callers cannot mutate the series.
+func (s *Series) Recent(n int) []Sample {
+	if n > len(s.samples) {
+		n = len(s.samples)
+	}
+	out := make([]Sample, n)
+	copy(out, s.samples[len(s.samples)-n:])
+	return out
+}
+
+// Window returns a copy of the samples with from <= t < to.
+func (s *Series) Window(from, to simclock.Time) []Sample {
+	var out []Sample
+	for _, sm := range s.samples {
+		if !sm.Time.Before(from) && sm.Time.Before(to) {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// All returns a copy of every sample in the series, oldest first.
+func (s *Series) All() []Sample {
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Column extracts the values of a single attribute across all samples.
+func (s *Series) Column(a Attribute) []float64 {
+	out := make([]float64, len(s.samples))
+	for i, sm := range s.samples {
+		out[i] = sm.Values.Get(a)
+	}
+	return out
+}
+
+// Relabel sets the label of every sample using the provided oracle, which
+// maps a timestamp to the SLO state at that instant. This implements the
+// paper's automatic runtime data labeling: measurements are matched
+// against the SLO violation log by timestamp.
+func (s *Series) Relabel(oracle func(simclock.Time) Label) {
+	for i := range s.samples {
+		s.samples[i].Label = oracle(s.samples[i].Time)
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import "math"
+
+// Summary holds basic descriptive statistics for a sequence of values.
+type Summary struct {
+	Count int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+}
+
+// Summarize computes count, mean, (population) standard deviation, min
+// and max of values. An empty input yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Count: len(values),
+		Min:   values[0],
+		Max:   values[0],
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(values)))
+	return s
+}
+
+// MeanVector averages each attribute across the given samples. An empty
+// input yields the zero vector.
+func MeanVector(samples []Sample) Vector {
+	var out Vector
+	if len(samples) == 0 {
+		return out
+	}
+	for _, sm := range samples {
+		for i := range out {
+			out[i] += sm.Values[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(samples))
+	}
+	return out
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %g, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Std != 0 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("single-value summary = %+v", s)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	a := mkSample(0, 10, LabelNormal)
+	b := mkSample(5, 30, LabelNormal)
+	mv := MeanVector([]Sample{a, b})
+	if got := mv.Get(CPUTotal); got != 20 {
+		t.Errorf("mean cpu = %g, want 20", got)
+	}
+	var zero Vector
+	if MeanVector(nil) != zero {
+		t.Error("MeanVector(nil) should be zero")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}

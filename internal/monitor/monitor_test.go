@@ -1,0 +1,316 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prepare/internal/cloudsim"
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+func TestSLOLogOrdering(t *testing.T) {
+	var l SLOLog
+	if err := l.Record(10, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(5, true); err == nil {
+		t.Error("out-of-order record should fail")
+	}
+	if err := l.Record(10, true); err != nil {
+		t.Errorf("equal-time record should succeed: %v", err)
+	}
+}
+
+func TestSLOLogViolatedAt(t *testing.T) {
+	var l SLOLog
+	for _, r := range []SLORecord{
+		{Time: 0, Violated: false},
+		{Time: 10, Violated: true},
+		{Time: 20, Violated: false},
+	} {
+		if err := l.Record(r.Time, r.Violated); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		at   simclock.Time
+		want bool
+	}{
+		{0, false}, {5, false}, {9, false},
+		{10, true}, {15, true}, {19, true},
+		{20, false}, {100, false},
+	}
+	for _, tt := range tests {
+		if got := l.ViolatedAt(tt.at); got != tt.want {
+			t.Errorf("ViolatedAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	// Before the first record: not violated.
+	var l2 SLOLog
+	if err := l2.Record(50, true); err != nil {
+		t.Fatal(err)
+	}
+	if l2.ViolatedAt(10) {
+		t.Error("time before first record should not be violated")
+	}
+}
+
+func TestSLOLogLabel(t *testing.T) {
+	var l SLOLog
+	if got := l.Label(5); got != metrics.LabelUnknown {
+		t.Errorf("empty log label = %v, want unknown", got)
+	}
+	if err := l.Record(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(10, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Label(5); got != metrics.LabelNormal {
+		t.Errorf("Label(5) = %v, want normal", got)
+	}
+	if got := l.Label(15); got != metrics.LabelAbnormal {
+		t.Errorf("Label(15) = %v, want abnormal", got)
+	}
+}
+
+func TestSLOLogViolationSeconds(t *testing.T) {
+	var l SLOLog
+	if err := l.Record(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(10, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(25, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ViolationSeconds(0, 100); got != 15 {
+		t.Errorf("ViolationSeconds = %d, want 15", got)
+	}
+	if got := l.ViolationSeconds(12, 20); got != 8 {
+		t.Errorf("partial window = %d, want 8", got)
+	}
+}
+
+func TestSLOLogViolationsIntervals(t *testing.T) {
+	var l SLOLog
+	states := []struct {
+		t simclock.Time
+		v bool
+	}{{0, false}, {5, true}, {8, false}, {12, true}, {20, false}}
+	for _, s := range states {
+		if err := l.Record(s.t, s.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.Violations(0, 30)
+	want := [][2]simclock.Time{{5, 8}, {12, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSLOLogOpenEndedViolation(t *testing.T) {
+	var l SLOLog
+	if err := l.Record(10, true); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Violations(0, 20)
+	if len(got) != 1 || got[0] != [2]simclock.Time{10, 20} {
+		t.Errorf("open-ended violation = %v", got)
+	}
+}
+
+func TestPropertyViolationSecondsMatchesIntervals(t *testing.T) {
+	f := func(flips []bool) bool {
+		var l SLOLog
+		for i, v := range flips {
+			if err := l.Record(simclock.Time(i*3), v); err != nil {
+				return false
+			}
+		}
+		end := simclock.Time(len(flips)*3 + 5)
+		total := l.ViolationSeconds(0, end)
+		sum := int64(0)
+		for _, iv := range l.Violations(0, end) {
+			sum += iv[1].Sub(iv[0])
+		}
+		return total == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newMonitoredCluster(t *testing.T) (*cloudsim.Cluster, *cloudsim.VM) {
+	t.Helper()
+	c := cloudsim.NewCluster()
+	if _, err := c.AddDefaultHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := c.PlaceVM("vm1", "h1", 100, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.CPUUsage = 50
+	vm.CPUDemand = 55
+	vm.WorkingSetMB = 300
+	vm.NetInKBps = 800
+	vm.NetOutKBps = 750
+	vm.DiskReadKBps = 60
+	vm.DiskWriteKBs = 30
+	return c, vm
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	c, _ := newMonitoredCluster(t)
+	if _, err := NewSampler(nil, []cloudsim.VMID{"vm1"}, Config{}); err == nil {
+		t.Error("nil cluster should fail")
+	}
+	if _, err := NewSampler(c, nil, Config{}); err == nil {
+		t.Error("no VMs should fail")
+	}
+	if _, err := NewSampler(c, []cloudsim.VMID{"ghost"}, Config{}); err == nil {
+		t.Error("unknown VM should fail")
+	}
+}
+
+func TestCollectProducesAllAttributes(t *testing.T) {
+	c, _ := newMonitoredCluster(t)
+	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UpdateLoad()
+	samples, err := s.Collect(5, metrics.LabelNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := samples["vm1"]
+	if !ok {
+		t.Fatal("no sample for vm1")
+	}
+	if sm.Time != 5 || sm.Label != metrics.LabelNormal {
+		t.Errorf("sample meta = %+v", sm)
+	}
+	// Core attributes reflect the VM state within noise.
+	cpu := sm.Values.Get(metrics.CPUTotal)
+	if cpu < 35 || cpu > 65 {
+		t.Errorf("cpu_total = %.1f, want ~50", cpu)
+	}
+	free := sm.Values.Get(metrics.FreeMem)
+	if free < 150 || free > 280 {
+		t.Errorf("free_mem = %.1f, want ~212", free)
+	}
+	if sm.Values.Get(metrics.NetIn) <= 0 {
+		t.Error("net_in should be positive")
+	}
+	if sm.Values.Get(metrics.Load1) <= 0 {
+		t.Error("load1 should be positive after UpdateLoad")
+	}
+}
+
+func TestCollectAppendsToSeries(t *testing.T) {
+	c, _ := newMonitoredCluster(t)
+	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := s.Collect(simclock.Time(i*5), metrics.LabelNormal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, err := s.Series("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Len() != 5 {
+		t.Errorf("series length = %d, want 5", sr.Len())
+	}
+	if _, err := s.Series("ghost"); err == nil {
+		t.Error("unknown VM series should fail")
+	}
+}
+
+func TestSamplerDeterministicForSeed(t *testing.T) {
+	mk := func() metrics.Sample {
+		c, _ := newMonitoredCluster(t)
+		s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := s.Collect(0, metrics.LabelNormal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples["vm1"]
+	}
+	a, b := mk(), mk()
+	if a.Values != b.Values {
+		t.Error("same seed should produce identical samples")
+	}
+}
+
+func TestNoiseNeverNegative(t *testing.T) {
+	c, vm := newMonitoredCluster(t)
+	vm.NetInKBps = 0.001
+	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 3, NoiseStd: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		samples, err := s.Collect(simclock.Time(i), metrics.LabelNormal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := samples["vm1"]
+		for _, a := range metrics.AllAttributes() {
+			if sm.Values.Get(a) < 0 {
+				t.Fatalf("attribute %v negative at tick %d", a, i)
+			}
+		}
+	}
+}
+
+func TestLoadEMAConverges(t *testing.T) {
+	c, vm := newMonitoredCluster(t)
+	vm.CPUDemand = 80 // utilization 0.8
+	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.UpdateLoad()
+	}
+	samples, err := s.Collect(1000, metrics.LabelNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := samples["vm1"].Values.Get(metrics.Load1)
+	if l1 < 0.6 || l1 > 1.0 {
+		t.Errorf("load1 = %.2f, want ~0.8", l1)
+	}
+}
+
+func TestDataset(t *testing.T) {
+	c, _ := newMonitoredCluster(t)
+	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Collect(0, metrics.LabelAbnormal); err != nil {
+		t.Fatal(err)
+	}
+	ds := s.Dataset()
+	if len(ds["vm1"]) != 1 || ds["vm1"][0].Label != metrics.LabelAbnormal {
+		t.Errorf("dataset = %+v", ds)
+	}
+}

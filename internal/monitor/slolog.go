@@ -1,0 +1,98 @@
+// Package monitor implements PREPARE's VM monitoring module: out-of-band
+// collection of 13 system-level attributes per VM (the simulated analogue
+// of domain-0 libxenstat plus the in-guest memory daemon), an SLO
+// violation log fed by the external SLO tracker, and automatic runtime
+// data labeling that matches metric timestamps against that log.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+// SLORecord is one observation of the application's SLO state.
+type SLORecord struct {
+	Time     simclock.Time
+	Violated bool
+}
+
+// SLOLog records the application's SLO state over time. Records must be
+// appended in non-decreasing time order. The zero value is ready to use.
+type SLOLog struct {
+	records []SLORecord
+}
+
+// Record appends an SLO observation. Out-of-order records are rejected.
+func (l *SLOLog) Record(now simclock.Time, violated bool) error {
+	if n := len(l.records); n > 0 && now.Before(l.records[n-1].Time) {
+		return fmt.Errorf("monitor: SLO record at %v after %v", now, l.records[n-1].Time)
+	}
+	l.records = append(l.records, SLORecord{Time: now, Violated: violated})
+	return nil
+}
+
+// Len returns the number of records.
+func (l *SLOLog) Len() int { return len(l.records) }
+
+// ViolatedAt reports the SLO state at time t, using the most recent
+// record at or before t. Times before the first record report false.
+func (l *SLOLog) ViolatedAt(t simclock.Time) bool {
+	idx := sort.Search(len(l.records), func(i int) bool {
+		return l.records[i].Time.After(t)
+	})
+	if idx == 0 {
+		return false
+	}
+	return l.records[idx-1].Violated
+}
+
+// Label converts the SLO state at t into a sample label, implementing the
+// paper's automatic runtime data labeling.
+func (l *SLOLog) Label(t simclock.Time) metrics.Label {
+	if len(l.records) == 0 {
+		return metrics.LabelUnknown
+	}
+	if l.ViolatedAt(t) {
+		return metrics.LabelAbnormal
+	}
+	return metrics.LabelNormal
+}
+
+// ViolationSeconds returns the total number of seconds in [from, to)
+// during which the SLO was violated — the paper's headline "SLO violation
+// time" measure.
+func (l *SLOLog) ViolationSeconds(from, to simclock.Time) int64 {
+	total := int64(0)
+	for t := from; t.Before(to); t = t.Add(1) {
+		if l.ViolatedAt(t) {
+			total++
+		}
+	}
+	return total
+}
+
+// Violations returns the violated intervals within [from, to) as
+// [start, end) pairs, for trace plotting and diagnostics.
+func (l *SLOLog) Violations(from, to simclock.Time) [][2]simclock.Time {
+	var out [][2]simclock.Time
+	inViolation := false
+	var start simclock.Time
+	for t := from; t.Before(to); t = t.Add(1) {
+		v := l.ViolatedAt(t)
+		switch {
+		case v && !inViolation:
+			inViolation = true
+			start = t
+		case !v && inViolation:
+			inViolation = false
+			out = append(out, [2]simclock.Time{start, t})
+		}
+	}
+	if inViolation {
+		out = append(out, [2]simclock.Time{start, to})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package predict
+
+import (
+	"fmt"
+
+	"prepare/internal/metrics"
+)
+
+// Confusion accumulates binary classification outcomes.
+type Confusion struct {
+	TP, FN, FP, TN int
+}
+
+// Add records one prediction/truth pair.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case !predicted && actual:
+		c.FN++
+	case predicted && !actual:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// TruePositiveRate returns A_T = TP/(TP+FN) per the paper's Equation 3,
+// or 0 when there were no positives.
+func (c Confusion) TruePositiveRate() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalseAlarmRate returns A_F = FP/(FP+TN), or 0 when there were no
+// negatives.
+func (c Confusion) FalseAlarmRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Total returns the number of scored predictions.
+func (c Confusion) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// EvalOptions controls a trace-driven accuracy evaluation.
+type EvalOptions struct {
+	// LookaheadS is the look-ahead window in seconds.
+	LookaheadS int64
+	// FilterK/FilterW optionally apply K-of-W alarm filtering to the raw
+	// predictions before scoring (0 disables filtering).
+	FilterK, FilterW int
+}
+
+// EvaluateTrace trains a predictor on the training window and then
+// replays the test window: at each step the predictor observes the
+// current row, predicts the state LookaheadS ahead, and the prediction is
+// scored against the actual label at that future instant. This is the
+// paper's trace-driven accuracy methodology (Figures 10-13).
+func EvaluateTrace(cfg Config, names []string,
+	trainRows [][]float64, trainLabels []metrics.Label,
+	testRows [][]float64, testLabels []metrics.Label,
+	opts EvalOptions) (Confusion, error) {
+
+	var conf Confusion
+	p, err := New(cfg, names)
+	if err != nil {
+		return conf, err
+	}
+	if err := p.Train(trainRows, trainLabels); err != nil {
+		return conf, err
+	}
+	if len(testRows) != len(testLabels) {
+		return conf, fmt.Errorf("%w: %d test rows vs %d labels", ErrShape, len(testRows), len(testLabels))
+	}
+
+	var filter *AlarmFilter
+	if opts.FilterK > 0 && opts.FilterW > 0 {
+		filter, err = NewAlarmFilter(opts.FilterK, opts.FilterW)
+		if err != nil {
+			return conf, err
+		}
+	}
+
+	steps := p.StepsFor(opts.LookaheadS)
+	for i := range testRows {
+		if err := p.Observe(testRows[i]); err != nil {
+			return conf, err
+		}
+		target := i + steps
+		if target >= len(testLabels) {
+			break
+		}
+		verdict, err := p.Predict(steps)
+		if err != nil {
+			return conf, err
+		}
+		alert := verdict.Abnormal
+		if filter != nil {
+			alert = filter.Offer(alert)
+		}
+		actual := testLabels[target] == metrics.LabelAbnormal
+		if testLabels[target] == metrics.LabelUnknown {
+			continue
+		}
+		conf.Add(alert, actual)
+	}
+	return conf, nil
+}
+
+// RowsFromSamples converts a VM's sample series into the predictor's row
+// format (13 columns in metrics attribute order) plus the label slice.
+func RowsFromSamples(samples []metrics.Sample) ([][]float64, []metrics.Label) {
+	rows := make([][]float64, len(samples))
+	labels := make([]metrics.Label, len(samples))
+	for i, sm := range samples {
+		row := make([]float64, metrics.NumAttributes)
+		for j := 0; j < metrics.NumAttributes; j++ {
+			row[j] = sm.Values[j]
+		}
+		rows[i] = row
+		labels[i] = sm.Label
+	}
+	return rows, labels
+}
+
+// AttributeNames returns the 13 canonical column names used by per-VM
+// predictors.
+func AttributeNames() []string {
+	attrs := metrics.AllAttributes()
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// MergeRows concatenates the rows of several components at equal indices
+// into monolithic rows (prefixing column names with the component name),
+// and merges labels: the merged label is abnormal when any component is
+// abnormal. All series must have equal length.
+func MergeRows(componentNames []string, rowsPer [][][]float64, labelsPer [][]metrics.Label) ([]string, [][]float64, []metrics.Label, error) {
+	if len(componentNames) == 0 || len(componentNames) != len(rowsPer) || len(rowsPer) != len(labelsPer) {
+		return nil, nil, nil, fmt.Errorf("predict: merge shape mismatch")
+	}
+	n := len(rowsPer[0])
+	for i := range rowsPer {
+		if len(rowsPer[i]) != n || len(labelsPer[i]) != n {
+			return nil, nil, nil, fmt.Errorf("predict: component %s has mismatched length", componentNames[i])
+		}
+	}
+	var names []string
+	for ci, comp := range componentNames {
+		if n == 0 {
+			break
+		}
+		for j := range rowsPer[ci][0] {
+			names = append(names, fmt.Sprintf("%s/%d", comp, j))
+		}
+	}
+	rows := make([][]float64, n)
+	labels := make([]metrics.Label, n)
+	for i := 0; i < n; i++ {
+		var row []float64
+		label := metrics.LabelNormal
+		anyKnown := false
+		for ci := range componentNames {
+			row = append(row, rowsPer[ci][i]...)
+			switch labelsPer[ci][i] {
+			case metrics.LabelAbnormal:
+				label = metrics.LabelAbnormal
+				anyKnown = true
+			case metrics.LabelNormal:
+				anyKnown = true
+			}
+		}
+		if !anyKnown {
+			label = metrics.LabelUnknown
+		}
+		rows[i] = row
+		labels[i] = label
+	}
+	return names, rows, labels, nil
+}

@@ -1,0 +1,172 @@
+package predict
+
+import (
+	"testing"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+func TestConfusionRates(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, true)   // TP
+	c.Add(false, true)  // FN
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, false) // TN
+	c.Add(false, false) // TN
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 3 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.TruePositiveRate(); got != 2.0/3 {
+		t.Errorf("A_T = %g, want 2/3", got)
+	}
+	if got := c.FalseAlarmRate(); got != 0.25 {
+		t.Errorf("A_F = %g, want 0.25", got)
+	}
+	if c.Total() != 7 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionEmptyRates(t *testing.T) {
+	var c Confusion
+	if c.TruePositiveRate() != 0 || c.FalseAlarmRate() != 0 {
+		t.Error("empty confusion rates should be 0")
+	}
+}
+
+func TestEvaluateTraceOnLeak(t *testing.T) {
+	trainRows, trainLabels := leakTrace(200, 20)
+	testRows, testLabels := leakTrace(200, 21)
+	conf, err := EvaluateTrace(Config{Bins: 10}, []string{"free_mem", "noise"},
+		trainRows, trainLabels, testRows, testLabels,
+		EvalOptions{LookaheadS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() == 0 {
+		t.Fatal("no predictions scored")
+	}
+	at := conf.TruePositiveRate()
+	af := conf.FalseAlarmRate()
+	if at < 0.6 {
+		t.Errorf("A_T = %.2f on an easy gradual leak, want >= 0.6", at)
+	}
+	if af > 0.3 {
+		t.Errorf("A_F = %.2f, want <= 0.3", af)
+	}
+}
+
+func TestEvaluateTraceFilterReducesFalseAlarms(t *testing.T) {
+	trainRows, trainLabels := leakTrace(200, 22)
+	testRows, testLabels := leakTrace(200, 23)
+	raw, err := EvaluateTrace(Config{Bins: 10}, []string{"a", "b"},
+		trainRows, trainLabels, testRows, testLabels,
+		EvalOptions{LookaheadS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := EvaluateTrace(Config{Bins: 10}, []string{"a", "b"},
+		trainRows, trainLabels, testRows, testLabels,
+		EvalOptions{LookaheadS: 20, FilterK: 3, FilterW: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.FalseAlarmRate() > raw.FalseAlarmRate()+1e-9 {
+		t.Errorf("filtering raised A_F: %.3f -> %.3f",
+			raw.FalseAlarmRate(), filtered.FalseAlarmRate())
+	}
+}
+
+func TestEvaluateTraceShapeMismatch(t *testing.T) {
+	trainRows, trainLabels := leakTrace(50, 24)
+	if _, err := EvaluateTrace(Config{}, []string{"a", "b"},
+		trainRows, trainLabels, trainRows, trainLabels[:10],
+		EvalOptions{LookaheadS: 10}); err == nil {
+		t.Error("test shape mismatch should fail")
+	}
+}
+
+func TestRowsFromSamples(t *testing.T) {
+	var v metrics.Vector
+	v.Set(metrics.CPUTotal, 55)
+	v.Set(metrics.FreeMem, 300)
+	samples := []metrics.Sample{
+		{Time: simclock.Time(0), Values: v, Label: metrics.LabelNormal},
+		{Time: simclock.Time(5), Values: v, Label: metrics.LabelAbnormal},
+	}
+	rows, labels := RowsFromSamples(samples)
+	if len(rows) != 2 || len(labels) != 2 {
+		t.Fatalf("rows/labels = %d/%d", len(rows), len(labels))
+	}
+	if len(rows[0]) != metrics.NumAttributes {
+		t.Fatalf("row width = %d", len(rows[0]))
+	}
+	if rows[0][metrics.CPUTotal.Index()] != 55 {
+		t.Errorf("cpu column = %g", rows[0][metrics.CPUTotal.Index()])
+	}
+	if labels[1] != metrics.LabelAbnormal {
+		t.Errorf("label = %v", labels[1])
+	}
+}
+
+func TestAttributeNames(t *testing.T) {
+	names := AttributeNames()
+	if len(names) != metrics.NumAttributes {
+		t.Fatalf("%d names", len(names))
+	}
+	if names[metrics.FreeMem.Index()] != "free_mem" {
+		t.Errorf("free_mem name = %q", names[metrics.FreeMem.Index()])
+	}
+}
+
+func TestMergeRows(t *testing.T) {
+	rowsA := [][]float64{{1, 2}, {3, 4}}
+	rowsB := [][]float64{{5}, {6}}
+	labelsA := []metrics.Label{metrics.LabelNormal, metrics.LabelNormal}
+	labelsB := []metrics.Label{metrics.LabelNormal, metrics.LabelAbnormal}
+	names, rows, labels, err := MergeRows(
+		[]string{"vm1", "vm2"},
+		[][][]float64{rowsA, rowsB},
+		[][]metrics.Label{labelsA, labelsB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	if len(rows) != 2 || len(rows[0]) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][2] != 6 {
+		t.Errorf("merged row = %v", rows[1])
+	}
+	if labels[0] != metrics.LabelNormal || labels[1] != metrics.LabelAbnormal {
+		t.Errorf("merged labels = %v", labels)
+	}
+}
+
+func TestMergeRowsUnknownLabels(t *testing.T) {
+	rows := [][][]float64{{{1}}, {{2}}}
+	labels := [][]metrics.Label{{metrics.LabelUnknown}, {metrics.LabelUnknown}}
+	_, _, merged, err := MergeRows([]string{"a", "b"}, rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged[0] != metrics.LabelUnknown {
+		t.Errorf("all-unknown merge = %v", merged[0])
+	}
+}
+
+func TestMergeRowsErrors(t *testing.T) {
+	if _, _, _, err := MergeRows(nil, nil, nil); err == nil {
+		t.Error("empty merge should fail")
+	}
+	if _, _, _, err := MergeRows([]string{"a", "b"},
+		[][][]float64{{{1}}, {{1}, {2}}},
+		[][]metrics.Label{{metrics.LabelNormal}, {metrics.LabelNormal, metrics.LabelNormal}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package predict
+
+import "fmt"
+
+// AlarmFilter implements the paper's false-alarm filtering: a simple
+// majority voting scheme that confirms an anomaly alert only after
+// receiving at least K alerts within the most recent W predictions. Real
+// anomaly symptoms persist, while most false alarms come from transient,
+// sporadic resource spikes. The paper sets K=3, W=4.
+type AlarmFilter struct {
+	k, w   int
+	recent []bool
+}
+
+// DefaultAlarmK and DefaultAlarmW are the paper's filter settings.
+const (
+	DefaultAlarmK = 3
+	DefaultAlarmW = 4
+)
+
+// NewAlarmFilter builds a K-of-W filter.
+func NewAlarmFilter(k, w int) (*AlarmFilter, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("predict: window %d must be >= 1", w)
+	}
+	if k < 1 || k > w {
+		return nil, fmt.Errorf("predict: threshold %d must be in [1, %d]", k, w)
+	}
+	return &AlarmFilter{k: k, w: w}, nil
+}
+
+// Offer records the latest raw prediction and reports whether the alarm
+// is confirmed (at least K of the last W raw predictions were alerts).
+func (f *AlarmFilter) Offer(alert bool) bool {
+	f.recent = append(f.recent, alert)
+	if len(f.recent) > f.w {
+		f.recent = f.recent[len(f.recent)-f.w:]
+	}
+	count := 0
+	for _, a := range f.recent {
+		if a {
+			count++
+		}
+	}
+	return count >= f.k
+}
+
+// Reset clears the filter's history (used after a prevention action so
+// stale alerts do not immediately re-trigger).
+func (f *AlarmFilter) Reset() {
+	f.recent = f.recent[:0]
+}
+
+// K returns the confirmation threshold.
+func (f *AlarmFilter) K() int { return f.k }
+
+// W returns the voting window size.
+func (f *AlarmFilter) W() int { return f.w }

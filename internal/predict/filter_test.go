@@ -1,0 +1,126 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlarmFilterValidation(t *testing.T) {
+	if _, err := NewAlarmFilter(0, 4); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewAlarmFilter(5, 4); err == nil {
+		t.Error("k>w should fail")
+	}
+	if _, err := NewAlarmFilter(1, 0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	f, err := NewAlarmFilter(DefaultAlarmK, DefaultAlarmW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 3 || f.W() != 4 {
+		t.Errorf("K/W = %d/%d", f.K(), f.W())
+	}
+}
+
+func TestFilterSuppressesTransientSpike(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single spike followed by quiet: never confirmed.
+	seq := []bool{false, true, false, false, false}
+	for i, a := range seq {
+		if f.Offer(a) {
+			t.Errorf("transient spike confirmed at index %d", i)
+		}
+	}
+}
+
+func TestFilterConfirmsPersistentAlerts(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []bool{}
+	for _, a := range []bool{true, true, true, true} {
+		results = append(results, f.Offer(a))
+	}
+	// Confirmation exactly at the third alert.
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Errorf("offer %d = %v, want %v", i, results[i], want[i])
+		}
+	}
+}
+
+func TestFilterToleratesOneGap(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alert, alert, miss, alert => 3 of last 4 => confirmed.
+	seq := []bool{true, true, false, true}
+	var last bool
+	for _, a := range seq {
+		last = f.Offer(a)
+	}
+	if !last {
+		t.Error("3-of-4 with one gap should confirm")
+	}
+}
+
+func TestFilterK1ConfirmsImmediately(t *testing.T) {
+	f, err := NewAlarmFilter(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Offer(false) {
+		t.Error("no alert should not confirm")
+	}
+	if !f.Offer(true) {
+		t.Error("k=1 should confirm on first alert")
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f, err := NewAlarmFilter(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(true)
+	f.Offer(true)
+	f.Reset()
+	if f.Offer(true) {
+		t.Error("after reset a single alert should not confirm (k=2)")
+	}
+}
+
+func TestPropertyLargerKNeverConfirmsMore(t *testing.T) {
+	// For the same alert stream, a filter with larger K confirms a subset
+	// of what a filter with smaller K confirms (monotonicity that drives
+	// Figure 12: larger k filters more false alarms).
+	f := func(stream []bool) bool {
+		f2, err := NewAlarmFilter(2, 4)
+		if err != nil {
+			return false
+		}
+		f3, err := NewAlarmFilter(3, 4)
+		if err != nil {
+			return false
+		}
+		for _, a := range stream {
+			c2 := f2.Offer(a)
+			c3 := f3.Offer(a)
+			if c3 && !c2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

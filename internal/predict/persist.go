@@ -1,0 +1,107 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prepare/internal/bayes"
+	"prepare/internal/markov"
+	"prepare/internal/metrics"
+)
+
+// predictorSnapshot is the JSON wire format of a trained predictor.
+type predictorSnapshot struct {
+	Version      int                           `json:"version"`
+	Names        []string                      `json:"names"`
+	Config       Config                        `json:"config"`
+	Discretizers []metrics.DiscretizerSnapshot `json:"discretizers"`
+	Chains       []markov.Snapshot             `json:"chains"`
+	Model        bayes.Snapshot                `json:"model"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Save writes the trained predictor as JSON, so a model trained offline
+// can be deployed to score live streams without retraining.
+func (p *Predictor) Save(w io.Writer) error {
+	if !p.trained {
+		return ErrNotTrained
+	}
+	snap := predictorSnapshot{
+		Version: snapshotVersion,
+		Names:   append([]string(nil), p.names...),
+		Config:  p.cfg,
+		Model:   p.model.Snapshot(),
+	}
+	for j := range p.names {
+		ew, ok := p.disc[j].(*metrics.EqualWidth)
+		if !ok {
+			return fmt.Errorf("predict: unsupported discretizer type for %s", p.names[j])
+		}
+		snap.Discretizers = append(snap.Discretizers, ew.Snapshot())
+		switch ch := p.chains[j].(type) {
+		case *markov.SimpleChain:
+			snap.Chains = append(snap.Chains, ch.Snapshot())
+		case *markov.TwoDepChain:
+			snap.Chains = append(snap.Chains, ch.Snapshot())
+		default:
+			return fmt.Errorf("predict: unsupported chain type for %s", p.names[j])
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("predict: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a trained predictor saved with Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var snap predictorSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("predict: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("predict: unsupported snapshot version %d", snap.Version)
+	}
+	n := len(snap.Names)
+	if n == 0 {
+		return nil, fmt.Errorf("predict: snapshot has no columns")
+	}
+	if len(snap.Discretizers) != n || len(snap.Chains) != n {
+		return nil, fmt.Errorf("predict: snapshot shape mismatch (%d names, %d discretizers, %d chains)",
+			n, len(snap.Discretizers), len(snap.Chains))
+	}
+	p, err := New(snap.Config, snap.Names)
+	if err != nil {
+		return nil, err
+	}
+	p.disc = make([]metrics.Discretizer, n)
+	p.chains = make([]markov.Predictor, n)
+	for j := 0; j < n; j++ {
+		d, err := metrics.DiscretizerFromSnapshot(snap.Discretizers[j])
+		if err != nil {
+			return nil, fmt.Errorf("predict: column %s: %w", snap.Names[j], err)
+		}
+		p.disc[j] = d
+		ch, err := markov.FromSnapshot(snap.Chains[j])
+		if err != nil {
+			return nil, fmt.Errorf("predict: column %s: %w", snap.Names[j], err)
+		}
+		p.chains[j] = ch
+	}
+	model, err := bayes.FromSnapshot(snap.Model)
+	if err != nil {
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+	if model.NumAttributes() != n {
+		return nil, fmt.Errorf("predict: snapshot classifier has %d attributes, want %d",
+			model.NumAttributes(), n)
+	}
+	p.model = model
+	p.trained = true
+	return p, nil
+}

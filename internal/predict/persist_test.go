@@ -1,0 +1,130 @@
+package predict
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func trainedPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	rows, labels := leakTrace(200, 30)
+	p, err := New(Config{Bins: 10}, []string{"free_mem", "noise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := trainedPredictor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !q.Trained() {
+		t.Fatal("loaded predictor not trained")
+	}
+	if got := q.Names(); len(got) != 2 || got[0] != "free_mem" {
+		t.Errorf("names = %v", got)
+	}
+
+	// Identical behaviour on identical inputs.
+	testRows, _ := leakTrace(200, 31)
+	for i, row := range testRows {
+		if err := p.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 != 0 {
+			continue
+		}
+		vp, err := p.Predict(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vq, err := q.Predict(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vp.Abnormal != vq.Abnormal || math.Abs(vp.Score-vq.Score) > 1e-9 {
+			t.Fatalf("step %d: original %v/%.4f vs loaded %v/%.4f",
+				i, vp.Abnormal, vp.Score, vq.Abnormal, vq.Score)
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	p, err := New(Config{}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != ErrNotTrained {
+		t.Errorf("Save untrained = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":    "hello",
+		"bad version": `{"version":99,"names":["a"]}`,
+		"no names":    `{"version":1,"names":[]}`,
+		"mismatch":    `{"version":1,"names":["a","b"],"discretizers":[],"chains":[]}`,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(data)); err == nil {
+				t.Error("garbage snapshot should fail to load")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsCorruptedModel(t *testing.T) {
+	p := trainedPredictor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a probability to an invalid value.
+	data := strings.Replace(buf.String(), `"total":`, `"total":-`, 1)
+	if _, err := Load(strings.NewReader(data)); err == nil {
+		t.Error("negative class total should fail validation")
+	}
+}
+
+func TestSaveLoadSimpleChainVariant(t *testing.T) {
+	rows, labels := leakTrace(150, 32)
+	p, err := New(Config{Order: SimpleMarkov, Bins: 8}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Config().Order != SimpleMarkov {
+		t.Errorf("loaded order = %v", q.Config().Order)
+	}
+	if _, err := q.PredictWindow(60); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package predict implements PREPARE's online anomaly prediction: the
+// combination of per-attribute value prediction (Markov chains over
+// discretized values) with multi-variate anomaly classification (the TAN
+// model) applied to the predicted future values, so the system can
+// foresee whether the application will enter the anomaly state within a
+// look-ahead window.
+//
+// A Predictor is generic over named value columns. PREPARE instantiates
+// one predictor per VM over that VM's 13 attributes (the paper's per-VM
+// scheme); the monolithic baseline of Figure 10 instead concatenates the
+// columns of every VM into a single predictor, which degrades accuracy
+// as attribute value prediction errors accumulate.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"prepare/internal/bayes"
+	"prepare/internal/markov"
+	"prepare/internal/metrics"
+)
+
+// MarkovOrder selects the attribute value prediction model.
+type MarkovOrder int
+
+// The supported value predictors.
+const (
+	// SimpleMarkov is the first-order chain (the authors' earlier work).
+	SimpleMarkov MarkovOrder = 1
+	// TwoDependent is the paper's 2-dependent Markov chain.
+	TwoDependent MarkovOrder = 2
+)
+
+// Config parameterizes a predictor.
+type Config struct {
+	// Bins is the number of discretized states per attribute (default 8).
+	Bins int
+	// Order selects the Markov model (default TwoDependent).
+	Order MarkovOrder
+	// Naive switches the classifier from TAN to naive Bayes.
+	Naive bool
+	// ArgmaxScore classifies the most likely predicted value per
+	// attribute instead of scoring the expected TAN log-ratio over the
+	// predicted distributions. The expectation (default) reacts earlier
+	// on gradual drifts; argmax is more robust at very long horizons.
+	ArgmaxScore bool
+	// SamplingIntervalS is the seconds between consecutive samples, used
+	// to convert look-ahead windows into prediction steps (default 5).
+	SamplingIntervalS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bins == 0 {
+		c.Bins = 8
+	}
+	if c.Order == 0 {
+		c.Order = TwoDependent
+	}
+	if c.SamplingIntervalS == 0 {
+		c.SamplingIntervalS = 5
+	}
+	return c
+}
+
+// Errors returned by the predictor.
+var (
+	ErrNotTrained = errors.New("predict: predictor is not trained")
+	ErrNoData     = errors.New("predict: no training data")
+	ErrShape      = errors.New("predict: row shape mismatch")
+)
+
+// Verdict is the outcome of one anomaly prediction.
+type Verdict struct {
+	// Abnormal is true when the classifier marks the predicted future
+	// state abnormal.
+	Abnormal bool
+	// Score is the TAN decision value (Equation 1); positive means
+	// abnormal.
+	Score float64
+	// FutureBins is the predicted discretized value per column.
+	FutureBins []int
+	// Strengths ranks each column's contribution L_i (Equation 2),
+	// strongest first.
+	Strengths []bayes.Strength
+}
+
+// Predictor is a trained per-component anomaly prediction model.
+type Predictor struct {
+	cfg     Config
+	names   []string
+	disc    []metrics.Discretizer
+	chains  []markov.Predictor
+	model   *bayes.Model
+	trained bool
+}
+
+// New builds an untrained predictor over the named columns.
+func New(cfg Config, names []string) (*Predictor, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("predict: at least one column is required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Order != SimpleMarkov && cfg.Order != TwoDependent {
+		return nil, fmt.Errorf("predict: unsupported markov order %d", cfg.Order)
+	}
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return &Predictor{cfg: cfg, names: cp}, nil
+}
+
+// Names returns the predictor's column names.
+func (p *Predictor) Names() []string {
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// Trained reports whether Train has succeeded.
+func (p *Predictor) Trained() bool { return p.trained }
+
+// Config returns the effective configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Train fits the discretizers, value predictors and classifier from a
+// labeled window of rows. Rows with LabelUnknown train the value
+// predictors but are excluded from the classifier. Training requires at
+// least one normal and is robust to (but weaker without) abnormal rows.
+func (p *Predictor) Train(rows [][]float64, labels []metrics.Label) error {
+	if len(rows) == 0 {
+		return ErrNoData
+	}
+	if len(rows) != len(labels) {
+		return fmt.Errorf("%w: %d rows vs %d labels", ErrShape, len(rows), len(labels))
+	}
+	for i, r := range rows {
+		if len(r) != len(p.names) {
+			return fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), len(p.names))
+		}
+	}
+
+	nCols := len(p.names)
+	disc := make([]metrics.Discretizer, nCols)
+	for j := 0; j < nCols; j++ {
+		col := make([]float64, len(rows))
+		for i := range rows {
+			col[i] = rows[i][j]
+		}
+		d, err := metrics.NewEqualWidth(col, p.cfg.Bins)
+		if err != nil {
+			return fmt.Errorf("predict: fit discretizer for %s: %w", p.names[j], err)
+		}
+		disc[j] = d
+	}
+
+	chains := make([]markov.Predictor, nCols)
+	for j := 0; j < nCols; j++ {
+		var (
+			ch  markov.Predictor
+			err error
+		)
+		if p.cfg.Order == SimpleMarkov {
+			ch, err = markov.NewSimpleChain(p.cfg.Bins)
+		} else {
+			ch, err = markov.NewTwoDepChain(p.cfg.Bins)
+		}
+		if err != nil {
+			return fmt.Errorf("predict: new chain: %w", err)
+		}
+		chains[j] = ch
+	}
+
+	binsPerAttr := make([]int, nCols)
+	for j := range binsPerAttr {
+		binsPerAttr[j] = p.cfg.Bins
+	}
+	var instances []bayes.Instance
+	for i, row := range rows {
+		binned := make([]int, nCols)
+		for j, v := range row {
+			binned[j] = disc[j].Bin(v)
+			if err := chains[j].Observe(binned[j]); err != nil {
+				return fmt.Errorf("predict: observe: %w", err)
+			}
+		}
+		switch labels[i] {
+		case metrics.LabelNormal:
+			instances = append(instances, bayes.Instance{Bins: binned, Abnormal: false})
+		case metrics.LabelAbnormal:
+			instances = append(instances, bayes.Instance{Bins: binned, Abnormal: true})
+		}
+	}
+	if len(instances) == 0 {
+		return fmt.Errorf("%w: no labeled rows", ErrNoData)
+	}
+	model, err := bayes.Train(instances, binsPerAttr, bayes.Options{Naive: p.cfg.Naive})
+	if err != nil {
+		return fmt.Errorf("predict: train classifier: %w", err)
+	}
+
+	p.disc = disc
+	p.chains = chains
+	p.model = model
+	p.trained = true
+	return nil
+}
+
+// Observe feeds a new runtime row to the value predictors, advancing
+// their current state (the paper periodically updates the value
+// prediction models with new measurements).
+func (p *Predictor) Observe(row []float64) error {
+	if !p.trained {
+		return ErrNotTrained
+	}
+	if len(row) != len(p.names) {
+		return fmt.Errorf("%w: row has %d columns, want %d", ErrShape, len(row), len(p.names))
+	}
+	for j, v := range row {
+		if err := p.chains[j].Observe(p.disc[j].Bin(v)); err != nil {
+			return fmt.Errorf("predict: observe: %w", err)
+		}
+	}
+	return nil
+}
+
+// StepsFor converts a look-ahead window in seconds into prediction steps
+// (at least 1).
+func (p *Predictor) StepsFor(lookaheadS int64) int {
+	steps := int((lookaheadS + p.cfg.SamplingIntervalS - 1) / p.cfg.SamplingIntervalS)
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// Predict classifies the predicted system state the given number of
+// sampling steps ahead: each attribute's Markov chain yields a value
+// distribution, and the TAN classifier scores the expected state
+// (Equation 1 in expectation). FutureBins reports each attribute's most
+// likely predicted bin for diagnostics.
+func (p *Predictor) Predict(steps int) (Verdict, error) {
+	if !p.trained {
+		return Verdict{}, ErrNotTrained
+	}
+	marginals := make([][]float64, len(p.names))
+	for j, ch := range p.chains {
+		marginals[j] = ch.Predict(steps)
+	}
+	return p.score(marginals)
+}
+
+// PredictAt classifies the predicted state lookaheadS seconds ahead.
+func (p *Predictor) PredictAt(lookaheadS int64) (Verdict, error) {
+	return p.Predict(p.StepsFor(lookaheadS))
+}
+
+// PredictWindow forecasts whether the system will enter the anomaly
+// state at ANY point within the look-ahead window (the paper's alerting
+// semantics): the predicted state is classified at every step up to the
+// horizon and the maximum-scoring verdict is returned. Point-in-time
+// classification at long horizons would look "through" short anomalies
+// into the recovery that follows them; the window maximum does not.
+func (p *Predictor) PredictWindow(lookaheadS int64) (Verdict, error) {
+	if !p.trained {
+		return Verdict{}, ErrNotTrained
+	}
+	maxSteps := p.StepsFor(lookaheadS)
+	series := make([][][]float64, len(p.names))
+	for j, ch := range p.chains {
+		series[j] = ch.PredictSeries(maxSteps)
+	}
+	var best Verdict
+	marginals := make([][]float64, len(p.names))
+	for s := 0; s < maxSteps; s++ {
+		for j := range p.names {
+			marginals[j] = series[j][s]
+		}
+		verdict, err := p.score(marginals)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if s == 0 || verdict.Score > best.Score {
+			best = verdict
+		}
+	}
+	return best, nil
+}
+
+// score classifies one set of per-attribute predicted marginals.
+func (p *Predictor) score(marginals [][]float64) (Verdict, error) {
+	future := make([]int, len(p.names))
+	for j, dist := range marginals {
+		future[j] = markov.ArgMax(dist)
+	}
+	var (
+		score     float64
+		strengths []bayes.Strength
+		err       error
+	)
+	if p.cfg.ArgmaxScore {
+		score, err = p.model.Score(future)
+		if err == nil {
+			strengths, err = p.model.AttributeStrengths(future)
+		}
+	} else {
+		score, strengths, err = p.model.ScoreMarginals(marginals)
+	}
+	if err != nil {
+		return Verdict{}, fmt.Errorf("predict: classify future state: %w", err)
+	}
+	return Verdict{
+		Abnormal:   score > 0,
+		Score:      score,
+		FutureBins: future,
+		Strengths:  strengths,
+	}, nil
+}
+
+// ClassifyCurrent classifies the given observed row directly (no value
+// prediction) — used by the reactive baseline and by online validation.
+func (p *Predictor) ClassifyCurrent(row []float64) (bool, error) {
+	v, err := p.Evaluate(row)
+	if err != nil {
+		return false, err
+	}
+	return v.Abnormal, nil
+}
+
+// Evaluate classifies the given observed row directly (no value
+// prediction), returning the full verdict including attribute strengths.
+// The reactive intervention baseline uses this for its cause inference
+// after an SLO violation has already been detected.
+func (p *Predictor) Evaluate(row []float64) (Verdict, error) {
+	if !p.trained {
+		return Verdict{}, ErrNotTrained
+	}
+	if len(row) != len(p.names) {
+		return Verdict{}, fmt.Errorf("%w: row has %d columns, want %d", ErrShape, len(row), len(p.names))
+	}
+	binned := make([]int, len(row))
+	for j, v := range row {
+		binned[j] = p.disc[j].Bin(v)
+	}
+	score, err := p.model.Score(binned)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("predict: classify current state: %w", err)
+	}
+	strengths, err := p.model.AttributeStrengths(binned)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("predict: attribute strengths: %w", err)
+	}
+	return Verdict{
+		Abnormal:   score > 0,
+		Score:      score,
+		FutureBins: binned,
+		Strengths:  strengths,
+	}, nil
+}

@@ -1,0 +1,136 @@
+package predict
+
+import (
+	"sort"
+
+	"prepare/internal/metrics"
+)
+
+// RelabelForTraining prepares one component's labels for classifier
+// training:
+//
+//  1. Fault localization gating: abnormal labels are downgraded to normal
+//     on rows where the component's own metrics do not deviate from its
+//     fault-free baseline (at least two attributes beyond 3.5 sigma), so
+//     healthy components do not learn application-level violation windows
+//     as their own anomaly signatures — the role the paper delegates to
+//     its fault localization techniques [13,14].
+//  2. Pre-anomaly extension: rows within lookbackSamples BEFORE each
+//     violation onset are labeled abnormal when they pass the same
+//     deviation gate. This teaches the classifier the faulty component's
+//     pre-violation drift signature (the alert-state labeling of the
+//     authors' earlier anomaly prediction work), which is what gives the
+//     online predictor usable lead time.
+//
+// The slices are modified in place.
+func RelabelForTraining(rows [][]float64, labels []metrics.Label, lookbackSamples int) {
+	if len(rows) == 0 || len(rows) != len(labels) {
+		return
+	}
+	nCols := len(rows[0])
+	// Robust per-column baseline: median and MAD over the normal-labeled
+	// rows. A mean/std baseline would be contaminated by the pre-anomaly
+	// drift itself (which carries normal labels until the SLO breaks).
+	cols := make([][]float64, nCols)
+	for i, row := range rows {
+		if labels[i] != metrics.LabelNormal || len(row) != nCols {
+			continue
+		}
+		for j, v := range row {
+			cols[j] = append(cols[j], v)
+		}
+	}
+	if len(cols[0]) < 10 {
+		return // not enough baseline to judge; keep labels as-is
+	}
+	mean := make([]float64, nCols) // robust center (median)
+	std := make([]float64, nCols)  // robust spread (1.4826 * MAD)
+	for j := range cols {
+		mean[j] = median(cols[j])
+		devs := make([]float64, len(cols[j]))
+		for i, v := range cols[j] {
+			d := v - mean[j]
+			if d < 0 {
+				d = -d
+			}
+			devs[i] = d
+		}
+		std[j] = 1.4826 * median(devs)
+		if std[j] < 1e-9 {
+			std[j] = 1e-9
+		}
+	}
+	const (
+		zThreshold   = 5.0
+		minDeviating = 2
+	)
+	deviating := make([]bool, len(rows))
+	for i, row := range rows {
+		count := 0
+		for j, v := range row {
+			if z := (v - mean[j]) / std[j]; z > zThreshold || z < -zThreshold {
+				count++
+			}
+		}
+		deviating[i] = count >= minDeviating
+	}
+
+	for i := range labels {
+		if labels[i] == metrics.LabelAbnormal && !deviating[i] {
+			labels[i] = metrics.LabelNormal
+		}
+	}
+
+	// Backward extension at each remaining violation onset.
+	for i := 1; i < len(labels); i++ {
+		if labels[i] != metrics.LabelAbnormal || labels[i-1] != metrics.LabelNormal {
+			continue
+		}
+		lo := i - lookbackSamples
+		if lo < 0 {
+			lo = 0
+		}
+		for j := i - 1; j >= lo; j-- {
+			if !deviating[j] {
+				break // extend only through the contiguous drift
+			}
+			labels[j] = metrics.LabelAbnormal
+		}
+	}
+
+	// Minimum support: a handful of surviving abnormal rows is noise that
+	// slipped through the gate (e.g., a healthy VM whose workload happened
+	// to spike during the violation), not a learnable anomaly signature.
+	// Training on them would yield a model that false-alarms whenever the
+	// coincidental pattern recurs.
+	const minAbnormalSupport = 6
+	abnormal := 0
+	for _, l := range labels {
+		if l == metrics.LabelAbnormal {
+			abnormal++
+		}
+	}
+	if abnormal > 0 && abnormal < minAbnormalSupport {
+		for i, l := range labels {
+			if l == metrics.LabelAbnormal {
+				labels[i] = metrics.LabelNormal
+			}
+		}
+	}
+}
+
+// median returns the middle value of xs (copying so the input order is
+// preserved).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

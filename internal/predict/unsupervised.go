@@ -1,0 +1,267 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"prepare/internal/bayes"
+	"prepare/internal/markov"
+	"prepare/internal/metrics"
+	"prepare/internal/unsupervised"
+)
+
+// UnsupervisedPredictor combines the same per-attribute Markov value
+// prediction as the supervised Predictor with an unsupervised outlier
+// detector in place of the TAN classifier — the extension Section V of
+// the paper proposes for anomalies the system has never seen before.
+// It trains on unlabeled data (presumed mostly normal) and raises an
+// alert when the predicted future state is an outlier with respect to
+// the learned normal operating modes.
+type UnsupervisedPredictor struct {
+	cfg      Config
+	names    []string
+	disc     []metrics.Discretizer
+	chains   []markov.Predictor
+	detector unsupervised.Detector
+	lastRow  []float64
+	trained  bool
+}
+
+// UnsupervisedKind selects the outlier detector.
+type UnsupervisedKind int
+
+// The available detectors.
+const (
+	// KMeansDetector clusters normal states and scores distance to the
+	// nearest centroid.
+	KMeansDetector UnsupervisedKind = iota + 1
+	// ZScoreDetector scores per-attribute robust deviations.
+	ZScoreDetector
+)
+
+// NewUnsupervised builds an untrained unsupervised predictor.
+func NewUnsupervised(cfg Config, names []string) (*UnsupervisedPredictor, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("predict: at least one column is required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Order != SimpleMarkov && cfg.Order != TwoDependent {
+		return nil, fmt.Errorf("predict: unsupported markov order %d", cfg.Order)
+	}
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return &UnsupervisedPredictor{cfg: cfg, names: cp}, nil
+}
+
+// Trained reports whether Train has succeeded.
+func (p *UnsupervisedPredictor) Trained() bool { return p.trained }
+
+// Train fits the discretizers, value predictors and the outlier detector
+// from UNLABELED rows (presumed to be mostly normal operation). seed
+// drives the detector's initialization; kind selects the detector.
+func (p *UnsupervisedPredictor) Train(rows [][]float64, kind UnsupervisedKind, seed int64) error {
+	if len(rows) == 0 {
+		return ErrNoData
+	}
+	nCols := len(p.names)
+	for i, r := range rows {
+		if len(r) != nCols {
+			return fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), nCols)
+		}
+	}
+
+	disc := make([]metrics.Discretizer, nCols)
+	for j := 0; j < nCols; j++ {
+		col := make([]float64, len(rows))
+		for i := range rows {
+			col[i] = rows[i][j]
+		}
+		d, err := metrics.NewEqualWidth(col, p.cfg.Bins)
+		if err != nil {
+			return fmt.Errorf("predict: fit discretizer for %s: %w", p.names[j], err)
+		}
+		disc[j] = d
+	}
+
+	chains := make([]markov.Predictor, nCols)
+	for j := 0; j < nCols; j++ {
+		var (
+			ch  markov.Predictor
+			err error
+		)
+		if p.cfg.Order == SimpleMarkov {
+			ch, err = markov.NewSimpleChain(p.cfg.Bins)
+		} else {
+			ch, err = markov.NewTwoDepChain(p.cfg.Bins)
+		}
+		if err != nil {
+			return fmt.Errorf("predict: new chain: %w", err)
+		}
+		chains[j] = ch
+	}
+	for _, row := range rows {
+		for j, v := range row {
+			if err := chains[j].Observe(disc[j].Bin(v)); err != nil {
+				return fmt.Errorf("predict: observe: %w", err)
+			}
+		}
+	}
+
+	var (
+		det unsupervised.Detector
+		err error
+	)
+	switch kind {
+	case ZScoreDetector:
+		det, err = unsupervised.TrainZScore(rows, unsupervised.ZScoreOptions{})
+	case KMeansDetector, 0:
+		det, err = unsupervised.TrainKMeans(rows, unsupervised.KMeansOptions{Seed: seed})
+	default:
+		return fmt.Errorf("predict: unknown detector kind %d", kind)
+	}
+	if err != nil {
+		return fmt.Errorf("predict: train detector: %w", err)
+	}
+
+	p.disc = disc
+	p.chains = chains
+	p.detector = det
+	p.trained = true
+	return nil
+}
+
+// Observe feeds a new runtime row to the value predictors.
+func (p *UnsupervisedPredictor) Observe(row []float64) error {
+	if !p.trained {
+		return ErrNotTrained
+	}
+	if len(row) != len(p.names) {
+		return fmt.Errorf("%w: row has %d columns, want %d", ErrShape, len(row), len(p.names))
+	}
+	for j, v := range row {
+		if err := p.chains[j].Observe(p.disc[j].Bin(v)); err != nil {
+			return fmt.Errorf("predict: observe: %w", err)
+		}
+	}
+	p.lastRow = append(p.lastRow[:0], row...)
+	return nil
+}
+
+// UnsupervisedVerdict is an unsupervised anomaly prediction outcome.
+type UnsupervisedVerdict struct {
+	// Abnormal is true when the predicted state is an outlier.
+	Abnormal bool
+	// Score is the detector's anomaly score of the predicted state.
+	Score float64
+	// FutureBins holds the most likely predicted bin per column.
+	FutureBins []int
+	// FutureValues holds the predicted (bin-center) value per column —
+	// the row the detector actually scored.
+	FutureValues []float64
+}
+
+// Predict reconstructs the most likely predicted value per attribute the
+// given number of steps ahead and scores it with the outlier detector.
+func (p *UnsupervisedPredictor) Predict(steps int) (UnsupervisedVerdict, error) {
+	if !p.trained {
+		return UnsupervisedVerdict{}, ErrNotTrained
+	}
+	bins := make([]int, len(p.names))
+	values := make([]float64, len(p.names))
+	for j, ch := range p.chains {
+		bins[j] = markov.ArgMax(ch.Predict(steps))
+		values[j] = p.disc[j].Center(bins[j])
+	}
+	score, err := p.scoreWithCurrent(values)
+	if err != nil {
+		return UnsupervisedVerdict{}, err
+	}
+	return UnsupervisedVerdict{
+		Abnormal:     score > p.detector.Threshold(),
+		Score:        score,
+		FutureBins:   bins,
+		FutureValues: values,
+	}, nil
+}
+
+// scoreWithCurrent scores the predicted state and, when a current
+// observation is available, takes the maximum with the current state's
+// score. Discretized value prediction can only extrapolate within the
+// training value envelope (bin centers clamp), so truly unseen extremes
+// manifest in the observed row first; covering both keeps the detector
+// sensitive to them while the predicted-state term adds lead time for
+// drifts inside the envelope.
+func (p *UnsupervisedPredictor) scoreWithCurrent(predicted []float64) (float64, error) {
+	score, err := p.detector.Score(predicted)
+	if err != nil {
+		return 0, fmt.Errorf("predict: score future state: %w", err)
+	}
+	if p.lastRow != nil {
+		cur, err := p.detector.Score(p.lastRow)
+		if err != nil {
+			return 0, fmt.Errorf("predict: score current state: %w", err)
+		}
+		if cur > score {
+			score = cur
+		}
+	}
+	return score, nil
+}
+
+// PredictWindow alerts if the predicted state is an outlier at ANY step
+// within the look-ahead window, returning the maximum-scoring verdict.
+func (p *UnsupervisedPredictor) PredictWindow(lookaheadS int64) (UnsupervisedVerdict, error) {
+	if !p.trained {
+		return UnsupervisedVerdict{}, ErrNotTrained
+	}
+	steps := int((lookaheadS + p.cfg.SamplingIntervalS - 1) / p.cfg.SamplingIntervalS)
+	if steps < 1 {
+		steps = 1
+	}
+	series := make([][][]float64, len(p.names))
+	for j, ch := range p.chains {
+		series[j] = ch.PredictSeries(steps)
+	}
+	var best UnsupervisedVerdict
+	values := make([]float64, len(p.names))
+	bins := make([]int, len(p.names))
+	for s := 0; s < steps; s++ {
+		for j := range p.names {
+			bins[j] = markov.ArgMax(series[j][s])
+			values[j] = p.disc[j].Center(bins[j])
+		}
+		score, err := p.scoreWithCurrent(values)
+		if err != nil {
+			return UnsupervisedVerdict{}, err
+		}
+		if s == 0 || score > best.Score {
+			best = UnsupervisedVerdict{
+				Abnormal:     score > p.detector.Threshold(),
+				Score:        score,
+				FutureBins:   append([]int(nil), bins...),
+				FutureValues: append([]float64(nil), values...),
+			}
+		}
+	}
+	return best, nil
+}
+
+// Attribution ranks the attributes by their contribution to the row's
+// anomaly score, in the same Strength form the supervised TAN produces,
+// so the cause-inference and prevention modules work unchanged in
+// unsupervised mode.
+func (p *UnsupervisedPredictor) Attribution(row []float64) ([]bayes.Strength, error) {
+	if !p.trained {
+		return nil, ErrNotTrained
+	}
+	contributions, err := p.detector.Contributions(row)
+	if err != nil {
+		return nil, fmt.Errorf("predict: attribution: %w", err)
+	}
+	out := make([]bayes.Strength, len(contributions))
+	for j, c := range contributions {
+		out[j] = bayes.Strength{Attribute: j, L: c}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].L > out[b].L })
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"prepare/internal/metrics"
+)
+
+// unseenLeakTrace: a stationary normal phase only (no anomaly in
+// training!) followed at replay time by a decline into unseen territory.
+func stationaryRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{
+			1000 + 25*rng.NormFloat64(), // free memory
+			45 + 4*rng.NormFloat64(),    // cpu
+		}
+	}
+	return rows
+}
+
+func TestUnsupervisedValidation(t *testing.T) {
+	if _, err := NewUnsupervised(Config{}, nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewUnsupervised(Config{Order: 9}, []string{"a"}); err == nil {
+		t.Error("bad order should fail")
+	}
+	p, err := NewUnsupervised(Config{}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(nil, KMeansDetector, 1); err == nil {
+		t.Error("no data should fail")
+	}
+	if err := p.Train([][]float64{{1}}, KMeansDetector, 1); err == nil {
+		t.Error("wrong-width rows should fail")
+	}
+	if err := p.Train(stationaryRows(50, 1), UnsupervisedKind(99), 1); err == nil {
+		t.Error("unknown detector should fail")
+	}
+	if _, err := p.Predict(1); err != ErrNotTrained {
+		t.Error("untrained Predict should fail")
+	}
+	if err := p.Observe([]float64{1, 2}); err != ErrNotTrained {
+		t.Error("untrained Observe should fail")
+	}
+}
+
+func TestUnsupervisedDetectsUnseenAnomaly(t *testing.T) {
+	for _, kind := range []UnsupervisedKind{KMeansDetector, ZScoreDetector} {
+		p, err := NewUnsupervised(Config{Bins: 10}, []string{"free", "cpu"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Train ONLY on normal data: the anomaly below is unseen.
+		if err := p.Train(stationaryRows(240, 2), kind, 1); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Trained() {
+			t.Fatal("not trained")
+		}
+		// Replay a decline into exhaustion.
+		rng := rand.New(rand.NewSource(3))
+		alerted := false
+		for i := 0; i < 200; i++ {
+			free := 1000 - 5*float64(i) + 20*rng.NormFloat64()
+			cpu := 45 + (1000-free)*0.05 + 3*rng.NormFloat64()
+			if err := p.Observe([]float64{free, cpu}); err != nil {
+				t.Fatal(err)
+			}
+			v, err := p.PredictWindow(60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Abnormal {
+				alerted = true
+				break
+			}
+		}
+		if !alerted {
+			t.Errorf("detector %d never flagged the unseen anomaly", kind)
+		}
+	}
+}
+
+func TestUnsupervisedQuietOnNormalReplay(t *testing.T) {
+	p, err := NewUnsupervised(Config{Bins: 10}, []string{"free", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(stationaryRows(240, 4), KMeansDetector, 1); err != nil {
+		t.Fatal(err)
+	}
+	falseAlarms := 0
+	for _, row := range stationaryRows(200, 5) {
+		if err := p.Observe(row); err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Predict(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Abnormal {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > 10 {
+		t.Errorf("%d/200 false alarms on a normal replay", falseAlarms)
+	}
+}
+
+func TestUnsupervisedVerdictShape(t *testing.T) {
+	p, err := NewUnsupervised(Config{Bins: 6}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(stationaryRows(100, 6), ZScoreDetector, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Predict(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.FutureBins) != 2 || len(v.FutureValues) != 2 {
+		t.Errorf("verdict shape = %v / %v", v.FutureBins, v.FutureValues)
+	}
+	if v.Score < 0 {
+		t.Errorf("score %g negative", v.Score)
+	}
+	for _, b := range v.FutureBins {
+		if b < 0 || b >= 6 {
+			t.Errorf("bin %d out of range", b)
+		}
+	}
+}
+
+// TestSupervisedBlindVsUnsupervised documents the limitation the
+// unsupervised extension addresses (paper Section V): a TAN trained only
+// on normal data never classifies anything abnormal (the class prior
+// dominates), while the unsupervised detector trained on the same data
+// flags the unseen anomaly.
+func TestSupervisedBlindVsUnsupervised(t *testing.T) {
+	rows := stationaryRows(240, 7)
+	labels := make([]metrics.Label, len(rows))
+	for i := range labels {
+		labels[i] = metrics.LabelNormal
+	}
+	sup, err := New(Config{Bins: 10}, []string{"free", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	uns, err := NewUnsupervised(Config{Bins: 10}, []string{"free", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uns.Train(rows, KMeansDetector, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	extreme := []float64{30, 99} // memory exhausted, CPU pegged — unseen
+	supAbnormal, err := sup.ClassifyCurrent(extreme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supAbnormal {
+		t.Error("supervised model with no abnormal training data should stay silent")
+	}
+	unsAbnormal, err := uns.detector.Anomalous(extreme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unsAbnormal {
+		t.Error("unsupervised detector should flag the unseen extreme state")
+	}
+}

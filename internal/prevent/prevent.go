@@ -1,0 +1,297 @@
+// Package prevent implements PREPARE's predictive prevention actuation:
+// elastic VM resource scaling (CPU and memory) as the first-line,
+// light-weight action; live VM migration when scaling cannot be applied
+// (insufficient resources on the local host) or is requested explicitly;
+// and online effectiveness validation that compares resource usage in a
+// look-back window before the action against a look-ahead window after
+// it, falling through to the next ranked metric when a prevention had no
+// effect (the paper's answer to black-box diagnosis mistakes).
+package prevent
+
+import (
+	"errors"
+	"fmt"
+
+	"prepare/internal/cloudsim"
+	"prepare/internal/infer"
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+// Policy selects the actuation strategy for an experiment.
+type Policy int
+
+// The policies evaluated in the paper.
+const (
+	// ScalingFirst scales the pinpointed resource and only migrates when
+	// the local host cannot fit the scaled allocation (the paper's
+	// default policy and the Figure 6/7 configuration).
+	ScalingFirst Policy = iota + 1
+	// MigrationOnly uses live VM migration as the prevention action (the
+	// Figure 8/9 configuration).
+	MigrationOnly
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case ScalingFirst:
+		return "scaling"
+	case MigrationOnly:
+		return "migration"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config tunes the actuator.
+type Config struct {
+	// CPUStep multiplies the CPU allocation on each scaling action
+	// (default 1.5).
+	CPUStep float64
+	// MemStep multiplies the memory allocation on each scaling action
+	// (default 1.75).
+	MemStep float64
+	// MaxCPU caps a VM's CPU allocation in percentage points
+	// (default 200, one full VCL host).
+	MaxCPU float64
+	// MaxMemMB caps a VM's memory allocation (default 3072).
+	MaxMemMB float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUStep == 0 {
+		c.CPUStep = 1.5
+	}
+	if c.MemStep == 0 {
+		c.MemStep = 1.75
+	}
+	if c.MaxCPU == 0 {
+		c.MaxCPU = 200
+	}
+	if c.MaxMemMB == 0 {
+		c.MaxMemMB = 3072
+	}
+	return c
+}
+
+// Step describes one executed prevention action.
+type Step struct {
+	Time     simclock.Time
+	VM       cloudsim.VMID
+	Kind     cloudsim.ActionKind
+	Resource infer.ResourceKind
+	Detail   string
+}
+
+// Errors surfaced to the control loop.
+var (
+	// ErrExhausted means every ranked resource has been tried and
+	// migration is not possible either.
+	ErrExhausted = errors.New("prevent: prevention options exhausted")
+	// ErrSaturated means the VM is already at its allocation caps.
+	ErrSaturated = errors.New("prevent: VM already at maximum allocation")
+)
+
+// Planner executes prevention actions against the cluster.
+type Planner struct {
+	cluster *cloudsim.Cluster
+	cfg     Config
+	policy  Policy
+}
+
+// NewPlanner builds a planner.
+func NewPlanner(cluster *cloudsim.Cluster, policy Policy, cfg Config) (*Planner, error) {
+	if cluster == nil {
+		return nil, fmt.Errorf("prevent: cluster is required")
+	}
+	if policy != ScalingFirst && policy != MigrationOnly {
+		return nil, fmt.Errorf("prevent: unsupported policy %d", policy)
+	}
+	return &Planner{cluster: cluster, cfg: cfg.withDefaults(), policy: policy}, nil
+}
+
+// Policy returns the planner's policy.
+func (p *Planner) Policy() Policy { return p.policy }
+
+// Prevent executes the attempt-th prevention step for the diagnosis.
+// Attempt 0 targets the top-ranked resource; subsequent attempts walk
+// down the ranked list (the paper's "scaling the next metric in the list
+// of related metrics provided by the TAN model"); once the list is
+// exhausted the planner migrates. Under MigrationOnly the first attempt
+// migrates directly. Scaling that cannot fit on the local host falls
+// back to migration within the same call.
+func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) (Step, error) {
+	vm, err := p.cluster.VM(diag.VM)
+	if err != nil {
+		return Step{}, fmt.Errorf("prevent: %w", err)
+	}
+	resources := infer.RankedResources(diag)
+	if len(resources) == 0 {
+		// Nothing attributable: default to CPU (the most common culprit
+		// for black-box SLO violations).
+		resources = []infer.ResourceKind{infer.ResourceCPU}
+	}
+
+	if p.policy == MigrationOnly {
+		res := resources[0]
+		if attempt >= len(resources) {
+			return Step{}, ErrExhausted
+		}
+		res = resources[attempt]
+		return p.migrate(now, vm, res)
+	}
+
+	if attempt >= len(resources) {
+		// Every implicated resource has been scaled without effect. The
+		// paper migrates only when scaling cannot be applied, so stop
+		// here rather than disturb the VM further.
+		return Step{}, ErrExhausted
+	}
+	res := resources[attempt]
+	step, err := p.scale(now, vm, res)
+	if errors.Is(err, cloudsim.ErrInsufficient) {
+		// Local host cannot fit the scaled allocation: migrate instead.
+		return p.migrate(now, vm, res)
+	}
+	return step, err
+}
+
+// scale grows the VM's allocation of the resource by the configured step.
+func (p *Planner) scale(now simclock.Time, vm *cloudsim.VM, res infer.ResourceKind) (Step, error) {
+	switch res {
+	case infer.ResourceMemory:
+		target := vm.MemAllocationMB * p.cfg.MemStep
+		if target > p.cfg.MaxMemMB {
+			target = p.cfg.MaxMemMB
+		}
+		if target <= vm.MemAllocationMB {
+			return Step{}, ErrSaturated
+		}
+		if err := p.cluster.ScaleMem(now, vm.ID, target); err != nil {
+			return Step{}, err
+		}
+		return Step{
+			Time: now, VM: vm.ID, Kind: cloudsim.ActionScaleMem, Resource: res,
+			Detail: fmt.Sprintf("mem->%.0fMB", target),
+		}, nil
+	default: // CPU and anything unattributable
+		target := vm.CPUAllocation * p.cfg.CPUStep
+		if target > p.cfg.MaxCPU {
+			target = p.cfg.MaxCPU
+		}
+		if target <= vm.CPUAllocation {
+			return Step{}, ErrSaturated
+		}
+		if err := p.cluster.ScaleCPU(now, vm.ID, target); err != nil {
+			return Step{}, err
+		}
+		return Step{
+			Time: now, VM: vm.ID, Kind: cloudsim.ActionScaleCPU, Resource: infer.ResourceCPU,
+			Detail: fmt.Sprintf("cpu->%.0f%%", target),
+		}, nil
+	}
+}
+
+// migrate relocates the VM to a host where the implicated resource can
+// be grown by the configured step.
+func (p *Planner) migrate(now simclock.Time, vm *cloudsim.VM, res infer.ResourceKind) (Step, error) {
+	desiredCPU := vm.CPUAllocation
+	desiredMem := vm.MemAllocationMB
+	switch res {
+	case infer.ResourceMemory:
+		desiredMem = vm.MemAllocationMB * p.cfg.MemStep
+		if desiredMem > p.cfg.MaxMemMB {
+			desiredMem = p.cfg.MaxMemMB
+		}
+	default:
+		desiredCPU = vm.CPUAllocation * p.cfg.CPUStep
+		if desiredCPU > p.cfg.MaxCPU {
+			desiredCPU = p.cfg.MaxCPU
+		}
+	}
+	if err := p.cluster.Migrate(now, vm.ID, desiredCPU, desiredMem); err != nil {
+		if errors.Is(err, cloudsim.ErrNoEligibleTarget) {
+			return Step{}, fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		return Step{}, err
+	}
+	return Step{
+		Time: now, VM: vm.ID, Kind: cloudsim.ActionMigrate, Resource: res,
+		Detail: fmt.Sprintf("migrate cpu=%.0f mem=%.0f", desiredCPU, desiredMem),
+	}, nil
+}
+
+// Validation is the outcome of an effectiveness check.
+type Validation int
+
+// Validation outcomes.
+const (
+	// Effective means the anomaly alerts stopped after the action.
+	Effective Validation = iota + 1
+	// Ineffective means alerts persist and resource usage did not change,
+	// so the action had no effect and the next option should be tried.
+	Ineffective
+	// Inconclusive means alerts persist but usage shifted; give the
+	// action more time before escalating.
+	Inconclusive
+)
+
+// String returns the validation outcome name.
+func (v Validation) String() string {
+	switch v {
+	case Effective:
+		return "effective"
+	case Ineffective:
+		return "ineffective"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("validation(%d)", int(v))
+	}
+}
+
+// Validator implements the look-back/look-ahead effectiveness check.
+type Validator struct {
+	// MinRelChange is the relative usage change below which a prevention
+	// is judged to have had no effect (default 0.10).
+	MinRelChange float64
+}
+
+// Validate compares the implicated attribute's usage before and after a
+// prevention action. alertsStopped reflects whether the anomaly
+// prediction models stopped raising alerts after the action.
+func (v Validator) Validate(before, after []metrics.Sample, attr metrics.Attribute, alertsStopped bool) Validation {
+	if alertsStopped {
+		return Effective
+	}
+	minChange := v.MinRelChange
+	if minChange == 0 {
+		minChange = 0.10
+	}
+	if len(before) == 0 || len(after) == 0 {
+		return Inconclusive
+	}
+	bm := metrics.Summarize(columnOf(before, attr)).Mean
+	am := metrics.Summarize(columnOf(after, attr)).Mean
+	base := bm
+	if base < 1e-9 {
+		base = 1e-9
+	}
+	rel := (am - bm) / base
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel < minChange {
+		return Ineffective
+	}
+	return Inconclusive
+}
+
+func columnOf(samples []metrics.Sample, attr metrics.Attribute) []float64 {
+	out := make([]float64, len(samples))
+	for i, sm := range samples {
+		out[i] = sm.Values.Get(attr)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package prevent
+
+import (
+	"errors"
+	"testing"
+
+	"prepare/internal/cloudsim"
+	"prepare/internal/infer"
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+func newCluster(t *testing.T, hosts int) *cloudsim.Cluster {
+	t.Helper()
+	c := cloudsim.NewCluster()
+	for i := 0; i < hosts; i++ {
+		if _, err := c.AddDefaultHost(cloudsim.HostID(rune('a' + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func memDiag(vm cloudsim.VMID) infer.Diagnosis {
+	return infer.Diagnosis{VM: vm, Ranked: []metrics.Attribute{metrics.FreeMem, metrics.CPUTotal}}
+}
+
+func cpuDiag(vm cloudsim.VMID) infer.Diagnosis {
+	return infer.Diagnosis{VM: vm, Ranked: []metrics.Attribute{metrics.CPUTotal, metrics.FreeMem}}
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, err := NewPlanner(nil, ScalingFirst, Config{}); err == nil {
+		t.Error("nil cluster should fail")
+	}
+	if _, err := NewPlanner(c, Policy(9), Config{}); err == nil {
+		t.Error("bad policy should fail")
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy() != ScalingFirst {
+		t.Error("policy accessor wrong")
+	}
+}
+
+func TestScalingFirstScalesTopResource(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(10, memDiag("vm1"), 0)
+	if err != nil {
+		t.Fatalf("Prevent: %v", err)
+	}
+	if step.Kind != cloudsim.ActionScaleMem {
+		t.Errorf("kind = %v, want scale_mem", step.Kind)
+	}
+	vm, _ := c.VM("vm1")
+	if vm.MemAllocationMB != 512*1.75 {
+		t.Errorf("mem alloc = %g, want 896", vm.MemAllocationMB)
+	}
+}
+
+func TestScalingSecondAttemptUsesNextResource(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(10, memDiag("vm1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Kind != cloudsim.ActionScaleCPU {
+		t.Errorf("attempt 1 kind = %v, want scale_cpu", step.Kind)
+	}
+}
+
+func TestExhaustedAttemptsStop(t *testing.T) {
+	// The paper migrates only when scaling cannot be applied; once every
+	// implicated resource has been scaled without effect, the planner
+	// stops rather than disturb the VM with a migration.
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(10, memDiag("vm1"), 2); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhausted attempt error = %v, want ErrExhausted", err)
+	}
+}
+
+func TestScalingFallsBackToMigrationWhenHostFull(t *testing.T) {
+	c := newCluster(t, 2)
+	// Fill host "a" so CPU scaling cannot fit.
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("filler", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(10, cpuDiag("vm1"), 0)
+	if err != nil {
+		t.Fatalf("Prevent: %v", err)
+	}
+	if step.Kind != cloudsim.ActionMigrate {
+		t.Errorf("kind = %v, want migrate fallback", step.Kind)
+	}
+	vm, _ := c.VM("vm1")
+	if !vm.Migrating() {
+		t.Error("vm should be migrating")
+	}
+}
+
+func TestMigrationOnlyPolicyMigratesDirectly(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, MigrationOnly, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(10, memDiag("vm1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Kind != cloudsim.ActionMigrate {
+		t.Errorf("kind = %v, want migrate", step.Kind)
+	}
+}
+
+func TestMigrationExhaustedWhenNoTarget(t *testing.T) {
+	c := newCluster(t, 1) // single host: nowhere to migrate
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, MigrationOnly, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(10, memDiag("vm1"), 0); !errors.Is(err, ErrExhausted) {
+		t.Errorf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestSaturatedAllocation(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 200, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{MaxCPU: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(10, cpuDiag("vm1"), 0); !errors.Is(err, ErrSaturated) {
+		t.Errorf("want ErrSaturated, got %v", err)
+	}
+}
+
+func TestEmptyDiagnosisDefaultsToCPU(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(10, infer.Diagnosis{VM: "vm1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Kind != cloudsim.ActionScaleCPU {
+		t.Errorf("kind = %v, want scale_cpu default", step.Kind)
+	}
+}
+
+func TestPreventUnknownVM(t *testing.T) {
+	c := newCluster(t, 2)
+	p, err := NewPlanner(c, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(0, memDiag("ghost"), 0); err == nil {
+		t.Error("unknown VM should fail")
+	}
+}
+
+func mkSamples(times []int64, attr metrics.Attribute, values []float64) []metrics.Sample {
+	out := make([]metrics.Sample, len(times))
+	for i := range times {
+		var v metrics.Vector
+		v.Set(attr, values[i])
+		out[i] = metrics.Sample{Time: simclock.Time(times[i]), Values: v}
+	}
+	return out
+}
+
+func TestValidateAlertsStoppedIsEffective(t *testing.T) {
+	var v Validator
+	got := v.Validate(nil, nil, metrics.FreeMem, true)
+	if got != Effective {
+		t.Errorf("validation = %v, want effective", got)
+	}
+}
+
+func TestValidateUnchangedUsageIsIneffective(t *testing.T) {
+	var v Validator
+	before := mkSamples([]int64{0, 5, 10}, metrics.FreeMem, []float64{100, 101, 99})
+	after := mkSamples([]int64{20, 25, 30}, metrics.FreeMem, []float64{100, 100, 101})
+	got := v.Validate(before, after, metrics.FreeMem, false)
+	if got != Ineffective {
+		t.Errorf("validation = %v, want ineffective", got)
+	}
+}
+
+func TestValidateChangedUsageIsInconclusive(t *testing.T) {
+	var v Validator
+	before := mkSamples([]int64{0, 5}, metrics.FreeMem, []float64{100, 100})
+	after := mkSamples([]int64{20, 25}, metrics.FreeMem, []float64{400, 420})
+	got := v.Validate(before, after, metrics.FreeMem, false)
+	if got != Inconclusive {
+		t.Errorf("validation = %v, want inconclusive", got)
+	}
+}
+
+func TestValidateEmptyWindowsInconclusive(t *testing.T) {
+	var v Validator
+	if got := v.Validate(nil, nil, metrics.FreeMem, false); got != Inconclusive {
+		t.Errorf("validation = %v, want inconclusive", got)
+	}
+}
+
+func TestValidationAndPolicyStrings(t *testing.T) {
+	if Effective.String() != "effective" || Ineffective.String() != "ineffective" || Inconclusive.String() != "inconclusive" {
+		t.Error("validation names wrong")
+	}
+	if ScalingFirst.String() != "scaling" || MigrationOnly.String() != "migration" {
+		t.Error("policy names wrong")
+	}
+}

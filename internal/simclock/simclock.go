@@ -1,0 +1,104 @@
+// Package simclock provides a deterministic discrete-time simulation clock.
+//
+// All PREPARE simulations advance in integer-second ticks. The clock never
+// reads wall-clock time, so every run is exactly reproducible given the
+// same seed and configuration. A small tick-scheduler lets components
+// register callbacks at fixed periods (e.g., the monitor sampling every
+// 5 simulated seconds while the applications advance every second).
+package simclock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a simulated instant, measured in whole seconds from the start of
+// the simulation. It intentionally mirrors a subset of time.Time's
+// comparison API so call sites read naturally.
+type Time int64
+
+// Seconds returns the instant as a number of seconds since simulation start.
+func (t Time) Seconds() int64 { return int64(t) }
+
+// Duration returns the simulated duration elapsed since the zero instant.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Second }
+
+// Add returns the instant d seconds later.
+func (t Time) Add(d int64) Time { return t + Time(d) }
+
+// Sub returns the number of seconds between t and u (t - u).
+func (t Time) Sub(u Time) int64 { return int64(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the instant as "123s".
+func (t Time) String() string { return fmt.Sprintf("%ds", int64(t)) }
+
+// Clock is a manually advanced simulation clock with periodic callbacks.
+// The zero value is not usable; construct with New.
+type Clock struct {
+	now   Time
+	tasks []*task
+	next  int // monotonically increasing task id for stable ordering
+}
+
+type task struct {
+	id     int
+	period int64
+	offset int64
+	fn     func(Time)
+}
+
+// New returns a clock positioned at simulated time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() Time { return c.now }
+
+// ErrBadPeriod is returned when a non-positive callback period is requested.
+var ErrBadPeriod = errors.New("simclock: period must be positive")
+
+// Every registers fn to run each time the simulated clock crosses an
+// instant congruent to offset modulo period (both in seconds). Callbacks
+// registered earlier run first within a tick. It returns an error if
+// period is not positive or offset is negative.
+func (c *Clock) Every(period, offset int64, fn func(Time)) error {
+	if period <= 0 {
+		return ErrBadPeriod
+	}
+	if offset < 0 {
+		return fmt.Errorf("simclock: offset %d must be non-negative", offset)
+	}
+	c.tasks = append(c.tasks, &task{id: c.next, period: period, offset: offset % period, fn: fn})
+	c.next++
+	return nil
+}
+
+// Tick advances the clock by exactly one second, firing any callbacks due
+// at the new instant, in registration order.
+func (c *Clock) Tick() {
+	c.now++
+	// Tasks are appended in registration order and never reordered, but
+	// sort defensively by id so the invariant survives future edits.
+	sort.SliceStable(c.tasks, func(i, j int) bool { return c.tasks[i].id < c.tasks[j].id })
+	for _, t := range c.tasks {
+		if int64(c.now)%t.period == t.offset%t.period {
+			t.fn(c.now)
+		}
+	}
+}
+
+// Run advances the clock by n seconds, one tick at a time.
+func (c *Clock) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.Tick()
+	}
+}

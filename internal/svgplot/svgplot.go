@@ -1,0 +1,245 @@
+// Package svgplot renders the experiment results as standalone SVG
+// figures (no dependencies — hand-written SVG), so the reproduction's
+// tables can also be viewed as charts resembling the paper's figures:
+// grouped bar charts for the SLO-violation comparisons (Figures 6/8) and
+// line charts for traces and accuracy sweeps (Figures 7/9/10-13).
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a line chart.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// BarGroup is one cluster of bars in a grouped bar chart.
+type BarGroup struct {
+	Label string
+	// Values are the bar heights in bar-label order.
+	Values []float64
+	// Errors are optional symmetric error-bar half-heights (may be nil).
+	Errors []float64
+}
+
+// Options controls chart geometry and labeling.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 640
+	Height int // default 400
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 640
+	}
+	if o.Height == 0 {
+		o.Height = 400
+	}
+	return o
+}
+
+// A small colorblind-safe palette.
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#F0E442", "#56B4E9"}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 60.0
+)
+
+// Lines renders a line chart with one polyline per series.
+func Lines(w io.Writer, series []Series, opts Options) error {
+	if len(series) == 0 {
+		return fmt.Errorf("svgplot: no series")
+	}
+	opts = opts.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("svgplot: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !(maxX > minX) {
+		maxX = minX + 1
+	}
+	if !(maxY > minY) {
+		maxY = minY + 1
+	}
+	maxY *= 1.05
+
+	plotW := float64(opts.Width) - marginLeft - marginRight
+	plotH := float64(opts.Height) - marginTop - marginBottom
+	sx := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	writeHeader(&b, opts)
+	writeAxes(&b, opts, minX, maxX, minY, maxY, sx, sy)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var points []string
+		for i := range s.X {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(points, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		lx := marginLeft + 10
+		ly := marginTop + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="4" fill="%s"/>`+"\n", lx, ly-2, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+16, ly+3, escape(s.Label))
+	}
+
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bars renders a grouped bar chart (one bar per label within each group).
+func Bars(w io.Writer, barLabels []string, groups []BarGroup, opts Options) error {
+	if len(groups) == 0 || len(barLabels) == 0 {
+		return fmt.Errorf("svgplot: no bars")
+	}
+	opts = opts.withDefaults()
+	maxY := math.Inf(-1)
+	for _, g := range groups {
+		if len(g.Values) != len(barLabels) {
+			return fmt.Errorf("svgplot: group %q has %d values for %d bar labels",
+				g.Label, len(g.Values), len(barLabels))
+		}
+		for i, v := range g.Values {
+			top := v
+			if g.Errors != nil && i < len(g.Errors) {
+				top += g.Errors[i]
+			}
+			maxY = math.Max(maxY, top)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+
+	plotW := float64(opts.Width) - marginLeft - marginRight
+	plotH := float64(opts.Height) - marginTop - marginBottom
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(barLabels))
+	sy := func(y float64) float64 { return marginTop + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	writeHeader(&b, opts)
+	writeAxes(&b, opts, 0, float64(len(groups)), 0, maxY,
+		func(x float64) float64 { return marginLeft + x/float64(len(groups))*plotW }, sy)
+
+	for gi, g := range groups {
+		gx := marginLeft + float64(gi)*groupW + groupW*0.1
+		for bi, v := range g.Values {
+			color := palette[bi%len(palette)]
+			x := gx + float64(bi)*barW
+			y := sy(v)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, marginTop+plotH-y, color)
+			if g.Errors != nil && bi < len(g.Errors) && g.Errors[bi] > 0 {
+				cx := x + barW*0.46
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1"/>`+"\n",
+					cx, sy(v+g.Errors[bi]), cx, sy(math.Max(0, v-g.Errors[bi])))
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, marginTop+plotH+16, escape(g.Label))
+	}
+	for bi, label := range barLabels {
+		color := palette[bi%len(palette)]
+		lx := marginLeft + 10
+		ly := marginTop + 14 + float64(bi)*16
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="8" fill="%s"/>`+"\n", lx, ly-6, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+16, ly+2, escape(label))
+	}
+
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, opts Options) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		opts.Width/2, escape(opts.Title))
+}
+
+func writeAxes(b *strings.Builder, opts Options, minX, maxX, minY, maxY float64,
+	sx, sy func(float64) float64) {
+	plotBottom := sy(minY)
+	plotTop := sy(maxY)
+	plotLeft := sx(minX)
+	plotRight := sx(maxX)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		plotLeft, plotBottom, plotRight, plotBottom)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		plotLeft, plotBottom, plotLeft, plotTop)
+	// 5 y ticks.
+	for i := 0; i <= 5; i++ {
+		v := minY + (maxY-minY)*float64(i)/5
+		y := sy(v)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-dasharray="3,3"/>`+"\n",
+			plotLeft, y, plotRight, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			plotLeft-6, y+3, formatTick(v))
+	}
+	// 5 x ticks (line charts only — bar charts label groups instead).
+	if maxX-minX > 1.5 {
+		for i := 0; i <= 5; i++ {
+			v := minX + (maxX-minX)*float64(i)/5
+			x := sx(v)
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x, plotBottom+16, formatTick(v))
+		}
+	}
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(plotLeft+plotRight)/2, plotBottom+38, escape(opts.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		(plotTop+plotBottom)/2, (plotTop+plotBottom)/2, escape(opts.YLabel))
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,119 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	series := []Series{
+		{Label: "a", X: []float64{0, 10, 20}, Y: []float64{1, 4, 2}},
+		{Label: "b", X: []float64{0, 10, 20}, Y: []float64{2, 3, 5}},
+	}
+	var buf bytes.Buffer
+	if err := Lines(&buf, series, Options{Title: "t", XLabel: "x", YLabel: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Errorf("want 6 markers, got %d", strings.Count(out, "<circle"))
+	}
+	for _, want := range []string{">t<", ">x<", ">y<", ">a<", ">b<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing label %q", want)
+		}
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, nil, Options{}); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{1}}}
+	if err := Lines(&buf, bad, Options{}); err == nil {
+		t.Error("mismatched x/y should fail")
+	}
+}
+
+func TestLinesDegenerateRanges(t *testing.T) {
+	// Single point: ranges collapse; must still render valid SVG.
+	series := []Series{{Label: "p", X: []float64{5}, Y: []float64{5}}}
+	var buf bytes.Buffer
+	if err := Lines(&buf, series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("degenerate range produced NaN coordinates")
+	}
+}
+
+func TestBarsBasic(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "g1", Values: []float64{10, 20, 5}, Errors: []float64{1, 2, 0}},
+		{Label: "g2", Values: []float64{7, 3, 9}},
+	}
+	var buf bytes.Buffer
+	err := Bars(&buf, []string{"none", "reactive", "prepare"}, groups,
+		Options{Title: "fig", YLabel: "seconds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<rect") < 7 { // 6 bars + background + legend chips
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+	// Error bars: two non-zero errors in g1.
+	if strings.Count(out, "stroke-width=\"1\"") < 2 {
+		t.Error("missing error bars")
+	}
+	for _, want := range []string{">g1<", ">g2<", ">none<", ">prepare<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing label %q", want)
+		}
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, nil, nil, Options{}); err == nil {
+		t.Error("empty chart should fail")
+	}
+	groups := []BarGroup{{Label: "g", Values: []float64{1}}}
+	if err := Bars(&buf, []string{"a", "b"}, groups, Options{}); err == nil {
+		t.Error("value/label mismatch should fail")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	groups := []BarGroup{{Label: "g", Values: []float64{0, 0}}}
+	var buf bytes.Buffer
+	if err := Bars(&buf, []string{"a", "b"}, groups, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("all-zero bars produced NaN")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	series := []Series{{Label: `<&">`, X: []float64{0, 1}, Y: []float64{0, 1}}}
+	var buf bytes.Buffer
+	if err := Lines(&buf, series, Options{Title: "a<b"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b<") || strings.Contains(out, `<&">`) {
+		t.Error("labels not escaped")
+	}
+	if !strings.Contains(out, "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped label missing")
+	}
+}

@@ -1,0 +1,433 @@
+// Package unsupervised implements the anomaly detectors the paper
+// proposes as its extension for unseen anomalies (Section V): since the
+// supervised TAN classifier can only recognize recurrent anomalies it
+// has been trained on, PREPARE can instead "replace the supervised
+// classification method with unsupervised classifiers (e.g., clustering
+// and outlier detection)".
+//
+// Two detectors are provided:
+//
+//   - KMeans: clusters the (robustly normalized) normal operating states
+//     and scores a new state by its distance to the nearest centroid.
+//   - ZScore: per-attribute robust z-scores (median/MAD baseline); the
+//     anomaly score counts attributes that deviate strongly.
+//
+// Both are fitted on unlabeled data presumed to be mostly normal, and
+// both calibrate their alarm threshold from the training score
+// distribution, so no labeled anomalies are required.
+package unsupervised
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Detector scores the anomalousness of observation rows. Scores are
+// non-negative; Anomalous applies the calibrated threshold.
+type Detector interface {
+	// Score returns the anomaly score of a row (higher = more anomalous).
+	Score(row []float64) (float64, error)
+	// Anomalous reports whether the row's score exceeds the calibrated
+	// threshold.
+	Anomalous(row []float64) (bool, error)
+	// Threshold returns the calibrated alarm threshold.
+	Threshold() float64
+	// Contributions returns each attribute's share of the row's anomaly
+	// score (higher = more implicated), used for cause inference when no
+	// supervised attribution is available.
+	Contributions(row []float64) ([]float64, error)
+}
+
+// Errors shared by the detectors.
+var (
+	ErrNoData = errors.New("unsupervised: no training data")
+	ErrShape  = errors.New("unsupervised: row shape mismatch")
+)
+
+// normalizer scales columns by robust statistics so distances are
+// comparable across attributes with wildly different units.
+type normalizer struct {
+	center []float64
+	scale  []float64
+}
+
+func fitNormalizer(rows [][]float64) (*normalizer, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoData
+	}
+	nCols := len(rows[0])
+	n := &normalizer{
+		center: make([]float64, nCols),
+		scale:  make([]float64, nCols),
+	}
+	col := make([]float64, len(rows))
+	for j := 0; j < nCols; j++ {
+		for i, row := range rows {
+			if len(row) != nCols {
+				return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), nCols)
+			}
+			col[i] = row[j]
+		}
+		n.center[j] = median(col)
+		devs := make([]float64, len(col))
+		for i, v := range col {
+			devs[i] = math.Abs(v - n.center[j])
+		}
+		n.scale[j] = 1.4826 * median(devs)
+		if n.scale[j] < 1e-9 {
+			n.scale[j] = 1e-9
+		}
+	}
+	return n, nil
+}
+
+func (n *normalizer) apply(row []float64) ([]float64, error) {
+	if len(row) != len(n.center) {
+		return nil, fmt.Errorf("%w: row has %d columns, want %d", ErrShape, len(row), len(n.center))
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - n.center[j]) / n.scale[j]
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// quantile returns the q-th (0..1) empirical quantile of xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// KMeans is a clustering-based outlier detector.
+type KMeans struct {
+	norm      *normalizer
+	centroids [][]float64
+	threshold float64
+}
+
+var _ Detector = (*KMeans)(nil)
+
+// KMeansOptions tunes training.
+type KMeansOptions struct {
+	// K is the number of clusters (default 4).
+	K int
+	// Iterations bounds Lloyd's algorithm (default 50).
+	Iterations int
+	// Quantile calibrates the alarm threshold from the training score
+	// distribution (default 0.995).
+	Quantile float64
+	// Seed drives centroid initialization.
+	Seed int64
+}
+
+func (o KMeansOptions) withDefaults() KMeansOptions {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 50
+	}
+	if o.Quantile == 0 {
+		o.Quantile = 0.995
+	}
+	return o
+}
+
+// TrainKMeans fits the detector on unlabeled rows (presumed mostly
+// normal operating states).
+func TrainKMeans(rows [][]float64, opts KMeansOptions) (*KMeans, error) {
+	opts = opts.withDefaults()
+	if len(rows) == 0 {
+		return nil, ErrNoData
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("unsupervised: k %d must be >= 1", opts.K)
+	}
+	if len(rows) < opts.K {
+		opts.K = len(rows)
+	}
+	norm, err := fitNormalizer(rows)
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]float64, len(rows))
+	for i, row := range rows {
+		v, err := norm.apply(row)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = v
+	}
+
+	// k-means++ style seeding: first centroid random, then farthest-
+	// point weighting (deterministic via the seed).
+	rng := rand.New(rand.NewSource(opts.Seed))
+	centroids := make([][]float64, 0, opts.K)
+	centroids = append(centroids, append([]float64(nil), data[rng.Intn(len(data))]...))
+	for len(centroids) < opts.K {
+		dists := make([]float64, len(data))
+		total := 0.0
+		for i, p := range data {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(p, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			centroids = append(centroids, append([]float64(nil), data[rng.Intn(len(data))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := len(data) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), data[pick]...))
+	}
+
+	// Lloyd's iterations.
+	assign := make([]int, len(data))
+	for iter := 0; iter < opts.Iterations; iter++ {
+		changed := false
+		for i, p := range data {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, len(centroids))
+		sums := make([][]float64, len(centroids))
+		for c := range sums {
+			sums[c] = make([]float64, len(data[0]))
+		}
+		for i, p := range data {
+			counts[assign[i]]++
+			for j, v := range p {
+				sums[assign[i]][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the stale centroid rather than divide by zero
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	km := &KMeans{norm: norm, centroids: centroids}
+	scores := make([]float64, len(rows))
+	for i, row := range rows {
+		s, err := km.Score(row)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = s
+	}
+	km.threshold = quantile(scores, opts.Quantile) * 1.25
+	if km.threshold <= 0 {
+		km.threshold = 1
+	}
+	return km, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Score implements Detector: the Euclidean distance (in robust-normalized
+// space) to the nearest cluster centroid.
+func (k *KMeans) Score(row []float64) (float64, error) {
+	p, err := k.norm.apply(row)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for _, c := range k.centroids {
+		if d := sqDist(p, c); d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best), nil
+}
+
+// Anomalous implements Detector.
+func (k *KMeans) Anomalous(row []float64) (bool, error) {
+	s, err := k.Score(row)
+	if err != nil {
+		return false, err
+	}
+	return s > k.threshold, nil
+}
+
+// Threshold implements Detector.
+func (k *KMeans) Threshold() float64 { return k.threshold }
+
+// Centroids returns the number of clusters (for diagnostics).
+func (k *KMeans) Centroids() int { return len(k.centroids) }
+
+// ZScore is a per-attribute robust outlier detector: the anomaly score
+// is the sum of per-attribute |z| values beyond a slack of 2, so a
+// single wildly deviating attribute or several mildly deviating ones
+// both raise it.
+type ZScore struct {
+	norm      *normalizer
+	threshold float64
+}
+
+var _ Detector = (*ZScore)(nil)
+
+// ZScoreOptions tunes training.
+type ZScoreOptions struct {
+	// Quantile calibrates the alarm threshold (default 0.995).
+	Quantile float64
+}
+
+// TrainZScore fits the detector on unlabeled rows.
+func TrainZScore(rows [][]float64, opts ZScoreOptions) (*ZScore, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoData
+	}
+	if opts.Quantile == 0 {
+		opts.Quantile = 0.995
+	}
+	norm, err := fitNormalizer(rows)
+	if err != nil {
+		return nil, err
+	}
+	z := &ZScore{norm: norm}
+	scores := make([]float64, len(rows))
+	for i, row := range rows {
+		s, err := z.Score(row)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = s
+	}
+	z.threshold = quantile(scores, opts.Quantile)*1.25 + 1
+	return z, nil
+}
+
+// Score implements Detector.
+func (z *ZScore) Score(row []float64) (float64, error) {
+	p, err := z.norm.apply(row)
+	if err != nil {
+		return 0, err
+	}
+	const slack = 2.0
+	s := 0.0
+	for _, v := range p {
+		if a := math.Abs(v); a > slack {
+			s += a - slack
+		}
+	}
+	return s, nil
+}
+
+// Anomalous implements Detector.
+func (z *ZScore) Anomalous(row []float64) (bool, error) {
+	s, err := z.Score(row)
+	if err != nil {
+		return false, err
+	}
+	return s > z.threshold, nil
+}
+
+// Threshold implements Detector.
+func (z *ZScore) Threshold() float64 { return z.threshold }
+
+// Contributions implements Detector: each attribute's squared distance
+// (in normalized space) to the nearest centroid's coordinate.
+func (k *KMeans) Contributions(row []float64) ([]float64, error) {
+	p, err := k.norm.apply(row)
+	if err != nil {
+		return nil, err
+	}
+	var nearest []float64
+	best := math.Inf(1)
+	for _, c := range k.centroids {
+		if d := sqDist(p, c); d < best {
+			best = d
+			nearest = c
+		}
+	}
+	out := make([]float64, len(p))
+	if nearest == nil {
+		return out, nil
+	}
+	for j := range p {
+		d := p[j] - nearest[j]
+		out[j] = d * d
+	}
+	return out, nil
+}
+
+// Contributions implements Detector: each attribute's robust |z| beyond
+// the slack.
+func (z *ZScore) Contributions(row []float64) ([]float64, error) {
+	p, err := z.norm.apply(row)
+	if err != nil {
+		return nil, err
+	}
+	const slack = 2.0
+	out := make([]float64, len(p))
+	for j, v := range p {
+		if a := math.Abs(v); a > slack {
+			out[j] = a - slack
+		}
+	}
+	return out, nil
+}

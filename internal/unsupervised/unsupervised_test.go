@@ -1,0 +1,221 @@
+package unsupervised
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// normalRows synthesizes two operating modes (low load / high load) with
+// mild noise — the kind of multi-modal "normal" that defeats a single-
+// centroid model but not k-means.
+func normalRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		mode := float64(i % 2)
+		rows[i] = []float64{
+			40 + 30*mode + 2*rng.NormFloat64(),   // cpu
+			500 - 100*mode + 8*rng.NormFloat64(), // free mem
+			200 + 150*mode + 5*rng.NormFloat64(), // net
+		}
+	}
+	return rows
+}
+
+func anomalyRow() []float64 {
+	// A state far outside both modes: pegged CPU, exhausted memory.
+	return []float64{98, 30, 60}
+}
+
+func TestTrainKMeansValidation(t *testing.T) {
+	if _, err := TrainKMeans(nil, KMeansOptions{}); err == nil {
+		t.Error("no data should fail")
+	}
+	if _, err := TrainKMeans(normalRows(10, 1), KMeansOptions{K: -1}); err == nil {
+		t.Error("negative k should fail")
+	}
+	// k larger than the dataset clamps rather than fails.
+	if _, err := TrainKMeans(normalRows(3, 1), KMeansOptions{K: 10}); err != nil {
+		t.Errorf("k > n should clamp: %v", err)
+	}
+}
+
+func TestKMeansFlagsUnseenAnomaly(t *testing.T) {
+	d, err := TrainKMeans(normalRows(300, 2), KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalous, err := d.Anomalous(anomalyRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomalous {
+		s, _ := d.Score(anomalyRow())
+		t.Errorf("unseen anomaly not flagged (score %.2f, threshold %.2f)", s, d.Threshold())
+	}
+}
+
+func TestKMeansAcceptsNormalModes(t *testing.T) {
+	d, err := TrainKMeans(normalRows(300, 3), KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	falseAlarms := 0
+	fresh := normalRows(200, 4)
+	for _, row := range fresh {
+		anomalous, err := d.Anomalous(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > 10 { // 5%
+		t.Errorf("%d/200 false alarms on fresh normal data", falseAlarms)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rows := normalRows(100, 5)
+	a, err := TrainKMeans(rows, KMeansOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainKMeans(rows, KMeansOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.Score(anomalyRow())
+	sb, _ := b.Score(anomalyRow())
+	if sa != sb {
+		t.Errorf("same seed, different scores: %g vs %g", sa, sb)
+	}
+}
+
+func TestKMeansShapeErrors(t *testing.T) {
+	d, err := TrainKMeans(normalRows(50, 6), KMeansOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score([]float64{1}); err == nil {
+		t.Error("wrong-width row should fail")
+	}
+	if _, err := d.Anomalous([]float64{1, 2, 3, 4}); err == nil {
+		t.Error("wrong-width row should fail")
+	}
+}
+
+func TestKMeansCentroidCount(t *testing.T) {
+	d, err := TrainKMeans(normalRows(100, 8), KMeansOptions{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Centroids() != 3 {
+		t.Errorf("centroids = %d, want 3", d.Centroids())
+	}
+}
+
+func TestZScoreFlagsUnseenAnomaly(t *testing.T) {
+	d, err := TrainZScore(normalRows(300, 9), ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalous, err := d.Anomalous(anomalyRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomalous {
+		s, _ := d.Score(anomalyRow())
+		t.Errorf("unseen anomaly not flagged (score %.2f, threshold %.2f)", s, d.Threshold())
+	}
+}
+
+func TestZScoreAcceptsNormal(t *testing.T) {
+	d, err := TrainZScore(normalRows(300, 10), ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	falseAlarms := 0
+	for _, row := range normalRows(200, 11) {
+		anomalous, err := d.Anomalous(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > 10 {
+		t.Errorf("%d/200 false alarms", falseAlarms)
+	}
+}
+
+func TestZScoreValidation(t *testing.T) {
+	if _, err := TrainZScore(nil, ZScoreOptions{}); err == nil {
+		t.Error("no data should fail")
+	}
+	d, err := TrainZScore(normalRows(50, 12), ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score([]float64{1, 2}); err == nil {
+		t.Error("wrong width should fail")
+	}
+}
+
+func TestPropertyScoresNonNegative(t *testing.T) {
+	km, err := TrainKMeans(normalRows(100, 13), KMeansOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := TrainZScore(normalRows(100, 13), ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		row := []float64{clampF(a), clampF(b), clampF(c)}
+		s1, err1 := km.Score(row)
+		s2, err2 := zs.Score(row)
+		return err1 == nil && err2 == nil && s1 >= 0 && s2 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampF(v float64) float64 {
+	switch {
+	case v != v: // NaN
+		return 0
+	case v > 1e12:
+		return 1e12
+	case v < -1e12:
+		return -1e12
+	default:
+		return v
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %g", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %g", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median empty = %g", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := quantile(xs, 1); got != 10 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := quantile(xs, 0.5); got < 5 || got > 6 {
+		t.Errorf("q0.5 = %g", got)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prepare/internal/simclock"
+)
+
+func TestSampleLength(t *testing.T) {
+	pts := Sample(Constant{Value: 3}, 10)
+	if len(pts) != 10 {
+		t.Fatalf("Sample returned %d points, want 10", len(pts))
+	}
+	if pts[0].Time != 0 || pts[9].Time != 9 {
+		t.Errorf("time bounds %v..%v, want 0..9", pts[0].Time, pts[9].Time)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g, err := NewNASATrace(DefaultNASAConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Sample(g, 50)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip %d points, want %d", len(got), len(pts))
+	}
+	for i := range got {
+		if got[i].Time != pts[i].Time {
+			t.Errorf("point %d time %v, want %v", i, got[i].Time, pts[i].Time)
+		}
+		// 4 decimal places of precision survive the round trip.
+		if diff := got[i].Rate - pts[i].Rate; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("point %d rate %g, want %g", i, got[i].Rate, pts[i].Rate)
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad time":    "time_s,rate\nxx,1.0\n",
+		"bad rate":    "time_s,rate\n5,notanumber\n",
+		"wrong width": "time_s,rate\n5\n",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+				t.Error("malformed csv should fail")
+			}
+		})
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("got %d points from empty input", len(pts))
+	}
+}
+
+func TestReplayStepInterpolation(t *testing.T) {
+	r, err := NewReplay([]Point{{Time: 0, Rate: 10}, {Time: 10, Rate: 20}, {Time: 20, Rate: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   simclock.Time
+		want float64
+	}{
+		{0, 10}, {5, 10}, {10, 20}, {19, 20}, {20, 30}, {100, 30},
+	}
+	for _, tt := range tests {
+		if got := r.Rate(tt.at); got != tt.want {
+			t.Errorf("Rate(%v) = %g, want %g", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay should fail")
+	}
+	if _, err := NewReplay([]Point{{Time: 10}, {Time: 5}}); err == nil {
+		t.Error("unsorted replay should fail")
+	}
+}

@@ -1,0 +1,237 @@
+// Package workload generates time-varying request/tuple rates for the
+// simulated applications.
+//
+// The paper drives RUBiS with a client workload generator that emulates
+// the intensity of the NASA web server trace (July 1 1995, IRCache
+// archive). That trace is not available offline, so NASATrace synthesizes
+// a request-rate process with the same qualitative structure: a diurnal
+// sinusoidal baseline, short self-similar bursts, and multiplicative
+// noise. System S experiments use a steady input rate with small jitter,
+// and the bottleneck fault uses a linear ramp; both are provided here.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prepare/internal/simclock"
+)
+
+// Generator yields the offered load (requests or tuples per second) at a
+// simulated instant.
+type Generator interface {
+	// Rate returns the offered load at time t. Implementations must be
+	// deterministic for a fixed seed and time.
+	Rate(t simclock.Time) float64
+}
+
+// Constant is a fixed-rate generator.
+type Constant struct {
+	Value float64
+}
+
+var _ Generator = Constant{}
+
+// Rate implements Generator.
+func (c Constant) Rate(simclock.Time) float64 { return c.Value }
+
+// NASATrace emulates the intensity pattern of the NASA web server trace:
+// a diurnal cycle with bursty, noisy fluctuation around it. All
+// randomness is pre-generated from the seed so Rate is a pure function of
+// time.
+type NASATrace struct {
+	base      float64
+	amplitude float64
+	period    float64
+	noise     []float64 // per-second multiplicative noise, pre-generated
+	bursts    []burst
+}
+
+type burst struct {
+	start, end simclock.Time
+	factor     float64
+}
+
+var _ Generator = (*NASATrace)(nil)
+
+// NASAConfig parameterizes the synthetic NASA-like trace.
+type NASAConfig struct {
+	// Base is the mean request rate (req/s).
+	Base float64
+	// Amplitude is the diurnal swing as a fraction of Base (0..1).
+	Amplitude float64
+	// PeriodSeconds is the diurnal period. The experiments compress a day
+	// into a few hundred seconds, matching the paper's "realistic time
+	// variations" at experiment scale.
+	PeriodSeconds float64
+	// Horizon is the number of seconds of noise to pre-generate.
+	Horizon int
+	// NoiseStd is the standard deviation of multiplicative noise.
+	NoiseStd float64
+	// BurstRate is the expected number of bursts per 100 seconds.
+	BurstRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultNASAConfig returns the configuration used by the RUBiS
+// experiments: ~80 req/s mean with a compressed diurnal cycle and
+// occasional 1.15-1.35x bursts.
+func DefaultNASAConfig(seed int64) NASAConfig {
+	return NASAConfig{
+		Base:          80,
+		Amplitude:     0.25,
+		PeriodSeconds: 487, // deliberately incommensurate with experiment phases
+		Horizon:       4000,
+		NoiseStd:      0.05,
+		BurstRate:     1.2,
+		Seed:          seed,
+	}
+}
+
+// NewNASATrace builds the generator. It returns an error when the
+// configuration is not physically meaningful.
+func NewNASATrace(cfg NASAConfig) (*NASATrace, error) {
+	if cfg.Base <= 0 {
+		return nil, fmt.Errorf("workload: base rate %g must be positive", cfg.Base)
+	}
+	if cfg.Amplitude < 0 || cfg.Amplitude >= 1 {
+		return nil, fmt.Errorf("workload: amplitude %g must be in [0,1)", cfg.Amplitude)
+	}
+	if cfg.PeriodSeconds <= 0 {
+		return nil, fmt.Errorf("workload: period %g must be positive", cfg.PeriodSeconds)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon %d must be positive", cfg.Horizon)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	noise := make([]float64, cfg.Horizon)
+	for i := range noise {
+		noise[i] = 1 + rng.NormFloat64()*cfg.NoiseStd
+		if noise[i] < 0.1 {
+			noise[i] = 0.1
+		}
+	}
+	var bursts []burst
+	for t := 0; t < cfg.Horizon; t++ {
+		if rng.Float64() < cfg.BurstRate/100 {
+			dur := 5 + rng.Intn(20)
+			bursts = append(bursts, burst{
+				start:  simclock.Time(t),
+				end:    simclock.Time(t + dur),
+				factor: 1.15 + 0.2*rng.Float64(),
+			})
+		}
+	}
+	return &NASATrace{
+		base:      cfg.Base,
+		amplitude: cfg.Amplitude,
+		period:    cfg.PeriodSeconds,
+		noise:     noise,
+		bursts:    bursts,
+	}, nil
+}
+
+// Rate implements Generator.
+func (g *NASATrace) Rate(t simclock.Time) float64 {
+	sec := float64(t.Seconds())
+	diurnal := 1 + g.amplitude*math.Sin(2*math.Pi*sec/g.period)
+	rate := g.base * diurnal
+	idx := int(t.Seconds())
+	if idx >= 0 && idx < len(g.noise) {
+		rate *= g.noise[idx]
+	}
+	for _, b := range g.bursts {
+		if !t.Before(b.start) && t.Before(b.end) {
+			rate *= b.factor
+		}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// Ramp linearly increases the rate from Start to Peak between RampFrom
+// and RampTo, holding constant outside that interval. It models the
+// paper's bottleneck fault: "we gradually increase the workload until
+// hitting the capacity limit of the bottleneck component".
+type Ramp struct {
+	Start    float64
+	Peak     float64
+	RampFrom simclock.Time
+	RampTo   simclock.Time
+}
+
+var _ Generator = Ramp{}
+
+// Rate implements Generator.
+func (r Ramp) Rate(t simclock.Time) float64 {
+	switch {
+	case t.Before(r.RampFrom):
+		return r.Start
+	case !t.Before(r.RampTo):
+		return r.Peak
+	default:
+		total := r.RampTo.Sub(r.RampFrom)
+		if total <= 0 {
+			return r.Peak
+		}
+		frac := float64(t.Sub(r.RampFrom)) / float64(total)
+		return r.Start + (r.Peak-r.Start)*frac
+	}
+}
+
+// Jittered wraps a Generator with multiplicative Gaussian noise,
+// pre-generated so the result stays a pure function of time.
+type Jittered struct {
+	inner Generator
+	noise []float64
+}
+
+var _ Generator = (*Jittered)(nil)
+
+// NewJittered pre-generates horizon seconds of noise with the given
+// standard deviation around 1.0.
+func NewJittered(inner Generator, std float64, horizon int, seed int64) (*Jittered, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon %d must be positive", horizon)
+	}
+	if std < 0 {
+		return nil, fmt.Errorf("workload: noise std %g must be non-negative", std)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noise := make([]float64, horizon)
+	for i := range noise {
+		noise[i] = 1 + rng.NormFloat64()*std
+		if noise[i] < 0 {
+			noise[i] = 0
+		}
+	}
+	return &Jittered{inner: inner, noise: noise}, nil
+}
+
+// Rate implements Generator.
+func (g *Jittered) Rate(t simclock.Time) float64 {
+	r := g.inner.Rate(t)
+	idx := int(t.Seconds())
+	if idx >= 0 && idx < len(g.noise) {
+		r *= g.noise[idx]
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Scaled multiplies another generator's rate by a constant factor.
+type Scaled struct {
+	Inner  Generator
+	Factor float64
+}
+
+var _ Generator = Scaled{}
+
+// Rate implements Generator.
+func (s Scaled) Rate(t simclock.Time) float64 { return s.Inner.Rate(t) * s.Factor }

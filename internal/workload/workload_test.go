@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prepare/internal/simclock"
+)
+
+func TestConstantRate(t *testing.T) {
+	g := Constant{Value: 25}
+	for _, tm := range []simclock.Time{0, 100, 99999} {
+		if got := g.Rate(tm); got != 25 {
+			t.Errorf("Rate(%v) = %g, want 25", tm, got)
+		}
+	}
+}
+
+func TestNASATraceDeterministic(t *testing.T) {
+	cfg := DefaultNASAConfig(7)
+	a, err := NewNASATrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNASATrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := simclock.Time(0); tm < 500; tm++ {
+		if a.Rate(tm) != b.Rate(tm) {
+			t.Fatalf("same seed diverges at %v", tm)
+		}
+	}
+}
+
+func TestNASATraceSeedsDiffer(t *testing.T) {
+	a, err := NewNASATrace(DefaultNASAConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNASATrace(DefaultNASAConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for tm := simclock.Time(0); tm < 100; tm++ {
+		if a.Rate(tm) != b.Rate(tm) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestNASATraceMeanNearBase(t *testing.T) {
+	g, err := NewNASATrace(DefaultNASAConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	n := 3000
+	for tm := 0; tm < n; tm++ {
+		sum += g.Rate(simclock.Time(tm))
+	}
+	mean := sum / float64(n)
+	// Bursts push the mean slightly above base; it should stay within 30%.
+	if mean < 70 || mean > 130 {
+		t.Errorf("mean rate %g too far from base 90", mean)
+	}
+}
+
+func TestNASATraceHasDiurnalSwing(t *testing.T) {
+	cfg := DefaultNASAConfig(42)
+	cfg.NoiseStd = 0
+	cfg.BurstRate = 0
+	g, err := NewNASATrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak of the sine is at period/4, trough at 3*period/4.
+	peak := g.Rate(simclock.Time(int64(cfg.PeriodSeconds / 4)))
+	trough := g.Rate(simclock.Time(int64(3 * cfg.PeriodSeconds / 4)))
+	if peak <= trough {
+		t.Errorf("peak %g should exceed trough %g", peak, trough)
+	}
+	if math.Abs(peak-cfg.Base*(1+cfg.Amplitude)) > 2 {
+		t.Errorf("peak %g, want about %g", peak, cfg.Base*(1+cfg.Amplitude))
+	}
+}
+
+func TestNASATraceConfigValidation(t *testing.T) {
+	bad := []NASAConfig{
+		{Base: 0, Amplitude: 0.2, PeriodSeconds: 100, Horizon: 10},
+		{Base: 10, Amplitude: -1, PeriodSeconds: 100, Horizon: 10},
+		{Base: 10, Amplitude: 1.5, PeriodSeconds: 100, Horizon: 10},
+		{Base: 10, Amplitude: 0.2, PeriodSeconds: 0, Horizon: 10},
+		{Base: 10, Amplitude: 0.2, PeriodSeconds: 100, Horizon: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNASATrace(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestRampShape(t *testing.T) {
+	r := Ramp{Start: 10, Peak: 110, RampFrom: 100, RampTo: 200}
+	tests := []struct {
+		at   simclock.Time
+		want float64
+	}{
+		{0, 10}, {99, 10}, {100, 10}, {150, 60}, {200, 110}, {500, 110},
+	}
+	for _, tt := range tests {
+		if got := r.Rate(tt.at); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Rate(%v) = %g, want %g", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestRampDegenerateInterval(t *testing.T) {
+	r := Ramp{Start: 5, Peak: 50, RampFrom: 100, RampTo: 100}
+	if got := r.Rate(100); got != 50 {
+		t.Errorf("degenerate ramp Rate(100) = %g, want 50", got)
+	}
+}
+
+func TestPropertyRampMonotonic(t *testing.T) {
+	r := Ramp{Start: 0, Peak: 100, RampFrom: 50, RampTo: 350}
+	f := func(aRaw, bRaw uint16) bool {
+		a := simclock.Time(aRaw % 500)
+		b := simclock.Time(bRaw % 500)
+		if a.After(b) {
+			a, b = b, a
+		}
+		return r.Rate(a) <= r.Rate(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitteredStaysNonNegative(t *testing.T) {
+	g, err := NewJittered(Constant{Value: 5}, 2.0, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := simclock.Time(0); tm < 1000; tm++ {
+		if g.Rate(tm) < 0 {
+			t.Fatalf("negative rate at %v", tm)
+		}
+	}
+}
+
+func TestJitteredValidation(t *testing.T) {
+	if _, err := NewJittered(Constant{Value: 1}, 0.1, 0, 1); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := NewJittered(Constant{Value: 1}, -0.1, 10, 1); err == nil {
+		t.Error("negative std should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	g := Scaled{Inner: Constant{Value: 10}, Factor: 2.5}
+	if got := g.Rate(0); got != 25 {
+		t.Errorf("Rate = %g, want 25", got)
+	}
+}

@@ -1,0 +1,33 @@
+package prepare
+
+import (
+	"io"
+
+	"prepare/internal/metrics"
+	"prepare/internal/predict"
+)
+
+// WriteSamplesCSV writes labeled monitoring samples as CSV
+// ("time_s,<13 attributes>,label"), the interchange format used by the
+// preparepredict and preparetrace tools.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	return metrics.WriteSamplesCSV(w, samples)
+}
+
+// ReadSamplesCSV parses samples written by WriteSamplesCSV.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	return metrics.ReadSamplesCSV(r)
+}
+
+// RowsFromSamples converts samples into predictor rows plus the label
+// slice (13 columns in canonical attribute order).
+func RowsFromSamples(samples []Sample) ([][]float64, []Label) {
+	return predict.RowsFromSamples(samples)
+}
+
+// LoadPredictor reconstructs a trained predictor previously written with
+// (*Predictor).Save, so models trained offline can be deployed without
+// retraining.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	return predict.Load(r)
+}

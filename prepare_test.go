@@ -1,0 +1,194 @@
+package prepare
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRunQuickScenario(t *testing.T) {
+	res, err := Run(Scenario{App: RUBiS, Fault: CPUHog, Scheme: SchemePREPARE, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TotalViolationSeconds == 0 {
+		t.Error("fault should have caused some violation")
+	}
+	if len(res.Trace) == 0 {
+		t.Error("trace should be recorded")
+	}
+	if len(res.VMOrder) != 4 {
+		t.Errorf("RUBiS runs 4 VMs, got %d", len(res.VMOrder))
+	}
+}
+
+func TestRepeatSummarizes(t *testing.T) {
+	stat, results, err := Repeat(Scenario{App: RUBiS, Fault: CPUHog, Scheme: SchemeNone, Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.N != 2 || len(results) != 2 {
+		t.Errorf("stat.N = %d, results = %d", stat.N, len(results))
+	}
+	if stat.Mean <= 0 {
+		t.Error("unmanaged fault should violate the SLO")
+	}
+}
+
+func TestPREPAREBeatsNoIntervention(t *testing.T) {
+	base, err := Run(Scenario{App: SystemS, Fault: MemoryLeak, Scheme: SchemeNone, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := Run(Scenario{App: SystemS, Fault: MemoryLeak, Scheme: SchemePREPARE, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if managed.EvalViolationSeconds >= base.EvalViolationSeconds {
+		t.Errorf("PREPARE %ds should beat none %ds",
+			managed.EvalViolationSeconds, base.EvalViolationSeconds)
+	}
+	if len(managed.Steps) == 0 {
+		t.Error("PREPARE should have executed prevention steps")
+	}
+}
+
+func TestPublicPredictorWorkflow(t *testing.T) {
+	// Train a predictor on a synthetic declining metric and verify the
+	// public API end to end: NewPredictor -> Train -> Observe ->
+	// PredictWindow -> alarm filtering.
+	rng := rand.New(rand.NewSource(2))
+	names := []string{"free_mb", "latency_ms"}
+	// Stationary baseline, then a leak-like decline; violation once free
+	// memory drops below 250 (index 214).
+	value := func(i int) (free, lat float64) {
+		free = 1000 + 20*rng.NormFloat64()
+		if i >= 120 {
+			free = 1000 - 8*float64(i-120) + 20*rng.NormFloat64()
+		}
+		lat = 10 + 2000/(free+50) + rng.Float64()
+		return free, lat
+	}
+	var rows [][]float64
+	var labels []Label
+	for i := 0; i < 240; i++ {
+		free, lat := value(i)
+		rows = append(rows, []float64{free, lat})
+		if free < 250 {
+			labels = append(labels, LabelAbnormal)
+		} else {
+			labels = append(labels, LabelNormal)
+		}
+	}
+	p, err := NewPredictor(PredictorConfig{Bins: 10}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RelabelForTraining(rows, labels, 6)
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmedAt := -1
+	violatedAt := -1
+	for i := 0; i < 240; i++ {
+		free, lat := value(i)
+		if violatedAt < 0 && free < 250 {
+			violatedAt = i
+		}
+		if err := p.Observe([]float64{free, lat}); err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.PredictWindow(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filter.Offer(v.Abnormal) && confirmedAt < 0 {
+			confirmedAt = i
+		}
+	}
+	if confirmedAt < 0 {
+		t.Fatal("no confirmed alert on a replayed leak")
+	}
+	if violatedAt < 0 {
+		t.Fatal("replay never violated")
+	}
+	// A confirmed alert within a few samples of the violation (ideally
+	// before it) demonstrates the predict-then-filter pipeline works.
+	if confirmedAt > violatedAt+5 {
+		t.Errorf("alert confirmed at step %d, violation at %d", confirmedAt, violatedAt)
+	}
+}
+
+func TestAttributeNamesExposed(t *testing.T) {
+	names := AttributeNames()
+	if len(names) != 13 {
+		t.Errorf("got %d attribute names, want 13", len(names))
+	}
+}
+
+func TestAccuracySweepPublicAPI(t *testing.T) {
+	ds, err := CollectDataset(Scenario{App: RUBiS, Fault: MemoryLeak, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := AccuracySweep(ds, []int64{15, 30}, AccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].AT <= 0 {
+		t.Error("A_T should be positive for a gradual leak")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if SystemS.String() != "systems" || RUBiS.String() != "rubis" {
+		t.Error("app names wrong")
+	}
+	if MemoryLeak.String() != "memleak" || SchemePREPARE.String() != "prepare" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestPredictorSaveLoadPublic(t *testing.T) {
+	rows := [][]float64{}
+	labels := []Label{}
+	for i := 0; i < 120; i++ {
+		v := 100.0
+		label := LabelNormal
+		if i >= 60 && i < 90 {
+			v = 20
+			label = LabelAbnormal
+		}
+		rows = append(rows, []float64{v, float64(i % 7)})
+		labels = append(labels, label)
+	}
+	p, err := NewPredictor(PredictorConfig{Bins: 6}, []string{"m1", "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abnormal, err := q.ClassifyCurrent([]float64{20, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abnormal {
+		t.Error("loaded predictor should classify the trained anomaly")
+	}
+}

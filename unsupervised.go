@@ -1,0 +1,53 @@
+package prepare
+
+import (
+	"prepare/internal/predict"
+	"prepare/internal/unsupervised"
+)
+
+// Unsupervised anomaly detection (the paper's Section V extension for
+// unseen anomalies: the supervised TAN only recognizes recurrent
+// anomalies, so clustering / outlier detection replaces it when no
+// labeled anomalies exist).
+type (
+	// UnsupervisedPredictor pairs Markov value prediction with an
+	// unsupervised outlier detector; it trains on unlabeled data.
+	UnsupervisedPredictor = predict.UnsupervisedPredictor
+	// UnsupervisedVerdict is an unsupervised prediction outcome.
+	UnsupervisedVerdict = predict.UnsupervisedVerdict
+	// UnsupervisedKind selects the outlier detector.
+	UnsupervisedKind = predict.UnsupervisedKind
+	// OutlierDetector scores the anomalousness of raw observation rows.
+	OutlierDetector = unsupervised.Detector
+	// KMeansOptions tunes the clustering detector.
+	KMeansOptions = unsupervised.KMeansOptions
+	// ZScoreOptions tunes the robust z-score detector.
+	ZScoreOptions = unsupervised.ZScoreOptions
+)
+
+// Detector kinds.
+const (
+	// KMeansDetector clusters normal states and scores distance to the
+	// nearest centroid.
+	KMeansDetector = predict.KMeansDetector
+	// ZScoreDetector scores per-attribute robust deviations.
+	ZScoreDetector = predict.ZScoreDetector
+)
+
+// NewUnsupervisedPredictor builds an untrained unsupervised anomaly
+// predictor over the named metric columns.
+func NewUnsupervisedPredictor(cfg PredictorConfig, names []string) (*UnsupervisedPredictor, error) {
+	return predict.NewUnsupervised(cfg, names)
+}
+
+// TrainKMeansDetector fits a clustering-based outlier detector on
+// unlabeled rows.
+func TrainKMeansDetector(rows [][]float64, opts KMeansOptions) (OutlierDetector, error) {
+	return unsupervised.TrainKMeans(rows, opts)
+}
+
+// TrainZScoreDetector fits a robust per-attribute outlier detector on
+// unlabeled rows.
+func TrainZScoreDetector(rows [][]float64, opts ZScoreOptions) (OutlierDetector, error) {
+	return unsupervised.TrainZScore(rows, opts)
+}

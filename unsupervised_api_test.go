@@ -1,0 +1,76 @@
+package prepare
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnsupervisedPublicWorkflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mkRow := func() []float64 {
+		return []float64{800 + 15*rng.NormFloat64(), 40 + 3*rng.NormFloat64()}
+	}
+	var rows [][]float64
+	for i := 0; i < 200; i++ {
+		rows = append(rows, mkRow())
+	}
+	p, err := NewUnsupervisedPredictor(PredictorConfig{Bins: 8}, []string{"free", "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(rows, KMeansDetector, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Drive into an unseen extreme state.
+	alerted := false
+	for i := 0; i < 120; i++ {
+		free := 800 - 7*float64(i) + 10*rng.NormFloat64()
+		cpu := 40 + 0.45*float64(i) + 2*rng.NormFloat64()
+		if err := p.Observe([]float64{free, cpu}); err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.PredictWindow(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Abnormal {
+			alerted = true
+			break
+		}
+	}
+	if !alerted {
+		t.Error("unsupervised predictor never flagged the unseen drift")
+	}
+}
+
+func TestOutlierDetectorsPublic(t *testing.T) {
+	rows := [][]float64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{10 + rng.NormFloat64(), 5 + 0.5*rng.NormFloat64()})
+	}
+	km, err := TrainKMeansDetector(rows, KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := TrainZScoreDetector(rows, ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []OutlierDetector{km, zs} {
+		anomalous, err := d.Anomalous([]float64{100, -40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !anomalous {
+			t.Error("extreme point should be anomalous")
+		}
+		normal, err := d.Anomalous([]float64{10, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if normal {
+			t.Error("central point should be normal")
+		}
+	}
+}
