@@ -13,6 +13,9 @@
 //	preparesim -experiment fig13
 //	preparesim -experiment all
 //	preparesim -experiment run -app rubis -fault memleak -scheme prepare
+//
+// All multi-run experiments accept -parallel N to size the worker pool
+// (0, the default, uses GOMAXPROCS). Output is identical for any value.
 package main
 
 import (
@@ -39,6 +42,7 @@ type options struct {
 	format     string
 	seeds      int
 	seed       int64
+	parallel   int
 }
 
 func run(args []string) error {
@@ -53,9 +57,12 @@ func run(args []string) error {
 	fs.StringVar(&opts.format, "format", "text", "output format: text, csv or svg")
 	fs.IntVar(&opts.seeds, "seeds", 5, "repetitions per cell (fig6/fig8)")
 	fs.Int64Var(&opts.seed, "seed", 100, "base random seed")
+	fs.IntVar(&opts.parallel, "parallel", 0,
+		"worker-pool size for multi-run sweeps (0 = GOMAXPROCS; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	prepare.SetParallelism(opts.parallel)
 
 	switch opts.experiment {
 	case "all":

@@ -1,0 +1,105 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModel trains a 13-attribute, 8-bin model — the shape of PREPARE's
+// per-VM classifier — and returns marginals resembling a Markov
+// predictor's output.
+func benchModel(b *testing.B) (*Model, [][]float64, []int) {
+	b.Helper()
+	const attrs, bins = 13, 8
+	rng := rand.New(rand.NewSource(1))
+	binsPer := make([]int, attrs)
+	for j := range binsPer {
+		binsPer[j] = bins
+	}
+	instances := make([]Instance, 600)
+	for i := range instances {
+		vals := make([]int, attrs)
+		for j := range vals {
+			vals[j] = rng.Intn(bins)
+		}
+		instances[i] = Instance{Bins: vals, Abnormal: i%5 == 0}
+	}
+	m, err := Train(instances, binsPer, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	marginals := make([][]float64, attrs)
+	obs := make([]int, attrs)
+	for j := range marginals {
+		dist := make([]float64, bins)
+		total := 0.0
+		for v := range dist {
+			dist[v] = rng.Float64()
+			total += dist[v]
+		}
+		for v := range dist {
+			dist[v] /= total
+		}
+		marginals[j] = dist
+		obs[j] = rng.Intn(bins)
+	}
+	return m, marginals, obs
+}
+
+func BenchmarkScoreMarginals(b *testing.B) {
+	m, marginals, _ := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.ScoreMarginals(marginals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreMarginalsScratch(b *testing.B) {
+	m, marginals, _ := benchModel(b)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.ScoreMarginalsScratch(marginals, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarginalScore(b *testing.B) {
+	m, marginals, _ := benchModel(b)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MarginalScore(marginals, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttributeStrengths(b *testing.B) {
+	m, _, obs := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AttributeStrengths(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttributeStrengthsScratch(b *testing.B) {
+	m, _, obs := benchModel(b)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AttributeStrengthsScratch(obs, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

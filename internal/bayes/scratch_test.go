@@ -1,0 +1,118 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+)
+
+func scratchTestModel(t *testing.T) (*Model, [][]float64, []int) {
+	t.Helper()
+	instances := []Instance{
+		{Bins: []int{0, 1, 2}, Abnormal: false},
+		{Bins: []int{1, 1, 2}, Abnormal: false},
+		{Bins: []int{0, 0, 1}, Abnormal: false},
+		{Bins: []int{3, 3, 0}, Abnormal: true},
+		{Bins: []int{3, 2, 0}, Abnormal: true},
+	}
+	m, err := Train(instances, []int{4, 4, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginals := [][]float64{
+		{0.1, 0.2, 0.3, 0.4},
+		{0.25, 0.25, 0.25, 0.25},
+		{0.6, 0.3, 0.1},
+	}
+	obs := []int{3, 2, 0}
+	return m, marginals, obs
+}
+
+// The scratch variants must produce exactly the results of the
+// allocating ones, and reusing the scratch across calls must not change
+// the outcome.
+func TestScoreMarginalsScratchMatches(t *testing.T) {
+	m, marginals, _ := scratchTestModel(t)
+	wantScore, wantStrengths, err := m.ScoreMarginals(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	for round := 0; round < 3; round++ {
+		score, strengths, err := m.ScoreMarginalsScratch(marginals, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score != wantScore {
+			t.Fatalf("round %d: score %v, want %v", round, score, wantScore)
+		}
+		if len(strengths) != len(wantStrengths) {
+			t.Fatalf("round %d: %d strengths, want %d", round, len(strengths), len(wantStrengths))
+		}
+		for i := range strengths {
+			if strengths[i] != wantStrengths[i] {
+				t.Fatalf("round %d: strength %d = %+v, want %+v", round, i, strengths[i], wantStrengths[i])
+			}
+		}
+	}
+}
+
+func TestMarginalScoreMatchesScoreMarginals(t *testing.T) {
+	m, marginals, _ := scratchTestModel(t)
+	wantScore, _, err := m.ScoreMarginals(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	score, err := m.MarginalScore(marginals, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != wantScore {
+		t.Fatalf("MarginalScore = %v, ScoreMarginals = %v", score, wantScore)
+	}
+	// Nil scratch must work too.
+	score2, err := m.MarginalScore(marginals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score2 != wantScore {
+		t.Fatalf("MarginalScore(nil) = %v, want %v", score2, wantScore)
+	}
+}
+
+func TestMarginalScoreShapeErrors(t *testing.T) {
+	m, marginals, _ := scratchTestModel(t)
+	if _, err := m.MarginalScore(nil, nil); err == nil {
+		t.Error("nil marginals accepted")
+	}
+	bad := [][]float64{marginals[0], marginals[1], {0.5, 0.5}}
+	if _, err := m.MarginalScore(bad, nil); err == nil {
+		t.Error("wrong bin count accepted")
+	}
+}
+
+func TestAttributeStrengthsScratchMatches(t *testing.T) {
+	m, _, obs := scratchTestModel(t)
+	want, err := m.AttributeStrengths(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	for round := 0; round < 3; round++ {
+		got, err := m.AttributeStrengthsScratch(obs, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d strengths, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Attribute != want[i].Attribute || math.Abs(got[i].L-want[i].L) > 1e-15 {
+				t.Fatalf("round %d: strength %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := m.AttributeStrengthsScratch([]int{0}, &sc); err == nil {
+		t.Error("bad shape accepted")
+	}
+}

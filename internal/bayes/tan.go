@@ -320,6 +320,28 @@ func (m *Model) Classify(bins []int) (bool, error) {
 	return score > 0, nil
 }
 
+// Scratch holds reusable buffers for the scoring hot paths. A zero
+// Scratch is ready to use; buffers grow on demand and are reused across
+// calls, so one Scratch must not be shared between goroutines.
+type Scratch struct {
+	argmax    []int
+	strengths []Strength
+}
+
+func (s *Scratch) argmaxBuf(n int) []int {
+	if cap(s.argmax) < n {
+		s.argmax = make([]int, n)
+	}
+	return s.argmax[:n]
+}
+
+func (s *Scratch) strengthsBuf(n int) []Strength {
+	if cap(s.strengths) < n {
+		s.strengths = make([]Strength, n)
+	}
+	return s.strengths[:n]
+}
+
 // ScoreMarginals evaluates Equation (1) in expectation over per-attribute
 // predicted value distributions (as produced by the Markov value
 // predictors): each attribute contributes E_v[L_i(v)] under its marginal,
@@ -329,13 +351,64 @@ func (m *Model) Classify(bins []int) (bool, error) {
 // what gives the anomaly predictor usable lead time. It returns the
 // score and the per-attribute expected strengths sorted descending.
 func (m *Model) ScoreMarginals(marginals [][]float64) (float64, []Strength, error) {
-	if len(marginals) != m.numAttrs {
-		return 0, nil, fmt.Errorf("%w: got %d marginals, want %d", ErrShape, len(marginals), m.numAttrs)
+	return m.ScoreMarginalsScratch(marginals, nil)
+}
+
+// ScoreMarginalsScratch is ScoreMarginals reusing sc's buffers: the
+// returned strengths alias sc and are valid only until the next call
+// using the same Scratch. A nil sc allocates fresh slices, matching
+// ScoreMarginals.
+func (m *Model) ScoreMarginalsScratch(marginals [][]float64, sc *Scratch) (float64, []Strength, error) {
+	argmax, err := m.checkMarginals(marginals, sc)
+	if err != nil {
+		return 0, nil, err
 	}
-	argmax := make([]int, m.numAttrs)
+	var strengths []Strength
+	if sc != nil {
+		strengths = sc.strengthsBuf(m.numAttrs)
+	} else {
+		strengths = make([]Strength, m.numAttrs)
+	}
+	score := m.ClassPrior()
+	for i := 0; i < m.numAttrs; i++ {
+		expL := m.expectedStrength(marginals, argmax, i)
+		strengths[i] = Strength{Attribute: i, L: expL}
+		score += expL
+	}
+	sort.SliceStable(strengths, func(a, b int) bool { return strengths[a].L > strengths[b].L })
+	return score, strengths, nil
+}
+
+// MarginalScore computes just the Equation (1) expected score, skipping
+// the strengths ranking — the cheap inner-loop variant PredictWindow
+// uses to locate the worst step before materializing its full verdict.
+func (m *Model) MarginalScore(marginals [][]float64, sc *Scratch) (float64, error) {
+	argmax, err := m.checkMarginals(marginals, sc)
+	if err != nil {
+		return 0, err
+	}
+	score := m.ClassPrior()
+	for i := 0; i < m.numAttrs; i++ {
+		score += m.expectedStrength(marginals, argmax, i)
+	}
+	return score, nil
+}
+
+// checkMarginals validates the marginal shapes and returns each
+// attribute's most likely predicted bin.
+func (m *Model) checkMarginals(marginals [][]float64, sc *Scratch) ([]int, error) {
+	if len(marginals) != m.numAttrs {
+		return nil, fmt.Errorf("%w: got %d marginals, want %d", ErrShape, len(marginals), m.numAttrs)
+	}
+	var argmax []int
+	if sc != nil {
+		argmax = sc.argmaxBuf(m.numAttrs)
+	} else {
+		argmax = make([]int, m.numAttrs)
+	}
 	for i, dist := range marginals {
 		if len(dist) != m.bins[i] {
-			return 0, nil, fmt.Errorf("%w: marginal %d has %d bins, want %d", ErrShape, i, len(dist), m.bins[i])
+			return nil, fmt.Errorf("%w: marginal %d has %d bins, want %d", ErrShape, i, len(dist), m.bins[i])
 		}
 		best, bestIdx := -1.0, 0
 		for v, p := range dist {
@@ -346,25 +419,24 @@ func (m *Model) ScoreMarginals(marginals [][]float64) (float64, []Strength, erro
 		}
 		argmax[i] = bestIdx
 	}
-	strengths := make([]Strength, m.numAttrs)
-	score := m.ClassPrior()
-	for i := 0; i < m.numAttrs; i++ {
-		u := 0
-		if p := m.parent[i]; p >= 0 {
-			u = argmax[p]
-		}
-		expL := 0.0
-		for v, pv := range marginals[i] {
-			if pv <= 0 {
-				continue
-			}
-			expL += pv * math.Log(m.cpt[i][1][u][v]/m.cpt[i][0][u][v])
-		}
-		strengths[i] = Strength{Attribute: i, L: expL}
-		score += expL
+	return argmax, nil
+}
+
+// expectedStrength is E_v[L_i(v)] under attribute i's marginal, with the
+// parent fixed at its most likely predicted value.
+func (m *Model) expectedStrength(marginals [][]float64, argmax []int, i int) float64 {
+	u := 0
+	if p := m.parent[i]; p >= 0 {
+		u = argmax[p]
 	}
-	sort.SliceStable(strengths, func(a, b int) bool { return strengths[a].L > strengths[b].L })
-	return score, strengths, nil
+	expL := 0.0
+	for v, pv := range marginals[i] {
+		if pv <= 0 {
+			continue
+		}
+		expL += pv * math.Log(m.cpt[i][1][u][v]/m.cpt[i][0][u][v])
+	}
+	return expL
 }
 
 // Strength is one attribute's contribution to an abnormal classification.
@@ -377,10 +449,22 @@ type Strength struct {
 // observation, sorted descending — the paper's ranked list of metrics
 // most related to the predicted anomaly.
 func (m *Model) AttributeStrengths(bins []int) ([]Strength, error) {
+	return m.AttributeStrengthsScratch(bins, nil)
+}
+
+// AttributeStrengthsScratch is AttributeStrengths reusing sc's buffers:
+// the returned slice aliases sc and is valid only until the next call
+// using the same Scratch. A nil sc allocates a fresh slice.
+func (m *Model) AttributeStrengthsScratch(bins []int, sc *Scratch) ([]Strength, error) {
 	if err := m.checkShape(bins); err != nil {
 		return nil, err
 	}
-	out := make([]Strength, m.numAttrs)
+	var out []Strength
+	if sc != nil {
+		out = sc.strengthsBuf(m.numAttrs)
+	} else {
+		out = make([]Strength, m.numAttrs)
+	}
 	for i := 0; i < m.numAttrs; i++ {
 		out[i] = Strength{Attribute: i, L: m.strength(bins, i)}
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"prepare/internal/cloudsim"
@@ -79,6 +80,9 @@ type AccuracyOptions struct {
 // application-level alert is the OR over the per-VM predictors (PREPARE
 // raises an alert as long as any per-VM predictor raises one); the
 // monolithic baseline concatenates all VMs' attributes into one model.
+// Look-ahead windows are evaluated concurrently on the package worker
+// pool (each window trains and replays its own predictors, so windows
+// are independent); point order follows the input.
 func AccuracySweep(ds Dataset, lookaheads []int64, opts AccuracyOptions) ([]AccuracyPoint, error) {
 	if len(ds.Order) == 0 {
 		return nil, fmt.Errorf("experiment: dataset has no VMs")
@@ -86,21 +90,56 @@ func AccuracySweep(ds Dataset, lookaheads []int64, opts AccuracyOptions) ([]Accu
 	if len(lookaheads) == 0 {
 		return nil, fmt.Errorf("experiment: at least one look-ahead window is required")
 	}
+	curves, err := sweepCurves(ds, []curveSpec{{lookaheads: lookaheads, opts: opts}})
+	if err != nil {
+		return nil, err
+	}
+	return curves[0].Points, nil
+}
 
-	var out []AccuracyPoint
-	for _, la := range lookaheads {
-		conf, err := accuracyAt(ds, la, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: lookahead %d: %w", la, err)
+// curveSpec names one accuracy-sweep variant of a figure.
+type curveSpec struct {
+	label      string
+	lookaheads []int64
+	opts       AccuracyOptions
+}
+
+// sweepCurves evaluates every (curve, look-ahead) cell of the given
+// sweep variants over one dataset, fanned out as a single flat batch on
+// the package worker pool. Curve and point order follow the specs.
+func sweepCurves(ds Dataset, specs []curveSpec) ([]AccuracyCurve, error) {
+	type cellRef struct{ spec, point int }
+	var cells []cellRef
+	curves := make([]AccuracyCurve, len(specs))
+	for si, sp := range specs {
+		curves[si] = AccuracyCurve{Label: sp.label, Points: make([]AccuracyPoint, len(sp.lookaheads))}
+		for pi := range sp.lookaheads {
+			cells = append(cells, cellRef{spec: si, point: pi})
 		}
-		out = append(out, AccuracyPoint{
+	}
+	err := Runner{}.ForEach(context.Background(), len(cells), func(_ context.Context, i int) error {
+		c := cells[i]
+		sp := specs[c.spec]
+		la := sp.lookaheads[c.point]
+		conf, err := accuracyAt(ds, la, sp.opts)
+		if err != nil {
+			if sp.label != "" {
+				return fmt.Errorf("experiment: %s lookahead %d: %w", sp.label, la, err)
+			}
+			return fmt.Errorf("experiment: lookahead %d: %w", la, err)
+		}
+		curves[c.spec].Points[c.point] = AccuracyPoint{
 			LookaheadS: la,
 			AT:         conf.TruePositiveRate(),
 			AF:         conf.FalseAlarmRate(),
 			Confusion:  conf,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return curves, nil
 }
 
 func accuracyAt(ds Dataset, lookaheadS int64, opts AccuracyOptions) (predict.Confusion, error) {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,24 +36,40 @@ type ViolationCell struct {
 // FigureSLOViolation reproduces Figure 6 (policy = ScalingFirst) or
 // Figure 8 (policy = MigrationOnly): SLO violation time for every
 // app × fault × scheme cell, over `seeds` repetitions starting at
-// baseSeed.
+// baseSeed. The full grid — every cell × every seed — is flattened into
+// one batch and fanned out over the package worker pool; cell order and
+// results are identical to a serial sweep.
 func FigureSLOViolation(policy prevent.Policy, seeds int, baseSeed int64) ([]ViolationCell, error) {
-	var out []ViolationCell
+	if seeds < 1 {
+		return nil, fmt.Errorf("experiment: repetitions %d must be >= 1", seeds)
+	}
+	var scenarios []Scenario
+	var cells []ViolationCell
 	for _, app := range allApps() {
 		for _, fault := range allFaults() {
 			for _, scheme := range allSchemes() {
-				stat, _, err := Repeat(Scenario{
-					App: app, Fault: fault, Scheme: scheme,
-					Policy: policy, Seed: baseSeed,
-				}, seeds)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: %v/%v/%v: %w", app, fault, scheme, err)
+				cells = append(cells, ViolationCell{App: app, Fault: fault, Scheme: scheme})
+				for s := 0; s < seeds; s++ {
+					scenarios = append(scenarios, Scenario{
+						App: app, Fault: fault, Scheme: scheme,
+						Policy: policy, Seed: baseSeed + int64(s),
+					})
 				}
-				out = append(out, ViolationCell{App: app, Fault: fault, Scheme: scheme, Stat: stat})
 			}
 		}
 	}
-	return out, nil
+	results, err := RunAll(scenarios, BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, seeds)
+	for ci := range cells {
+		for s := 0; s < seeds; s++ {
+			values[s] = float64(results[ci*seeds+s].EvalViolationSeconds)
+		}
+		cells[ci].Stat = NewStat(values)
+	}
+	return cells, nil
 }
 
 // FormatViolationCells renders Figure 6/8 cells as a text table.
@@ -96,12 +113,17 @@ type TraceSeries struct {
 // (migration): the sampled SLO metric trace of all three schemes during
 // the second fault injection (plus margins).
 func FigureTraces(app AppKind, fault faults.Kind, policy prevent.Policy, seed int64) ([]TraceSeries, error) {
-	var out []TraceSeries
-	for _, scheme := range allSchemes() {
-		res, err := Run(Scenario{App: app, Fault: fault, Scheme: scheme, Policy: policy, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: trace %v/%v/%v: %w", app, fault, scheme, err)
-		}
+	schemes := allSchemes()
+	scenarios := make([]Scenario, len(schemes))
+	for i, scheme := range schemes {
+		scenarios[i] = Scenario{App: app, Fault: fault, Scheme: scheme, Policy: policy, Seed: seed}
+	}
+	results, err := RunAll(scenarios, BatchOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: trace: %w", err)
+	}
+	out := make([]TraceSeries, len(results))
+	for i, res := range results {
 		from := simclock.Time(res.Scenario.Inject2[0] - 60)
 		to := simclock.Time(res.Scenario.Inject2[1] + 120)
 		var window []TracePoint
@@ -110,7 +132,7 @@ func FigureTraces(app AppKind, fault faults.Kind, policy prevent.Policy, seed in
 				window = append(window, p)
 			}
 		}
-		out = append(out, TraceSeries{Scheme: scheme, Points: window})
+		out[i] = TraceSeries{Scheme: schemes[i], Points: window}
 	}
 	return out, nil
 }
@@ -161,18 +183,10 @@ func FigurePerComponentVsMonolithic(app AppKind, fault faults.Kind, seed int64) 
 	if err != nil {
 		return nil, err
 	}
-	per, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{})
-	if err != nil {
-		return nil, err
-	}
-	mono, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{Monolithic: true})
-	if err != nil {
-		return nil, err
-	}
-	return []AccuracyCurve{
-		{Label: "per-component", Points: per},
-		{Label: "monolithic", Points: mono},
-	}, nil
+	return sweepCurves(ds, []curveSpec{
+		{label: "per-component", lookaheads: DefaultLookaheads(), opts: AccuracyOptions{}},
+		{label: "monolithic", lookaheads: DefaultLookaheads(), opts: AccuracyOptions{Monolithic: true}},
+	})
 }
 
 // FigureMarkovComparison reproduces one subplot of Figure 11: the
@@ -182,22 +196,12 @@ func FigureMarkovComparison(app AppKind, fault faults.Kind, seed int64) ([]Accur
 	if err != nil {
 		return nil, err
 	}
-	twoDep, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
-		Predict: predict.Config{Order: predict.TwoDependent},
+	return sweepCurves(ds, []curveSpec{
+		{label: "2-dep. Markov", lookaheads: DefaultLookaheads(),
+			opts: AccuracyOptions{Predict: predict.Config{Order: predict.TwoDependent}}},
+		{label: "simple Markov", lookaheads: DefaultLookaheads(),
+			opts: AccuracyOptions{Predict: predict.Config{Order: predict.SimpleMarkov}}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	simple, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
-		Predict: predict.Config{Order: predict.SimpleMarkov},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return []AccuracyCurve{
-		{Label: "2-dep. Markov", Points: twoDep},
-		{Label: "simple Markov", Points: simple},
-	}, nil
 }
 
 // FigureAlarmFiltering reproduces Figure 12: accuracy under k=1,2,3 of
@@ -207,38 +211,45 @@ func FigureAlarmFiltering(seed int64) ([]AccuracyCurve, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []AccuracyCurve
+	specs := make([]curveSpec, 0, 3)
 	for _, k := range []int{1, 2, 3} {
-		points, err := AccuracySweep(ds, DefaultLookaheads(), AccuracyOptions{
-			FilterK: k, FilterW: 4,
+		specs = append(specs, curveSpec{
+			label:      fmt.Sprintf("k=%d,W=4", k),
+			lookaheads: DefaultLookaheads(),
+			opts:       AccuracyOptions{FilterK: k, FilterW: 4},
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AccuracyCurve{Label: fmt.Sprintf("k=%d,W=4", k), Points: points})
 	}
-	return out, nil
+	return sweepCurves(ds, specs)
 }
 
 // FigureSamplingInterval reproduces Figure 13: accuracy under 1, 5, and
 // 10 second sampling intervals for a bottleneck fault in RUBiS.
 func FigureSamplingInterval(seed int64) ([]AccuracyCurve, error) {
-	var out []AccuracyCurve
-	for _, interval := range []int64{1, 5, 10} {
+	intervals := []int64{1, 5, 10}
+	out := make([]AccuracyCurve, len(intervals))
+	// Each interval needs its own dataset (the monitoring cadence changes
+	// the collected samples), so the fan-out is per curve; the nested
+	// accuracy sweep parallelizes the look-ahead windows within each.
+	err := Runner{}.ForEach(context.Background(), len(intervals), func(_ context.Context, i int) error {
+		interval := intervals[i]
 		ds, err := CollectDataset(Scenario{
 			App: RUBiS, Fault: faults.Bottleneck, Seed: seed,
 			SamplingIntervalS: interval,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		points, err := AccuracySweep(ds, []int64{10, 20, 30, 40, 50}, AccuracyOptions{
 			Predict: predict.Config{SamplingIntervalS: interval},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AccuracyCurve{Label: fmt.Sprintf("%ds interval", interval), Points: points})
+		out[i] = AccuracyCurve{Label: fmt.Sprintf("%ds interval", interval), Points: points}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

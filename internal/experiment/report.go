@@ -114,7 +114,7 @@ func WriteReport(w io.Writer, opts ReportOptions) error {
 	// Extension: first-occurrence prevention.
 	fmt.Fprint(w, "## Extension — unseen anomalies (Section V)\n\n```\n")
 	base := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Seed: opts.Seed, SkipFirstInjection: true}
-	for _, variant := range []struct {
+	variants := []struct {
 		name         string
 		scheme       control.Scheme
 		unsupervised bool
@@ -122,16 +122,20 @@ func WriteReport(w io.Writer, opts ReportOptions) error {
 		{"without-intervention", control.SchemeNone, false},
 		{"prepare-supervised", control.SchemePREPARE, false},
 		{"prepare-unsupervised", control.SchemePREPARE, true},
-	} {
-		sc := base
-		sc.Scheme = variant.scheme
-		sc.Unsupervised = variant.unsupervised
-		res, err := Run(sc)
-		if err != nil {
-			return fmt.Errorf("experiment: report unseen: %w", err)
-		}
+	}
+	scenarios := make([]Scenario, len(variants))
+	for i, variant := range variants {
+		scenarios[i] = base
+		scenarios[i].Scheme = variant.scheme
+		scenarios[i].Unsupervised = variant.unsupervised
+	}
+	results, err := RunAll(scenarios, BatchOptions{})
+	if err != nil {
+		return fmt.Errorf("experiment: report unseen: %w", err)
+	}
+	for i, variant := range variants {
 		fmt.Fprintf(w, "%-24s violation %4ds, actions %d\n",
-			variant.name, res.EvalViolationSeconds, len(res.Steps))
+			variant.name, results[i].EvalViolationSeconds, len(results[i].Steps))
 	}
 	fmt.Fprint(w, "```\n")
 	return nil

@@ -37,22 +37,24 @@ func NewStat(values []float64) Stat {
 
 // Repeat runs the scenario with n different seeds (seed, seed+1, ...)
 // and summarizes the evaluation-window SLO violation time, reproducing
-// the paper's five-repetition protocol.
+// the paper's five-repetition protocol. Repetitions execute on the
+// package worker pool; an error names the seed of the failing run.
 func Repeat(sc Scenario, n int) (Stat, []Result, error) {
 	if n < 1 {
 		return Stat{}, nil, fmt.Errorf("experiment: repetitions %d must be >= 1", n)
 	}
-	values := make([]float64, 0, n)
-	results := make([]Result, 0, n)
-	for i := 0; i < n; i++ {
-		run := sc
-		run.Seed = sc.Seed + int64(i)
-		res, err := Run(run)
-		if err != nil {
-			return Stat{}, nil, err
-		}
-		values = append(values, float64(res.EvalViolationSeconds))
-		results = append(results, res)
+	scenarios := make([]Scenario, n)
+	for i := range scenarios {
+		scenarios[i] = sc
+		scenarios[i].Seed = sc.Seed + int64(i)
+	}
+	results, err := RunAll(scenarios, BatchOptions{})
+	if err != nil {
+		return Stat{}, nil, err
+	}
+	values := make([]float64, n)
+	for i, res := range results {
+		values[i] = float64(res.EvalViolationSeconds)
 	}
 	return NewStat(values), results, nil
 }

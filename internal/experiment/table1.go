@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -27,7 +28,11 @@ type Table1Row struct {
 // Table1 measures the CPU cost of each PREPARE module, mirroring the
 // paper's Table I. Model operations are timed over `rounds` repetitions
 // of the same 600-sample/13-attribute workload the paper used; actuation
-// rows report the simulated latency constants.
+// rows report the simulated latency constants. The five module timings
+// run concurrently on the package worker pool; each measurement times
+// its own repetition loop, so per-op figures stay comparable (on a
+// heavily loaded machine, SetDefaultWorkers(1) restores fully serial
+// timing).
 func Table1(rounds int) ([]Table1Row, error) {
 	if rounds < 1 {
 		rounds = 50
@@ -38,33 +43,32 @@ func Table1(rounds int) ([]Table1Row, error) {
 		return nil, err
 	}
 
-	monitoring, err := timeMonitoring(rounds)
-	if err != nil {
-		return nil, err
+	timings := []func() (string, error){
+		func() (string, error) { return timeMonitoring(rounds) },
+		func() (string, error) { return timeMarkovTraining(rows, predict.SimpleMarkov, rounds) },
+		func() (string, error) { return timeMarkovTraining(rows, predict.TwoDependent, rounds) },
+		func() (string, error) { return timeTANTraining(rows, labels, rounds) },
+		func() (string, error) { return timePrediction(rows, labels, rounds) },
 	}
-	simpleTrain, err := timeMarkovTraining(rows, predict.SimpleMarkov, rounds)
-	if err != nil {
-		return nil, err
-	}
-	twoDepTrain, err := timeMarkovTraining(rows, predict.TwoDependent, rounds)
-	if err != nil {
-		return nil, err
-	}
-	tanTrain, err := timeTANTraining(rows, labels, rounds)
-	if err != nil {
-		return nil, err
-	}
-	prediction, err := timePrediction(rows, labels, rounds)
+	measured := make([]string, len(timings))
+	err = Runner{}.ForEach(context.Background(), len(timings), func(_ context.Context, i int) error {
+		m, err := timings[i]()
+		if err != nil {
+			return fmt.Errorf("experiment: table1 timing %d: %w", i, err)
+		}
+		measured[i] = m
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	return []Table1Row{
-		{"VM monitoring (13 attributes)", "4.68 ms", monitoring},
-		{"Simple Markov model training (600 samples)", "61.0 ms", simpleTrain},
-		{"2-dep. Markov model training (600 samples)", "135.1 ms", twoDepTrain},
-		{"TAN model training (600 samples)", "4.0 ms", tanTrain},
-		{"Anomaly prediction", "1.3 ms", prediction},
+		{"VM monitoring (13 attributes)", "4.68 ms", measured[0]},
+		{"Simple Markov model training (600 samples)", "61.0 ms", measured[1]},
+		{"2-dep. Markov model training (600 samples)", "135.1 ms", measured[2]},
+		{"TAN model training (600 samples)", "4.0 ms", measured[3]},
+		{"Anomaly prediction", "1.3 ms", measured[4]},
 		{"CPU resource scaling", "107.0 ms", fmt.Sprintf("%.0f ms (simulated)", cloudsim.CPUScalingLatencyMS)},
 		{"Memory resource scaling", "116.0 ms", fmt.Sprintf("%.0f ms (simulated)", cloudsim.MemScalingLatencyMS)},
 		{"Live VM migration (512MB memory)", "8.56 s", fmt.Sprintf("%d s (simulated)", cloudsim.MigrationSeconds(512))},

@@ -1,0 +1,91 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSeq is a 600-observation sequence over 8 bins, the shape of one
+// attribute's training window in PREPARE.
+func benchSeq(b *testing.B) []int {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]int, 600)
+	cur := 0
+	for i := range seq {
+		// Random walk with occasional jumps, so transitions are dense
+		// enough that propagation touches most states.
+		switch rng.Intn(4) {
+		case 0:
+			cur++
+		case 1:
+			cur--
+		case 2:
+			cur = rng.Intn(8)
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		if cur > 7 {
+			cur = 7
+		}
+		seq[i] = cur
+	}
+	return seq
+}
+
+func benchmarkPredictSeries(b *testing.B, p Predictor) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := p.PredictSeries(24) // 120 s lookahead at 5 s sampling
+		if len(series) != 24 {
+			b.Fatalf("got %d distributions", len(series))
+		}
+	}
+}
+
+func BenchmarkSimpleChainPredictSeries(b *testing.B) {
+	c, err := NewSimpleChain(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Fit(benchSeq(b)); err != nil {
+		b.Fatal(err)
+	}
+	benchmarkPredictSeries(b, c)
+}
+
+func BenchmarkTwoDepChainPredictSeries(b *testing.B) {
+	c, err := NewTwoDepChain(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Fit(benchSeq(b)); err != nil {
+		b.Fatal(err)
+	}
+	benchmarkPredictSeries(b, c)
+}
+
+// BenchmarkTwoDepChainObserveThenPredict exercises the online loop the
+// controller runs every sampling tick: one observation followed by one
+// full series prediction (so per-call caches are invalidated each time,
+// as in production).
+func BenchmarkTwoDepChainObserveThenPredict(b *testing.B) {
+	c, err := NewTwoDepChain(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := benchSeq(b)
+	if err := c.Fit(seq); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Observe(seq[i%len(seq)]); err != nil {
+			b.Fatal(err)
+		}
+		c.PredictSeries(24)
+	}
+}

@@ -50,11 +50,22 @@ type Predictor interface {
 var ErrBadState = errors.New("markov: observation out of range")
 
 // SimpleChain is a first-order Markov chain over discretized values.
+//
+// Chains keep internal scratch buffers that are reused across Predict
+// and PredictSeries calls, so a chain must not be used from multiple
+// goroutines concurrently (Observe already made that true). Returned
+// distributions are always freshly allocated and safe to retain.
 type SimpleChain struct {
 	states int
 	counts [][]float64 // counts[i][j]: transitions i -> j
 	cur    int
 	seen   bool
+
+	// Scratch reused across predictions; rows caches the smoothed
+	// transition matrix and is invalidated whenever counts change.
+	rows         [][]float64
+	rowsValid    bool
+	distA, distB []float64
 }
 
 var _ Predictor = (*SimpleChain)(nil)
@@ -82,6 +93,7 @@ func (c *SimpleChain) Observe(bin int) error {
 	}
 	if c.seen {
 		c.counts[c.cur][bin]++
+		c.rowsValid = false
 	}
 	c.cur = bin
 	c.seen = true
@@ -101,15 +113,41 @@ func (c *SimpleChain) Fit(seq []int) error {
 // row returns the smoothed transition distribution out of state i.
 func (c *SimpleChain) row(i int) []float64 {
 	out := make([]float64, c.states)
+	c.rowInto(i, out)
+	return out
+}
+
+// rowInto writes the smoothed transition distribution out of state i
+// into dst.
+func (c *SimpleChain) rowInto(i int, dst []float64) {
 	total := 0.0
 	for j, n := range c.counts[i] {
-		out[j] = n + laplaceAlpha
-		total += out[j]
+		dst[j] = n + laplaceAlpha
+		total += dst[j]
 	}
-	for j := range out {
-		out[j] /= total
+	for j := range dst {
+		dst[j] /= total
 	}
-	return out
+}
+
+// ensureScratch (re)builds the cached smoothed transition matrix and the
+// ping-pong distribution buffers.
+func (c *SimpleChain) ensureScratch() {
+	if c.rows == nil {
+		storage := make([]float64, c.states*c.states)
+		c.rows = make([][]float64, c.states)
+		for i := range c.rows {
+			c.rows[i] = storage[i*c.states : (i+1)*c.states : (i+1)*c.states]
+		}
+		c.distA = make([]float64, c.states)
+		c.distB = make([]float64, c.states)
+	}
+	if !c.rowsValid {
+		for i := range c.rows {
+			c.rowInto(i, c.rows[i])
+		}
+		c.rowsValid = true
+	}
 }
 
 // Predict implements Predictor.
@@ -127,41 +165,48 @@ func (c *SimpleChain) Predict(steps int) []float64 {
 	return series[steps-1]
 }
 
-// PredictSeries implements Predictor.
+// PredictSeries implements Predictor. The returned distributions are
+// freshly allocated (one backing array for the whole series); all
+// intermediate propagation state lives in scratch buffers reused across
+// calls.
 func (c *SimpleChain) PredictSeries(maxSteps int) [][]float64 {
 	if maxSteps < 1 {
 		maxSteps = 1
 	}
-	out := make([][]float64, 0, maxSteps)
-	dist := make([]float64, c.states)
+	out := seriesSlices(maxSteps, c.states)
 	if !c.seen {
-		uniform(dist)
-		for s := 0; s < maxSteps; s++ {
-			cp := make([]float64, c.states)
-			copy(cp, dist)
-			out = append(out, cp)
+		for s := range out {
+			uniform(out[s])
 		}
 		return out
 	}
+	c.ensureScratch()
+	dist, next := c.distA, c.distB
+	clear(dist)
 	dist[c.cur] = 1
-	rows := make([][]float64, c.states)
-	for i := range rows {
-		rows[i] = c.row(i)
-	}
 	for s := 0; s < maxSteps; s++ {
-		next := make([]float64, c.states)
+		clear(next)
 		for i, p := range dist {
 			if p == 0 {
 				continue
 			}
-			for j, q := range rows[i] {
+			for j, q := range c.rows[i] {
 				next[j] += p * q
 			}
 		}
-		dist = next
-		cp := make([]float64, c.states)
-		copy(cp, dist)
-		out = append(out, cp)
+		dist, next = next, dist
+		copy(out[s], dist)
+	}
+	return out
+}
+
+// seriesSlices carves maxSteps independent distributions out of a single
+// backing allocation.
+func seriesSlices(maxSteps, states int) [][]float64 {
+	storage := make([]float64, maxSteps*states)
+	out := make([][]float64, maxSteps)
+	for s := range out {
+		out[s] = storage[s*states : (s+1)*states : (s+1)*states]
 	}
 	return out
 }
@@ -169,6 +214,10 @@ func (c *SimpleChain) PredictSeries(maxSteps int) [][]float64 {
 // TwoDepChain is the paper's 2-dependent Markov chain: the combined state
 // is the pair (previous bin, current bin), so transition probabilities
 // condition on both.
+//
+// Like SimpleChain, a TwoDepChain reuses internal scratch buffers across
+// predictions and must stay confined to one goroutine; returned
+// distributions are freshly allocated.
 type TwoDepChain struct {
 	states int
 	// counts[prev*states+cur][next]
@@ -176,6 +225,15 @@ type TwoDepChain struct {
 	prev   int
 	cur    int
 	nSeen  int // 0, 1 or 2+ observations so far
+
+	// Smoothed-row cache: rows[idx] holds the distribution for combined
+	// state idx, valid when rowVersion[idx] == version. Observe bumps
+	// version, invalidating every cached row at once (an observation
+	// also shifts the backoff aggregates other rows depend on).
+	rows         [][]float64
+	rowVersion   []uint64
+	version      uint64
+	distA, distB []float64 // states*states propagation scratch
 }
 
 var _ Predictor = (*TwoDepChain)(nil)
@@ -209,6 +267,7 @@ func (c *TwoDepChain) Observe(bin int) error {
 		c.nSeen = 2
 	default:
 		c.counts[c.prev*c.states+c.cur][bin]++
+		c.version++
 		c.prev, c.cur = c.cur, bin
 	}
 	return nil
@@ -229,30 +288,64 @@ func (c *TwoDepChain) Fit(seq []int) error {
 // to the aggregate distribution conditioned on cur alone, which keeps
 // sparse pairs from collapsing to uniform noise.
 func (c *TwoDepChain) rowFor(prev, cur int) []float64 {
+	out := make([]float64, c.states)
+	c.rowInto(prev, cur, out)
+	return out
+}
+
+// rowInto writes the smoothed next-bin distribution for combined state
+// (prev, cur) into dst.
+func (c *TwoDepChain) rowInto(prev, cur int, dst []float64) {
 	idx := prev*c.states + cur
 	total := 0.0
 	for _, n := range c.counts[idx] {
 		total += n
 	}
-	out := make([]float64, c.states)
 	if total > 0 {
 		for j, n := range c.counts[idx] {
-			out[j] = (n + laplaceAlpha) / (total + laplaceAlpha*float64(c.states))
+			dst[j] = (n + laplaceAlpha) / (total + laplaceAlpha*float64(c.states))
 		}
-		return out
+		return
 	}
 	// Back off: aggregate over all prev with the same cur.
+	clear(dst)
 	aggTotal := 0.0
 	for p := 0; p < c.states; p++ {
 		for j, n := range c.counts[p*c.states+cur] {
-			out[j] += n
+			dst[j] += n
 			aggTotal += n
 		}
 	}
-	for j := range out {
-		out[j] = (out[j] + laplaceAlpha) / (aggTotal + laplaceAlpha*float64(c.states))
+	for j := range dst {
+		dst[j] = (dst[j] + laplaceAlpha) / (aggTotal + laplaceAlpha*float64(c.states))
 	}
-	return out
+}
+
+// ensureScratch allocates the row cache and propagation buffers on first
+// use. Rows are filled lazily per combined state: most are never reached.
+func (c *TwoDepChain) ensureScratch() {
+	if c.rows != nil {
+		return
+	}
+	n := c.states * c.states
+	storage := make([]float64, n*c.states)
+	c.rows = make([][]float64, n)
+	for i := range c.rows {
+		c.rows[i] = storage[i*c.states : (i+1)*c.states : (i+1)*c.states]
+	}
+	c.rowVersion = make([]uint64, n)
+	c.version++ // ensure version > 0 so zeroed rowVersion reads as stale
+	c.distA = make([]float64, n)
+	c.distB = make([]float64, n)
+}
+
+// rowAt returns the (cached) smoothed row for combined state idx.
+func (c *TwoDepChain) rowAt(idx int) []float64 {
+	if c.rowVersion[idx] != c.version {
+		c.rowInto(idx/c.states, idx%c.states, c.rows[idx])
+		c.rowVersion[idx] = c.version
+	}
+	return c.rows[idx]
 }
 
 // Predict implements Predictor. The distribution over combined states is
@@ -271,44 +364,41 @@ func (c *TwoDepChain) Predict(steps int) []float64 {
 	return series[steps-1]
 }
 
-// PredictSeries implements Predictor.
+// PredictSeries implements Predictor. The returned marginals are freshly
+// allocated (one backing array for the whole series); the combined-state
+// propagation buffers and the smoothed-row cache are reused across calls.
 func (c *TwoDepChain) PredictSeries(maxSteps int) [][]float64 {
 	if maxSteps < 1 {
 		maxSteps = 1
 	}
-	out := make([][]float64, 0, maxSteps)
+	out := seriesSlices(maxSteps, c.states)
 	if c.nSeen <= 1 {
-		for s := 0; s < maxSteps; s++ {
-			dist := make([]float64, c.states)
-			uniform(dist)
-			out = append(out, dist)
+		for s := range out {
+			uniform(out[s])
 		}
 		return out
 	}
-	// Cache smoothed rows lazily: most combined states are never reached.
-	rows := make([][]float64, c.states*c.states)
-	dist := make([]float64, c.states*c.states)
+	c.ensureScratch()
+	dist, next := c.distA, c.distB
+	clear(dist)
 	dist[c.prev*c.states+c.cur] = 1
 	for s := 0; s < maxSteps; s++ {
-		next := make([]float64, c.states*c.states)
+		clear(next)
 		for idx, p := range dist {
 			if p == 0 {
 				continue
 			}
-			prev, cur := idx/c.states, idx%c.states
-			if rows[idx] == nil {
-				rows[idx] = c.rowFor(prev, cur)
-			}
-			for j, q := range rows[idx] {
-				next[cur*c.states+j] += p * q
+			cur := idx % c.states
+			base := cur * c.states
+			for j, q := range c.rowAt(idx) {
+				next[base+j] += p * q
 			}
 		}
-		dist = next
-		marg := make([]float64, c.states)
+		dist, next = next, dist
+		marg := out[s]
 		for idx, p := range dist {
 			marg[idx%c.states] += p
 		}
-		out = append(out, marg)
 	}
 	return out
 }

@@ -1,0 +1,76 @@
+package markov
+
+import "testing"
+
+// After interleaved Observe/PredictSeries calls, a chain's cached rows
+// must match those of a chain freshly fitted on the same sequence — the
+// cache invalidation on new observations must be complete.
+func TestPredictSeriesCacheInvalidation(t *testing.T) {
+	seq := []int{0, 1, 2, 3, 2, 1, 0, 1, 2, 3, 3, 2, 1, 0, 0, 1}
+	build := func() []Predictor {
+		s, err := NewSimpleChain(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewTwoDepChain(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Predictor{s, d}
+	}
+	online := build()
+	for _, b := range seq {
+		for _, c := range online {
+			if err := c.Observe(b); err != nil {
+				t.Fatal(err)
+			}
+			// Predicting mid-stream populates the caches that the next
+			// Observe must invalidate.
+			c.PredictSeries(3)
+		}
+	}
+	fresh := build()
+	for i, c := range fresh {
+		for _, b := range seq {
+			if err := c.Observe(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := c.PredictSeries(5)
+		got := online[i].PredictSeries(5)
+		for s := range want {
+			for j := range want[s] {
+				if got[s][j] != want[s][j] {
+					t.Fatalf("chain %d step %d bin %d: got %v, want %v (stale cache?)",
+						i, s, j, got[s][j], want[s][j])
+				}
+			}
+		}
+	}
+}
+
+// Repeated PredictSeries calls without intervening observations must
+// return equal, independent distributions.
+func TestPredictSeriesRepeatable(t *testing.T) {
+	c, err := NewTwoDepChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit([]int{0, 1, 2, 3, 2, 1, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	first := c.PredictSeries(6)
+	second := c.PredictSeries(6)
+	for s := range first {
+		for j := range first[s] {
+			if first[s][j] != second[s][j] {
+				t.Fatalf("step %d bin %d: %v != %v", s, j, first[s][j], second[s][j])
+			}
+		}
+	}
+	// Mutating one must not affect the other (fresh backing storage).
+	first[0][0] = 42
+	if second[0][0] == 42 {
+		t.Fatal("series share backing storage across calls")
+	}
+}

@@ -86,6 +86,10 @@ type Verdict struct {
 }
 
 // Predictor is a trained per-component anomaly prediction model.
+//
+// A Predictor reuses internal scratch buffers across prediction calls
+// (as do its Markov chains), so it must stay confined to one goroutine;
+// returned Verdicts are freshly allocated and safe to retain.
 type Predictor struct {
 	cfg     Config
 	names   []string
@@ -93,6 +97,13 @@ type Predictor struct {
 	chains  []markov.Predictor
 	model   *bayes.Model
 	trained bool
+
+	// Scratch reused across predictions: per-step marginal headers, the
+	// argmax bins of the step under evaluation, and the classifier's own
+	// scoring buffers.
+	marginalsScratch [][]float64
+	futureScratch    []int
+	scratch          bayes.Scratch
 }
 
 // New builds an untrained predictor over the named columns.
@@ -242,11 +253,27 @@ func (p *Predictor) Predict(steps int) (Verdict, error) {
 	if !p.trained {
 		return Verdict{}, ErrNotTrained
 	}
-	marginals := make([][]float64, len(p.names))
+	marginals := p.marginalsBuf()
 	for j, ch := range p.chains {
 		marginals[j] = ch.Predict(steps)
 	}
 	return p.score(marginals)
+}
+
+// marginalsBuf returns the reusable per-attribute marginal header slice.
+func (p *Predictor) marginalsBuf() [][]float64 {
+	if cap(p.marginalsScratch) < len(p.names) {
+		p.marginalsScratch = make([][]float64, len(p.names))
+	}
+	return p.marginalsScratch[:len(p.names)]
+}
+
+// futureBuf returns the reusable argmax-bin slice.
+func (p *Predictor) futureBuf() []int {
+	if cap(p.futureScratch) < len(p.names) {
+		p.futureScratch = make([]int, len(p.names))
+	}
+	return p.futureScratch[:len(p.names)]
 }
 
 // PredictAt classifies the predicted state lookaheadS seconds ahead.
@@ -269,21 +296,40 @@ func (p *Predictor) PredictWindow(lookaheadS int64) (Verdict, error) {
 	for j, ch := range p.chains {
 		series[j] = ch.PredictSeries(maxSteps)
 	}
-	var best Verdict
-	marginals := make([][]float64, len(p.names))
+	// Locate the worst step with the allocation-free score path, then
+	// materialize the full verdict (strengths ranking, future bins) for
+	// that step only.
+	marginals := p.marginalsBuf()
+	bestStep, bestScore := 0, 0.0
 	for s := 0; s < maxSteps; s++ {
 		for j := range p.names {
 			marginals[j] = series[j][s]
 		}
-		verdict, err := p.score(marginals)
+		score, err := p.stepScore(marginals)
 		if err != nil {
-			return Verdict{}, err
+			return Verdict{}, fmt.Errorf("predict: classify future state: %w", err)
 		}
-		if s == 0 || verdict.Score > best.Score {
-			best = verdict
+		if s == 0 || score > bestScore {
+			bestStep, bestScore = s, score
 		}
 	}
-	return best, nil
+	for j := range p.names {
+		marginals[j] = series[j][bestStep]
+	}
+	return p.score(marginals)
+}
+
+// stepScore computes just the classification score for one step's
+// marginals, reusing the predictor's scratch buffers.
+func (p *Predictor) stepScore(marginals [][]float64) (float64, error) {
+	if p.cfg.ArgmaxScore {
+		future := p.futureBuf()
+		for j, dist := range marginals {
+			future[j] = markov.ArgMax(dist)
+		}
+		return p.model.Score(future)
+	}
+	return p.model.MarginalScore(marginals, &p.scratch)
 }
 
 // score classifies one set of per-attribute predicted marginals.

@@ -43,6 +43,15 @@
 //
 // Everything is deterministic for a fixed seed: simulations use an
 // integer-second simulated clock and seeded randomness throughout.
+//
+// # Parallelism
+//
+// Multi-run sweeps (Repeat, the figure generators, accuracy sweeps,
+// Table1, and the RunAll batch API) fan out over a bounded worker pool
+// sized by SetParallelism (default runtime.GOMAXPROCS(0)). Because
+// every scenario run is fully self-contained — its own simulator,
+// seeded RNGs, and simulated clock — results are bit-identical for any
+// worker count, including 1; parallelism changes only wall-clock time.
 package prepare
 
 import (
