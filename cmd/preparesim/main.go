@@ -16,11 +16,18 @@
 //
 // All multi-run experiments accept -parallel N to size the worker pool
 // (0, the default, uses GOMAXPROCS). Output is identical for any value.
+//
+// Add -telemetry to collect control-loop telemetry and print an
+// end-of-run report to stderr (-telemetry-format text|json|prom), and
+// -telemetry-addr host:port to also serve live /metrics (Prometheus
+// text) and /trace (JSON events) over HTTP while the run is going.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -35,14 +42,17 @@ func main() {
 }
 
 type options struct {
-	experiment string
-	app        string
-	fault      string
-	scheme     string
-	format     string
-	seeds      int
-	seed       int64
-	parallel   int
+	experiment      string
+	app             string
+	fault           string
+	scheme          string
+	format          string
+	seeds           int
+	seed            int64
+	parallel        int
+	telemetry       bool
+	telemetryFormat string
+	telemetryAddr   string
 }
 
 func run(args []string) error {
@@ -59,10 +69,36 @@ func run(args []string) error {
 	fs.Int64Var(&opts.seed, "seed", 100, "base random seed")
 	fs.IntVar(&opts.parallel, "parallel", 0,
 		"worker-pool size for multi-run sweeps (0 = GOMAXPROCS; results are identical for any value)")
+	fs.BoolVar(&opts.telemetry, "telemetry", false,
+		"collect control-loop telemetry and print an end-of-run report to stderr")
+	fs.StringVar(&opts.telemetryFormat, "telemetry-format", "text",
+		"end-of-run telemetry report format: text, json or prom")
+	fs.StringVar(&opts.telemetryAddr, "telemetry-addr", "",
+		"serve live telemetry over HTTP on this address (/metrics, /trace); implies -telemetry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	prepare.SetParallelism(opts.parallel)
+
+	if opts.telemetry || opts.telemetryAddr != "" {
+		switch opts.telemetryFormat {
+		case "text", "json", "prom":
+		default:
+			return fmt.Errorf("unknown telemetry format %q (want text, json or prom)", opts.telemetryFormat)
+		}
+		prepare.EnableTelemetry()
+		defer reportTelemetry(opts.telemetryFormat)
+	}
+	if opts.telemetryAddr != "" {
+		ln, err := net.Listen("tcp", opts.telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		srv := &http.Server{Handler: prepare.TelemetryHandler()}
+		go srv.Serve(ln) //nolint:errcheck // shut down via Close below
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "preparesim: telemetry at http://%s/metrics and /trace\n", ln.Addr())
+	}
 
 	switch opts.experiment {
 	case "all":
@@ -240,6 +276,24 @@ func dispatch(opts options) error {
 		return fmt.Errorf("unknown experiment %q", opts.experiment)
 	}
 	return nil
+}
+
+// reportTelemetry prints the final telemetry snapshot to stderr so it
+// never corrupts the experiment output (csv/svg) on stdout.
+func reportTelemetry(format string) {
+	snap := prepare.Telemetry()
+	var err error
+	switch format {
+	case "json":
+		err = snap.WriteJSON(os.Stderr)
+	case "prom":
+		err = snap.WritePrometheus(os.Stderr)
+	default:
+		err = snap.WriteSummary(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "preparesim: telemetry report:", err)
+	}
 }
 
 func printRun(res prepare.Result) {

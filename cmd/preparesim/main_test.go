@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
 
 	"prepare"
@@ -67,5 +70,48 @@ func TestRunSingleScenario(t *testing.T) {
 		"-scheme", "reactive", "-seed", "3"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadTelemetryFormat(t *testing.T) {
+	err := run([]string{"-experiment", "run", "-telemetry", "-telemetry-format", "xml"})
+	if err == nil {
+		t.Fatal("bad telemetry format should fail before running anything")
+	}
+}
+
+// TestTelemetryFlagReportsSummary runs a full scenario with -telemetry
+// and checks the end-of-run stderr report carries the run's counters.
+func TestTelemetryFlagReportsSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	defer prepare.DisableTelemetry()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedStderr := os.Stderr
+	os.Stderr = w
+	runErr := run([]string{"-experiment", "run", "-app", "rubis", "-fault", "memleak",
+		"-scheme", "none", "-telemetry"})
+	os.Stderr = savedStderr
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	report := string(out)
+	for _, want := range []string{
+		"== telemetry summary ==",
+		"monitor.samples.ingested",
+		"monitor.slo.violated_seconds",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("telemetry report missing %q\n%s", want, report)
+		}
 	}
 }

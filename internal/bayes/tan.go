@@ -67,6 +67,8 @@ type Options struct {
 // discretized states per attribute; every instance must have len(bins)
 // values within range.
 func Train(instances []Instance, bins []int, opts Options) (*Model, error) {
+	start := trainHook.Start()
+	defer trainHook.Done(start)
 	if len(instances) == 0 {
 		return nil, ErrNoInstances
 	}
@@ -359,6 +361,8 @@ func (m *Model) ScoreMarginals(marginals [][]float64) (float64, []Strength, erro
 // using the same Scratch. A nil sc allocates fresh slices, matching
 // ScoreMarginals.
 func (m *Model) ScoreMarginalsScratch(marginals [][]float64, sc *Scratch) (float64, []Strength, error) {
+	start := scoreHook.Start()
+	defer scoreHook.Done(start)
 	argmax, err := m.checkMarginals(marginals, sc)
 	if err != nil {
 		return 0, nil, err
@@ -383,6 +387,8 @@ func (m *Model) ScoreMarginalsScratch(marginals [][]float64, sc *Scratch) (float
 // the strengths ranking — the cheap inner-loop variant PredictWindow
 // uses to locate the worst step before materializing its full verdict.
 func (m *Model) MarginalScore(marginals [][]float64, sc *Scratch) (float64, error) {
+	start := scoreHook.Start()
+	defer scoreHook.Done(start)
 	argmax, err := m.checkMarginals(marginals, sc)
 	if err != nil {
 		return 0, err

@@ -25,6 +25,7 @@ import (
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
+	"prepare/internal/telemetry"
 )
 
 // App is the application under management. Both simulated applications
@@ -108,6 +109,9 @@ type Config struct {
 	UnsupervisedDetector predict.UnsupervisedKind
 	// Predict configures the per-VM predictors.
 	Predict predict.Config
+	// Telemetry receives the controller's metrics and trace events.
+	// Nil disables instrumentation at zero cost on the loop's hot path.
+	Telemetry *telemetry.Registry
 	// Prevent configures the actuator.
 	Prevent prevent.Config
 	// Policy selects scaling-first or migration-only prevention.
@@ -203,6 +207,9 @@ type Controller struct {
 	// live migration costs seconds of degraded capacity, so immediately
 	// re-migrating a VM that was just moved only makes matters worse.
 	lastMigration map[cloudsim.VMID]simclock.Time
+
+	// tel is the telemetry wiring (all instruments nil when disabled).
+	tel instruments
 }
 
 // New builds a controller for the scheme over the application.
@@ -215,8 +222,9 @@ func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Contro
 	}
 	cfg = cfg.withDefaults()
 	sampler, err := monitor.NewSampler(cluster, app.VMIDs(), monitor.Config{
-		NoiseStd: cfg.MonitorNoiseStd,
-		Seed:     cfg.MonitorSeed,
+		NoiseStd:  cfg.MonitorNoiseStd,
+		Seed:      cfg.MonitorSeed,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
@@ -249,6 +257,7 @@ func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Contro
 		lastAlert:     make(map[cloudsim.VMID]simclock.Time, len(vms)),
 		workload:      wd,
 		lastMigration: make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		tel:           newInstruments(cfg.Telemetry),
 	}, nil
 }
 
@@ -284,6 +293,9 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	violated := c.app.SLOViolated()
 	if err := c.sloLog.Record(now, violated); err != nil {
 		return fmt.Errorf("control: %w", err)
+	}
+	if violated {
+		c.tel.sloViolatedSeconds.Inc()
 	}
 	c.sampler.UpdateLoad()
 
@@ -332,7 +344,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		sm := samples[id]
 		row := rowOf(sm)
 		if c.cfg.Unsupervised {
-			if err := c.stepUnsupervised(id, row, violated, confirmed); err != nil {
+			if err := c.stepUnsupervised(now, id, row, violated, confirmed); err != nil {
 				return err
 			}
 			continue
@@ -347,7 +359,12 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			if err != nil {
 				return fmt.Errorf("control: predict %s: %w", id, err)
 			}
-			if c.filters[id].Offer(verdict.Score > c.cfg.AlertScoreMargin) {
+			raw := verdict.Score > c.cfg.AlertScoreMargin
+			conf := c.filters[id].Offer(raw)
+			if raw {
+				c.tel.onRawAlert(now.Seconds(), string(id), verdict.Score, conf)
+			}
+			if conf {
 				confirmed[id] = verdict
 			}
 		case SchemeReactive:
@@ -360,7 +377,12 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			if err != nil {
 				return fmt.Errorf("control: evaluate %s: %w", id, err)
 			}
-			if c.filters[id].Offer(violated && verdict.Abnormal) {
+			raw := violated && verdict.Abnormal
+			conf := c.filters[id].Offer(raw)
+			if raw {
+				c.tel.onRawAlert(now.Seconds(), string(id), verdict.Score, conf)
+			}
+			if conf {
 				confirmed[id] = verdict
 			}
 		}
@@ -382,13 +404,28 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		}
 	}
 
-	for id := range confirmed {
+	// Record confirmed alerts in canonical VM order so the alert log
+	// (and the emitted telemetry events) are deterministic.
+	for _, id := range c.vmOrder {
+		v, ok := confirmed[id]
+		if !ok {
+			continue
+		}
 		c.alerts = append(c.alerts, AlertEvent{
 			Time:      now,
 			VM:        id,
-			Score:     confirmed[id].Score,
+			Score:     v.Score,
 			Predicted: c.scheme == SchemePREPARE,
 		})
+		c.tel.confirmedAlerts.Inc()
+		if c.tel.reg != nil {
+			predicted := 0.0
+			if c.scheme == SchemePREPARE {
+				predicted = 1
+			}
+			c.tel.reg.Emit(now.Seconds(), string(id), telemetry.StageControl, telemetry.KindAlertRaised, "",
+				telemetry.F("score", v.Score), telemetry.F("predicted", predicted))
+		}
 	}
 
 	// Resolve any due validations, then act on every confirmed faulty VM
@@ -473,7 +510,7 @@ func (c *Controller) targets(now simclock.Time, confirmed map[cloudsim.VMID]pred
 // confirmed verdict carries the detector's per-attribute contributions
 // as the attribution strengths, so diagnosis and actuation work
 // unchanged.
-func (c *Controller) stepUnsupervised(id cloudsim.VMID, row []float64, violated bool, confirmed map[cloudsim.VMID]predict.Verdict) error {
+func (c *Controller) stepUnsupervised(now simclock.Time, id cloudsim.VMID, row []float64, violated bool, confirmed map[cloudsim.VMID]predict.Verdict) error {
 	up := c.unsPredictors[id]
 	if err := up.Observe(row); err != nil {
 		return fmt.Errorf("control: observe %s: %w", id, err)
@@ -498,7 +535,11 @@ func (c *Controller) stepUnsupervised(id cloudsim.VMID, row []float64, violated 
 	default:
 		return nil
 	}
-	if !c.filters[id].Offer(abnormal) {
+	conf := c.filters[id].Offer(abnormal)
+	if abnormal {
+		c.tel.onRawAlert(now.Seconds(), string(id), score, conf)
+	}
+	if !conf {
 		return nil
 	}
 	strengths, err := up.Attribution(row)
@@ -561,6 +602,18 @@ func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict pr
 	if err != nil {
 		return fmt.Errorf("control: diagnose: %w", err)
 	}
+	c.tel.pinpoints.Inc()
+	if top, ok := diag.TopAttribute(); ok {
+		strength := 0.0
+		if len(diag.Strengths) > 0 {
+			strength = diag.Strengths[0].L
+		}
+		c.tel.attribution.Set(strength)
+		if c.tel.reg != nil {
+			c.tel.reg.Emit(now.Seconds(), string(target), telemetry.StageInfer, telemetry.KindCauseRanked,
+				top.String(), telemetry.F("strength", strength), telemetry.F("ranked", float64(len(diag.Ranked))))
+		}
+	}
 	step, err := c.planner.Prevent(now, diag, c.attempts[target])
 	if err != nil {
 		if errors.Is(err, prevent.ErrSaturated) {
@@ -576,6 +629,7 @@ func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict pr
 		return nil
 	}
 	c.steps = append(c.steps, step)
+	c.recordStep(now, step)
 
 	attr := metrics.CPUTotal
 	if top, ok := diag.TopAttribute(); ok {
@@ -595,6 +649,23 @@ func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict pr
 	return nil
 }
 
+// recordStep counts an executed prevention step and emits its event.
+func (c *Controller) recordStep(now simclock.Time, step prevent.Step) {
+	kind := telemetry.KindScalingApplied
+	switch step.Kind {
+	case cloudsim.ActionScaleCPU:
+		c.tel.scaleCPU.Inc()
+	case cloudsim.ActionScaleMem:
+		c.tel.scaleMem.Inc()
+	case cloudsim.ActionMigrate:
+		c.tel.migrations.Inc()
+		kind = telemetry.KindMigration
+	}
+	if c.tel.reg != nil {
+		c.tel.reg.Emit(now.Seconds(), string(step.VM), telemetry.StagePrevent, kind, step.Detail)
+	}
+}
+
 // resolveValidation applies the look-back/look-ahead effectiveness check
 // to one VM's pending action.
 func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, alertsStopped bool) {
@@ -610,6 +681,7 @@ func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, aler
 
 	switch c.validator.Validate(before, after, p.attr, alertsStopped) {
 	case prevent.Effective:
+		c.tel.valEffective.Inc()
 		c.attempts[p.step.VM] = 0
 		if f, ok := c.filters[p.step.VM]; ok {
 			f.Reset()
@@ -617,6 +689,8 @@ func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, aler
 		delete(c.pending, id)
 	case prevent.Ineffective:
 		// Try the next ranked metric on the next confirmed alert.
+		c.tel.valIneffective.Inc()
+		c.rollbackEvent(now, p)
 		c.attempts[p.step.VM]++
 		delete(c.pending, id)
 	case prevent.Inconclusive:
@@ -625,9 +699,22 @@ func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, aler
 			p.deadline = now.Add(c.cfg.ValidationDelayS)
 			return
 		}
+		c.tel.valInconclusive.Inc()
+		c.rollbackEvent(now, p)
 		c.attempts[p.step.VM]++
 		delete(c.pending, id)
 	}
+}
+
+// rollbackEvent emits the validation-rollback trace record: the action
+// did not fix the anomaly, so the ladder advances to the next ranked
+// metric.
+func (c *Controller) rollbackEvent(now simclock.Time, p *pendingValidation) {
+	if c.tel.reg == nil {
+		return
+	}
+	c.tel.reg.Emit(now.Seconds(), string(p.step.VM), telemetry.StagePrevent, telemetry.KindValidationRollback,
+		p.step.Detail, telemetry.F("attempt_next", float64(c.attempts[p.step.VM]+1)))
 }
 
 // train fits one predictor (and alarm filter) per VM from the collected
@@ -654,6 +741,7 @@ func (c *Controller) train() error {
 			if err != nil {
 				return err
 			}
+			up.SetInstruments(c.tel.predict)
 			if err := up.Train(rows, c.cfg.UnsupervisedDetector, c.cfg.MonitorSeed); err != nil {
 				return fmt.Errorf("train %s: %w", id, err)
 			}
@@ -664,6 +752,7 @@ func (c *Controller) train() error {
 			if err != nil {
 				return err
 			}
+			p.SetInstruments(c.tel.predict)
 			if err := p.Train(rows, labels); err != nil {
 				return fmt.Errorf("train %s: %w", id, err)
 			}
@@ -676,6 +765,7 @@ func (c *Controller) train() error {
 		c.filters[id] = f
 	}
 	c.trained = true
+	c.tel.trainings.Inc()
 	return nil
 }
 

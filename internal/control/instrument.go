@@ -1,0 +1,75 @@
+package control
+
+import (
+	"prepare/internal/predict"
+	"prepare/internal/telemetry"
+)
+
+// instruments bundles every counter/gauge the controller records into.
+// All fields are nil when telemetry is disabled; nil instruments no-op
+// at the cost of a nil check, so the control loop's hot path stays
+// allocation-free (the reg field gates event emission so the variadic
+// field slices are never built either).
+type instruments struct {
+	reg *telemetry.Registry
+
+	sloViolatedSeconds *telemetry.Counter
+	trainings          *telemetry.Counter
+	rawAlerts          *telemetry.Counter
+	suppressedAlerts   *telemetry.Counter
+	confirmedAlerts    *telemetry.Counter
+	pinpoints          *telemetry.Counter
+	attribution        *telemetry.Gauge
+	scaleCPU           *telemetry.Counter
+	scaleMem           *telemetry.Counter
+	migrations         *telemetry.Counter
+	valEffective       *telemetry.Counter
+	valIneffective     *telemetry.Counter
+	valInconclusive    *telemetry.Counter
+
+	predict predict.Instruments
+}
+
+// newInstruments fetches the controller's instruments from the registry
+// (all nil when reg is nil, i.e. telemetry disabled).
+func newInstruments(reg *telemetry.Registry) instruments {
+	return instruments{
+		reg:                reg,
+		sloViolatedSeconds: reg.Counter("monitor.slo.violated_seconds"),
+		trainings:          reg.Counter("control.trainings"),
+		rawAlerts:          reg.Counter("predict.alerts.raw"),
+		suppressedAlerts:   reg.Counter("predict.filter.suppressed"),
+		confirmedAlerts:    reg.Counter("control.alerts.confirmed"),
+		pinpoints:          reg.Counter("infer.pinpoints"),
+		attribution:        reg.Gauge("infer.attribution.strength"),
+		scaleCPU:           reg.Counter("prevent.actions.scale_cpu"),
+		scaleMem:           reg.Counter("prevent.actions.scale_mem"),
+		migrations:         reg.Counter("prevent.actions.migrate"),
+		valEffective:       reg.Counter("prevent.validations.effective"),
+		valIneffective:     reg.Counter("prevent.validations.ineffective"),
+		valInconclusive:    reg.Counter("prevent.validations.inconclusive"),
+		predict: predict.Instruments{
+			Windows:       reg.Counter("predict.windows"),
+			WindowLatency: reg.Histogram("predict.window.latency"),
+			TrainLatency:  reg.Histogram("predict.train.latency"),
+		},
+	}
+}
+
+// onRawAlert records a raw (pre-filter) alert and whether the k-of-W
+// filter confirmed or suppressed it.
+func (ins *instruments) onRawAlert(simTime int64, vm string, score float64, confirmed bool) {
+	ins.rawAlerts.Inc()
+	if ins.reg != nil {
+		ins.reg.Emit(simTime, vm, telemetry.StagePredict, telemetry.KindPredictionWindow, "",
+			telemetry.F("score", score))
+	}
+	if confirmed {
+		return
+	}
+	ins.suppressedAlerts.Inc()
+	if ins.reg != nil {
+		ins.reg.Emit(simTime, vm, telemetry.StagePredict, telemetry.KindAlertFiltered, "",
+			telemetry.F("score", score))
+	}
+}

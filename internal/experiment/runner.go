@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"prepare/internal/telemetry"
 )
 
 // defaultWorkers holds the package-wide worker-pool size; 0 means
@@ -146,13 +148,25 @@ func (o BatchOptions) context() context.Context {
 func RunAll(scenarios []Scenario, opts BatchOptions) ([]Result, error) {
 	results := make([]Result, len(scenarios))
 	r := Runner{Workers: opts.Workers}
+	// Batch counters live on the process-wide registry (nil-safe when
+	// telemetry is disabled). started is incremented only when a task's
+	// body actually begins — tasks skipped after a mid-batch cancellation
+	// never count, so started == completed + failed always holds and a
+	// failing batch cannot double-count work a cancelled worker never did.
+	g := telemetry.Default()
+	started := g.Counter("experiment.runs.started")
+	completed := g.Counter("experiment.runs.completed")
+	failed := g.Counter("experiment.runs.failed")
 	err := r.ForEach(opts.context(), len(scenarios), func(_ context.Context, i int) error {
+		started.Inc()
 		res, err := Run(scenarios[i])
 		if err != nil {
+			failed.Inc()
 			sc := scenarios[i].withDefaults()
 			return fmt.Errorf("experiment: scenario %d (%v/%v/%v seed %d): %w",
 				i, sc.App, sc.Fault, sc.Scheme, sc.Seed, err)
 		}
+		completed.Inc()
 		results[i] = res
 		return nil
 	})

@@ -17,6 +17,7 @@ import (
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
+	"prepare/internal/telemetry"
 	"prepare/internal/workload"
 )
 
@@ -164,6 +165,10 @@ type Result struct {
 	// FaultTarget is the VM the fault was injected into ("" for
 	// bottleneck).
 	FaultTarget cloudsim.VMID
+	// Telemetry is the run's metric/event snapshot, nil unless the
+	// process-wide telemetry registry was enabled (telemetry.Enable or
+	// prepare.EnableTelemetry) when the run started.
+	Telemetry *telemetry.Snapshot
 }
 
 // Run executes the scenario.
@@ -189,6 +194,7 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, err
 	}
 
+	reg := newRunRegistry()
 	ctl, err := control.New(sc.Scheme, cluster, app, control.Config{
 		SamplingIntervalS: sc.SamplingIntervalS,
 		LookaheadS:        sc.LookaheadS,
@@ -200,6 +206,7 @@ func Run(sc Scenario) (Result, error) {
 		MonitorSeed:       sc.Seed + 1000,
 		DisableValidation: sc.DisableValidation,
 		Unsupervised:      sc.Unsupervised,
+		Telemetry:         reg,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment: %w", err)
@@ -233,6 +240,7 @@ func Run(sc Scenario) (Result, error) {
 		VMOrder:               app.VMIDs(),
 		FaultTarget:           target,
 	}
+	finishRun(reg, &res)
 	return res, nil
 }
 

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"prepare/internal/bayes"
+	"prepare/internal/markov"
+	"prepare/internal/telemetry"
+)
+
+// newRunRegistry returns a fresh per-run registry when the process-wide
+// telemetry registry is enabled, and nil (zero-cost disabled mode)
+// otherwise. Each scenario run records into its own registry so the
+// worker pool never contends on counters mid-run and per-run snapshots
+// stay self-consistent; finishRun folds the snapshot into the global
+// registry afterwards.
+func newRunRegistry() *telemetry.Registry {
+	g := telemetry.Default()
+	if g == nil {
+		return nil
+	}
+	// The leaf model packages (markov, bayes) are instrumented through
+	// package-level hooks recording wall-clock timings straight into the
+	// global registry; installing is idempotent because the registry
+	// returns the same histogram for the same name.
+	markov.SetPredictSeriesHistogram(g.Histogram("markov.predict_series.latency"))
+	markov.SetFitHistogram(g.Histogram("markov.fit.latency"))
+	bayes.SetScoreHistogram(g.Histogram("bayes.score.latency"))
+	bayes.SetTrainHistogram(g.Histogram("bayes.train.latency"))
+	return telemetry.New(telemetry.Options{})
+}
+
+// UninstallModelHooks removes the package-level markov/bayes timing
+// hooks (used when telemetry is disabled so a stale registry stops
+// accumulating observations).
+func UninstallModelHooks() {
+	markov.SetPredictSeriesHistogram(nil)
+	markov.SetFitHistogram(nil)
+	bayes.SetScoreHistogram(nil)
+	bayes.SetTrainHistogram(nil)
+}
+
+// finishRun snapshots a per-run registry into the result and merges it
+// into the process-wide registry. No-ops when reg is nil.
+func finishRun(reg *telemetry.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	res.Telemetry = snap
+	telemetry.Default().Merge(snap)
+}

@@ -67,6 +67,23 @@ func BenchmarkTwoDepChainPredictSeries(b *testing.B) {
 	benchmarkPredictSeries(b, c)
 }
 
+// BenchmarkPredictSeries is the acceptance benchmark pinning the
+// 2-dependent chain's series-prediction allocation budget (2 allocs/op:
+// the returned slice-of-rows header block plus the backing array). It
+// runs with telemetry disabled, so it also pins the cost of the
+// uninstalled timing hook — scripts/check_bench_regression.sh gates it
+// in CI.
+func BenchmarkPredictSeries(b *testing.B) {
+	c, err := NewTwoDepChain(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Fit(benchSeq(b)); err != nil {
+		b.Fatal(err)
+	}
+	benchmarkPredictSeries(b, c)
+}
+
 // BenchmarkTwoDepChainObserveThenPredict exercises the online loop the
 // controller runs every sampling tick: one observation followed by one
 // full series prediction (so per-call caches are invalidated each time,

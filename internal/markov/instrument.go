@@ -1,0 +1,24 @@
+package markov
+
+import "prepare/internal/telemetry"
+
+// Package-level timing hooks. The experiment wiring installs histograms
+// from the process-wide telemetry registry when telemetry is enabled;
+// when uninstalled (the default) the cost on the prediction hot path is
+// a single atomic load and branch, preserving the scratch-buffer
+// allocation profile (see BenchmarkPredictSeries).
+var (
+	// predictSeriesHook times PredictSeries calls (the per-window value
+	// prediction pass over one attribute's chain).
+	predictSeriesHook telemetry.Hook
+	// fitHook times Fit calls (bulk sequence training).
+	fitHook telemetry.Hook
+)
+
+// SetPredictSeriesHistogram installs (or, with nil, removes) the
+// histogram receiving PredictSeries wall-clock timings.
+func SetPredictSeriesHistogram(h *telemetry.Histogram) { predictSeriesHook.Set(h) }
+
+// SetFitHistogram installs (or, with nil, removes) the histogram
+// receiving Fit wall-clock timings.
+func SetFitHistogram(h *telemetry.Histogram) { fitHook.Set(h) }

@@ -102,6 +102,8 @@ func (c *SimpleChain) Observe(bin int) error {
 
 // Fit feeds an entire observation sequence.
 func (c *SimpleChain) Fit(seq []int) error {
+	start := fitHook.Start()
+	defer fitHook.Done(start)
 	for i, b := range seq {
 		if err := c.Observe(b); err != nil {
 			return fmt.Errorf("markov: fit index %d: %w", i, err)
@@ -170,6 +172,8 @@ func (c *SimpleChain) Predict(steps int) []float64 {
 // intermediate propagation state lives in scratch buffers reused across
 // calls.
 func (c *SimpleChain) PredictSeries(maxSteps int) [][]float64 {
+	start := predictSeriesHook.Start()
+	defer predictSeriesHook.Done(start)
 	if maxSteps < 1 {
 		maxSteps = 1
 	}
@@ -275,6 +279,8 @@ func (c *TwoDepChain) Observe(bin int) error {
 
 // Fit feeds an entire observation sequence.
 func (c *TwoDepChain) Fit(seq []int) error {
+	start := fitHook.Start()
+	defer fitHook.Done(start)
 	for i, b := range seq {
 		if err := c.Observe(b); err != nil {
 			return fmt.Errorf("markov: fit index %d: %w", i, err)
@@ -368,6 +374,8 @@ func (c *TwoDepChain) Predict(steps int) []float64 {
 // allocated (one backing array for the whole series); the combined-state
 // propagation buffers and the smoothed-row cache are reused across calls.
 func (c *TwoDepChain) PredictSeries(maxSteps int) [][]float64 {
+	start := predictSeriesHook.Start()
+	defer predictSeriesHook.Done(start)
 	if maxSteps < 1 {
 		maxSteps = 1
 	}

@@ -8,6 +8,7 @@ import (
 	"prepare/internal/cloudsim"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
+	"prepare/internal/telemetry"
 )
 
 // DefaultSamplingInterval is the paper's metric sampling interval (5 s).
@@ -25,6 +26,9 @@ type Sampler struct {
 	load1  map[cloudsim.VMID]float64
 	load5  map[cloudsim.VMID]float64
 	series map[cloudsim.VMID]*metrics.Series
+
+	// ingested counts appended samples; nil (disabled telemetry) no-ops.
+	ingested *telemetry.Counter
 }
 
 // Config parameterizes the sampler.
@@ -34,6 +38,9 @@ type Config struct {
 	NoiseStd float64
 	// Seed drives the noise generator.
 	Seed int64
+	// Telemetry receives monitoring counters (nil disables, at zero
+	// cost on the sampling path).
+	Telemetry *telemetry.Registry
 }
 
 // NewSampler monitors the given VMs on the cluster.
@@ -63,6 +70,7 @@ func NewSampler(cluster *cloudsim.Cluster, vmIDs []cloudsim.VMID, cfg Config) (*
 		load1:    make(map[cloudsim.VMID]float64, len(ids)),
 		load5:    make(map[cloudsim.VMID]float64, len(ids)),
 		series:   make(map[cloudsim.VMID]*metrics.Series, len(ids)),
+		ingested: cfg.Telemetry.Counter("monitor.samples.ingested"),
 	}
 	for _, id := range ids {
 		s.series[id] = metrics.NewSeries(512)
@@ -123,6 +131,7 @@ func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[cloudsim.
 		}
 		out[id] = sample
 	}
+	s.ingested.Add(int64(len(s.vmIDs)))
 	return out, nil
 }
 

@@ -15,6 +15,7 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"prepare/internal/bayes"
 	"prepare/internal/markov"
@@ -104,6 +105,9 @@ type Predictor struct {
 	marginalsScratch [][]float64
 	futureScratch    []int
 	scratch          bayes.Scratch
+
+	// ins is the (possibly zero/disabled) telemetry wiring.
+	ins Instruments
 }
 
 // New builds an untrained predictor over the named columns.
@@ -140,6 +144,9 @@ func (p *Predictor) Config() Config { return p.cfg }
 func (p *Predictor) Train(rows [][]float64, labels []metrics.Label) error {
 	if len(rows) == 0 {
 		return ErrNoData
+	}
+	if p.ins.TrainLatency != nil {
+		defer p.ins.TrainLatency.ObserveSince(time.Now())
 	}
 	if len(rows) != len(labels) {
 		return fmt.Errorf("%w: %d rows vs %d labels", ErrShape, len(rows), len(labels))
@@ -291,6 +298,8 @@ func (p *Predictor) PredictWindow(lookaheadS int64) (Verdict, error) {
 	if !p.trained {
 		return Verdict{}, ErrNotTrained
 	}
+	tStart := p.ins.windowStart()
+	defer p.ins.windowDone(tStart)
 	maxSteps := p.StepsFor(lookaheadS)
 	series := make([][][]float64, len(p.names))
 	for j, ch := range p.chains {

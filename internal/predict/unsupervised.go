@@ -25,6 +25,9 @@ type UnsupervisedPredictor struct {
 	detector unsupervised.Detector
 	lastRow  []float64
 	trained  bool
+
+	// ins is the (possibly zero/disabled) telemetry wiring.
+	ins Instruments
 }
 
 // UnsupervisedKind selects the outlier detector.
@@ -214,6 +217,8 @@ func (p *UnsupervisedPredictor) PredictWindow(lookaheadS int64) (UnsupervisedVer
 	if !p.trained {
 		return UnsupervisedVerdict{}, ErrNotTrained
 	}
+	tStart := p.ins.windowStart()
+	defer p.ins.windowDone(tStart)
 	steps := int((lookaheadS + p.cfg.SamplingIntervalS - 1) / p.cfg.SamplingIntervalS)
 	if steps < 1 {
 		steps = 1

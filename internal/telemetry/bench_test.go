@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestDisabledModeAllocationFree pins the contract the instrumented hot
+// paths rely on: with telemetry disabled (nil instruments, nil
+// registry, uninstalled hooks) no instrumentation call allocates.
+func TestDisabledModeAllocationFree(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+		k Hook
+	)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2e-4)
+		r.Counter("x").Inc()
+		r.Emit(1, "vm", StageControl, KindAlertRaised, "")
+		k.Done(k.Start())
+	}); allocs != 0 {
+		t.Errorf("disabled instrumentation allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledHotPathAllocationFree pins that the enabled counters and
+// histograms stay allocation-free too (only event emission and
+// get-or-create lookups may allocate).
+func TestEnabledHotPathAllocationFree(t *testing.T) {
+	r := New(Options{})
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(1e-4)
+	}); allocs != 0 {
+		t.Errorf("enabled instruments allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledInstruments measures the per-call overhead of the
+// disabled mode (nil checks and one atomic hook load); CI's bench job
+// gates its allocs/op at zero alongside the predict/markov benchmarks.
+func BenchmarkDisabledInstruments(b *testing.B) {
+	var (
+		c *Counter
+		h *Histogram
+		r *Registry
+		k Hook
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1e-4)
+		r.Emit(int64(i), "vm", StagePredict, KindPredictionWindow, "")
+		k.Done(k.Start())
+	}
+}
+
+// BenchmarkEnabledHistogram measures the enabled Observe path (atomic
+// bucket increment plus CAS sum accumulation).
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := New(Options{}).Histogram("h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exportRegistry() *Registry {
+	r := New(Options{})
+	r.Counter("control.alerts.confirmed").Add(3)
+	r.Gauge("infer.attribution.strength").Set(2.5)
+	h := r.HistogramWith("predict.window.latency", []float64{1e-3, 1})
+	h.Observe(5e-4)
+	h.Observe(0.1)
+	h.Observe(7)
+	r.Emit(985, "vm-db", StagePrevent, KindScalingApplied, "mem->1792MB", F("amount", 1.75))
+	return r
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got.Counter("control.alerts.confirmed") != 3 {
+		t.Errorf("counter lost in round trip: %+v", got.Counters)
+	}
+	if len(got.Events) != 1 || got.Events[0].Detail != "mem->1792MB" {
+		t.Errorf("events lost in round trip: %+v", got.Events)
+	}
+
+	var nilSnap *Snapshot
+	b.Reset()
+	if err := nilSnap.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "null" {
+		t.Errorf("nil snapshot JSON = %q", b.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE prepare_control_alerts_confirmed counter",
+		"prepare_control_alerts_confirmed 3",
+		"prepare_infer_attribution_strength 2.5",
+		"prepare_infer_attribution_strength_max 2.5",
+		"# TYPE prepare_predict_window_latency_seconds histogram",
+		`prepare_predict_window_latency_seconds_bucket{le="0.001"} 1`,
+		`prepare_predict_window_latency_seconds_bucket{le="1"} 2`,
+		`prepare_predict_window_latency_seconds_bucket{le="+Inf"} 3`,
+		"prepare_predict_window_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().Snapshot().WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"control.alerts.confirmed",
+		"infer.attribution.strength",
+		"predict.window.latency",
+		"scaling-applied",
+		"mem->1792MB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	var nilSnap *Snapshot
+	if err := nilSnap.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Errorf("nil summary = %q", b.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("predict.window.latency"); got != "prepare_predict_window_latency" {
+		t.Errorf("promName = %q", got)
+	}
+	if got := promName("weird-name/α"); got != "prepare_weird_name__" {
+		t.Errorf("promName = %q", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := exportRegistry()
+	h := Handler(func() *Registry { return reg })
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), "prepare_control_alerts_confirmed 3") {
+		t.Errorf("/metrics = %d %q", rec.Code, rec.Body.String())
+	}
+	rec := get("/trace")
+	var events []Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("/trace: %v (%q)", err, rec.Body.String())
+	}
+	if len(events) != 1 || events[0].Kind != KindScalingApplied {
+		t.Errorf("/trace events = %+v", events)
+	}
+	if rec := get("/"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "counters") {
+		t.Errorf("/ = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Disabled source still serves (empty) data on every endpoint.
+	h = Handler(func() *Registry { return nil })
+	if rec := get("/metrics"); rec.Code != 200 {
+		t.Errorf("/metrics disabled = %d", rec.Code)
+	}
+}

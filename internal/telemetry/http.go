@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves live telemetry over HTTP:
+//
+//	GET /metrics — Prometheus text exposition of counters/gauges/histograms
+//	GET /trace   — the retained event trace as JSON
+//	GET /        — the full snapshot as JSON
+//
+// source is called per request so the handler always reports the
+// registry installed at that moment (it may return nil when telemetry
+// is disabled, yielding empty responses).
+func Handler(source func() *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := source().Snapshot()
+		if snap == nil {
+			return
+		}
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := []Event{}
+		if snap := source().Snapshot(); snap != nil && snap.Events != nil {
+			events = snap.Events
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = source().Snapshot().WriteJSON(w)
+	})
+	return mux
+}

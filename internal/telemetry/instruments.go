@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// is valid and no-ops, so disabled instrumentation costs one nil check.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds delta (negative deltas are ignored; counters only grow).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value (with high-water tracking) float
+// instrument. A nil *Gauge is valid and no-ops.
+type Gauge struct {
+	bits atomic.Uint64 // last value
+	max  atomic.Uint64 // high-water mark
+}
+
+// Set stores the value and raises the high-water mark.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	for {
+		cur := g.max.Load()
+		if math.Float64frombits(cur) >= v {
+			return
+		}
+		if g.max.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the last stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Max returns the high-water mark (0 for a nil gauge).
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.max.Load())
+}
+
+// LatencyBuckets is the fixed bucket layout for latency histograms:
+// upper bounds in seconds from 1µs to 10s, roughly 1-2.5-5 per decade.
+// A fixed layout keeps Observe lock-free (atomic bucket increments, no
+// resizing) and makes snapshots from different runs mergeable
+// bucket-by-bucket.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters; Observe
+// never locks or allocates. A nil *Histogram is valid and no-ops.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit at the end
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{
+		bounds:  cp,
+		buckets: make([]atomic.Uint64, len(cp)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if h.sumBits.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the wall-clock seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// hook is an atomically installable histogram pointer for package-level
+// instrumentation of leaf model packages (markov, bayes) that must not
+// depend on any wiring. The zero value is the disabled mode.
+type hook struct {
+	h atomic.Pointer[Histogram]
+}
+
+// Hook is the exported form used by leaf packages.
+type Hook struct{ hook }
+
+// Set installs the histogram (nil uninstalls, restoring zero cost).
+func (k *Hook) Set(h *Histogram) {
+	if h == nil {
+		k.h.Store(nil)
+		return
+	}
+	k.h.Store(h)
+}
+
+// Start returns the current time when the hook is installed and the
+// zero time otherwise; pair with Done. The disabled cost is one atomic
+// load and a branch.
+func (k *Hook) Start() time.Time {
+	if k.h.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Done records the elapsed time when Start returned a non-zero time.
+func (k *Hook) Done(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	if h := k.h.Load(); h != nil {
+		h.ObserveSince(start)
+	}
+}

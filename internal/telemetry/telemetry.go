@@ -1,0 +1,170 @@
+// Package telemetry gives the PREPARE control loop runtime visibility:
+// a dependency-free metrics registry (atomic counters, gauges and
+// lock-cheap fixed-bucket histograms) plus a ring-buffered structured
+// event tracer recording what the loop decided and why (alerts raised,
+// alerts suppressed by the k-of-W filter, prediction windows, cause
+// rankings, prevention actuations, validation rollbacks).
+//
+// Instrumentation is designed to disappear when telemetry is off:
+// every instrument method is nil-safe (a nil *Counter, *Gauge,
+// *Histogram or *Registry no-ops), so instrumented code holds plain
+// pointers that are nil in the disabled configuration and pays only a
+// nil check — no allocations, no atomics — on the hot paths PR 1
+// optimized. The disabled-mode cost is pinned by
+// BenchmarkDisabledInstruments and by the predict/markov allocation
+// benchmarks.
+//
+// Concurrency: every instrument is safe for concurrent use. Registries
+// are safe to snapshot and merge while experiment workers record into
+// per-run registries in parallel.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTraceCapacity bounds the event ring buffer when Options does
+// not say otherwise.
+const DefaultTraceCapacity = 4096
+
+// Options configures a Registry.
+type Options struct {
+	// TraceCapacity bounds the event ring buffer (default
+	// DefaultTraceCapacity). Once full, new events overwrite the oldest
+	// and the dropped count grows.
+	TraceCapacity int
+}
+
+// Registry holds named instruments and the event trace. The zero value
+// is not usable; call New. A nil *Registry is the disabled mode: every
+// method no-ops (returning nil instruments, which themselves no-op).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    *Trace
+}
+
+// New builds an empty registry.
+func New(opts Options) *Registry {
+	capacity := opts.TraceCapacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		trace:    newTrace(capacity),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op counter) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op gauge) when r is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram (LatencyBuckets
+// layout), creating it on first use. Returns nil (a valid no-op
+// histogram) when r is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, LatencyBuckets)
+}
+
+// HistogramWith returns the named histogram with the given fixed bucket
+// upper bounds (ascending; an implicit +Inf bucket is appended). The
+// bounds of an already-existing histogram are kept. Returns nil when r
+// is nil.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Trace returns the registry's event trace (nil when r is nil).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Emit records a structured event (no-op when r is nil). Hot callers
+// should guard the call behind a nil check on the registry so the
+// variadic fields never allocate in the disabled mode.
+func (r *Registry) Emit(simTime int64, vm, stage, kind, detail string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.trace.Emit(Event{
+		SimTime: simTime,
+		VM:      vm,
+		Stage:   stage,
+		Kind:    kind,
+		Detail:  detail,
+		Fields:  fields,
+	})
+}
+
+// global is the process-wide default registry; nil means telemetry is
+// disabled (the default).
+var global atomic.Pointer[Registry]
+
+// Enable installs (or returns the already-installed) process-wide
+// default registry and returns it.
+func Enable() *Registry {
+	for {
+		if r := global.Load(); r != nil {
+			return r
+		}
+		r := New(Options{})
+		if global.CompareAndSwap(nil, r) {
+			return r
+		}
+	}
+}
+
+// Disable clears the process-wide default registry; instrumented code
+// reverts to the zero-cost disabled mode on its next wiring.
+func Disable() { global.Store(nil) }
+
+// Default returns the process-wide registry, or nil when telemetry is
+// disabled.
+func Default() *Registry { return global.Load() }

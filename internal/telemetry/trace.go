@@ -1,0 +1,123 @@
+package telemetry
+
+import "sync"
+
+// Canonical event stages, one per control-loop module.
+const (
+	StageMonitor    = "monitor"
+	StagePredict    = "predict"
+	StageInfer      = "infer"
+	StagePrevent    = "prevent"
+	StageControl    = "control"
+	StageExperiment = "experiment"
+)
+
+// Canonical event kinds emitted by the instrumented control loop.
+const (
+	// KindPredictionWindow: a look-ahead window scored above the alert
+	// margin (a raw predictive alert, before filtering).
+	KindPredictionWindow = "prediction-window"
+	// KindAlertFiltered: a raw alert the k-of-W filter suppressed.
+	KindAlertFiltered = "alert-filtered"
+	// KindAlertRaised: a confirmed anomaly alert.
+	KindAlertRaised = "alert-raised"
+	// KindCauseRanked: the TAN attribution ranked a faulty VM's metrics.
+	KindCauseRanked = "cause-ranked"
+	// KindScalingApplied: an elastic scaling prevention was executed.
+	KindScalingApplied = "scaling-applied"
+	// KindMigration: a live-migration prevention was executed.
+	KindMigration = "migration"
+	// KindValidationRollback: online validation judged a prevention
+	// ineffective; the next ranked metric will be tried.
+	KindValidationRollback = "validation-rollback"
+)
+
+// Field is one numeric key/value annotation on an event.
+type Field struct {
+	Key   string  `json:"k"`
+	Value float64 `json:"v"`
+}
+
+// F builds a Field.
+func F(key string, value float64) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured trace record.
+type Event struct {
+	// Seq is the emission sequence number within the trace (survives
+	// ring wraparound, so gaps reveal overwritten history).
+	Seq uint64 `json:"seq"`
+	// SimTime is the simulated instant in seconds.
+	SimTime int64 `json:"t"`
+	// VM names the virtual machine concerned, if any.
+	VM string `json:"vm,omitempty"`
+	// Stage is the control-loop module (Stage* constants).
+	Stage string `json:"stage"`
+	// Kind is the event type (Kind* constants).
+	Kind string `json:"kind"`
+	// Detail is a short free-form annotation (e.g. "cpu->150%").
+	Detail string `json:"detail,omitempty"`
+	// Fields carries numeric annotations (scores, strengths, counts).
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Trace is a bounded ring buffer of events. Emission is O(1); once the
+// buffer is full the oldest events are overwritten and counted as
+// dropped. A nil *Trace is valid and no-ops.
+type Trace struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int // ring index of the next write
+	size    int // number of valid events (≤ len(ring))
+	seq     uint64
+	dropped uint64
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{ring: make([]Event, capacity)}
+}
+
+// Emit appends the event, assigning its sequence number.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if t.size == len(t.ring) {
+		t.dropped++
+	} else {
+		t.size++
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.size)
+	start := t.next - t.size
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.size; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

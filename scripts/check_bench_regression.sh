@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# check_bench_regression.sh BASE HEAD
+#
+# Compares allocs/op between two `go test -bench -benchmem` outputs and
+# fails when any scratch-path benchmark (the allocation-sensitive hot
+# paths: Markov series prediction, predictor windows, TAN scratch
+# scoring) regressed by more than BENCH_GATE_THRESHOLD percent
+# (default 20). Benchmarks present only in HEAD are reported but never
+# fail the gate, so adding benchmarks in a PR is safe.
+set -euo pipefail
+
+BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
+HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore'}
+THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
+
+if ! grep -Eq 'allocs/op' "$BASE"; then
+  echo "no -benchmem data in $BASE (benchmarks absent at merge base); skipping gate"
+  exit 0
+fi
+
+awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
+  FNR == 1 { fileno++ }
+  $1 ~ /^Benchmark/ && / allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    if (name !~ pattern) next
+    allocs = ""
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    if (allocs == "") next
+    if (fileno == 1) { bsum[name] += allocs; bcnt[name]++ }
+    else             { hsum[name] += allocs; hcnt[name]++ }
+  }
+  END {
+    status = 0
+    n = 0
+    for (name in hsum) {
+      n++
+      head = hsum[name] / hcnt[name]
+      if (!(name in bsum)) {
+        printf "new  %-45s %.1f allocs/op (no merge-base data)\n", name, head
+        continue
+      }
+      base = bsum[name] / bcnt[name]
+      # The +0.5 floor keeps a zero-alloc base from tripping on noise
+      # while still failing a genuine 0 -> 1 allocation regression.
+      if (head > base * (1 + threshold / 100) && head > base + 0.5) {
+        printf "FAIL %-45s allocs/op %.1f -> %.1f (>%d%% regression)\n", name, base, head, threshold
+        status = 1
+      } else {
+        printf "ok   %-45s allocs/op %.1f -> %.1f\n", name, base, head
+      }
+    }
+    if (n == 0) print "no scratch-path benchmarks matched pattern " pattern
+    exit status
+  }
+' "$BASE" "$HEAD"

@@ -1,0 +1,51 @@
+package prepare
+
+import (
+	"net/http"
+
+	"prepare/internal/experiment"
+	"prepare/internal/telemetry"
+)
+
+// Telemetry types.
+type (
+	// TelemetrySnapshot is a point-in-time copy of every telemetry
+	// counter, gauge, histogram and traced event.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryEvent is one structured control-loop event (alert raised,
+	// alert filtered, cause ranked, scaling applied, ...).
+	TelemetryEvent = telemetry.Event
+	// TelemetryField is one key/value annotation on a TelemetryEvent.
+	TelemetryField = telemetry.Field
+)
+
+// EnableTelemetry turns on process-wide telemetry: every subsequent
+// scenario run records control-loop counters, latency histograms and
+// structured events, aggregated across the worker pool. Telemetry is off
+// by default and its instrumentation paths are allocation-free while
+// disabled, so leaving it off costs nothing.
+func EnableTelemetry() { telemetry.Enable() }
+
+// DisableTelemetry turns process-wide telemetry back off and uninstalls
+// the model-timing hooks. Already-collected data is discarded.
+func DisableTelemetry() {
+	telemetry.Disable()
+	experiment.UninstallModelHooks()
+}
+
+// Telemetry returns a snapshot of everything collected since
+// EnableTelemetry, or nil when telemetry is disabled. Use the snapshot's
+// WriteSummary, WriteJSON and WritePrometheus methods to render it.
+func Telemetry() *TelemetrySnapshot {
+	reg := telemetry.Default()
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
+// TelemetryHandler serves live telemetry over HTTP: /metrics in the
+// Prometheus text format, /trace as a JSON event list, and / as a full
+// JSON snapshot. All endpoints report empty data while telemetry is
+// disabled.
+func TelemetryHandler() http.Handler { return telemetry.Handler(telemetry.Default) }
