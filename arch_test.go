@@ -1,0 +1,45 @@
+package prepare_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestControlLoopPackagesDoNotImportCloudsim enforces the substrate
+// boundary: the control-loop packages (control, infer, prevent,
+// monitor) must depend only on the neutral substrate contract, never on
+// the simulator. The simulator is one substrate implementation among
+// others (replay is the second); only composition roots — experiment,
+// the facade, commands — may import it.
+func TestControlLoopPackagesDoNotImportCloudsim(t *testing.T) {
+	const forbidden = "prepare/internal/cloudsim"
+	fset := token.NewFileSet()
+	for _, pkg := range []string{"control", "infer", "prevent", "monitor"} {
+		dir := filepath.Join("internal", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == forbidden {
+					t.Errorf("%s imports %s; control-loop packages must depend only on prepare/internal/substrate",
+						path, forbidden)
+				}
+			}
+		}
+	}
+}

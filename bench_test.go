@@ -73,13 +73,17 @@ func BenchmarkTable1VMMonitoring(b *testing.B) {
 	}
 	vm.CPUUsage = 50
 	vm.WorkingSetMB = 300
-	sampler, err := monitor.NewSampler(cluster, []cloudsim.VMID{"vm1"}, monitor.Config{Seed: 1})
+	sub, err := cloudsim.NewSubstrate(cluster, []cloudsim.VMID{"vm1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler, err := monitor.NewSampler(sub, []cloudsim.VMID{"vm1"}, monitor.Config{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sampler.UpdateLoad()
+		sampler.Advance(simclock.Time(i))
 		if _, err := sampler.Collect(simclock.Time(i), metrics.LabelNormal); err != nil {
 			b.Fatal(err)
 		}

@@ -46,7 +46,9 @@ type Controller = control.Controller
 type ControlConfig = control.Config
 
 // NewController builds a control loop for the scheme over the
-// application.
+// application. The cluster is wrapped in its substrate adapter
+// internally; to run the loop over a different substrate (for example a
+// replayed trace), use NewSubstrateController.
 //
 // Typical custom-app wiring:
 //
@@ -63,5 +65,16 @@ type ControlConfig = control.Config
 //	    if err := ctl.OnTick(now); err != nil { ... }
 //	}
 func NewController(scheme Scheme, cluster *Cluster, app ManagedApp, cfg ControlConfig) (*Controller, error) {
-	return control.New(scheme, cluster, app, cfg)
+	sub, err := cloudsim.NewSubstrate(cluster, app.VMIDs())
+	if err != nil {
+		return nil, err
+	}
+	return control.New(scheme, sub, app, cfg)
+}
+
+// NewSubstrateController builds a control loop directly over any
+// substrate implementation (the three arrows of the loop: metric
+// source, inventory, actuator).
+func NewSubstrateController(scheme Scheme, sub Substrate, app ManagedApp, cfg ControlConfig) (*Controller, error) {
+	return control.New(scheme, sub, app, cfg)
 }

@@ -13,6 +13,11 @@
 //	preparesim -experiment fig13
 //	preparesim -experiment all
 //	preparesim -experiment run -app rubis -fault memleak -scheme prepare
+//	preparesim -engine -tenants 8 [-shards 4] [-app systems] [-fault memleak]
+//
+// The -engine mode runs N independent tenants (one world and control
+// loop each) on the sharded multi-tenant engine; output is identical
+// for any -shards/-parallel value.
 //
 // All multi-run experiments accept -parallel N to size the worker pool
 // (0, the default, uses GOMAXPROCS). Output is identical for any value.
@@ -50,6 +55,9 @@ type options struct {
 	seeds           int
 	seed            int64
 	parallel        int
+	engine          bool
+	tenants         int
+	shards          int
 	telemetry       bool
 	telemetryFormat string
 	telemetryAddr   string
@@ -69,6 +77,11 @@ func run(args []string) error {
 	fs.Int64Var(&opts.seed, "seed", 100, "base random seed")
 	fs.IntVar(&opts.parallel, "parallel", 0,
 		"worker-pool size for multi-run sweeps (0 = GOMAXPROCS; results are identical for any value)")
+	fs.BoolVar(&opts.engine, "engine", false,
+		"run the sharded multi-tenant engine (shorthand for -experiment engine)")
+	fs.IntVar(&opts.tenants, "tenants", 4, "tenant count for the engine mode")
+	fs.IntVar(&opts.shards, "shards", 0,
+		"engine shard count (0 = worker-pool default; results are identical for any value)")
 	fs.BoolVar(&opts.telemetry, "telemetry", false,
 		"collect control-loop telemetry and print an end-of-run report to stderr")
 	fs.StringVar(&opts.telemetryFormat, "telemetry-format", "text",
@@ -79,6 +92,9 @@ func run(args []string) error {
 		return err
 	}
 	prepare.SetParallelism(opts.parallel)
+	if opts.engine {
+		opts.experiment = "engine"
+	}
 
 	if opts.telemetry || opts.telemetryAddr != "" {
 		switch opts.telemetryFormat {
@@ -272,6 +288,23 @@ func dispatch(opts options) error {
 			return err
 		}
 		printRun(res)
+	case "engine":
+		scheme, ok := schemeByName(opts.scheme)
+		if !ok {
+			return fmt.Errorf("unknown scheme %q (want none, reactive or prepare)", opts.scheme)
+		}
+		if opts.tenants < 1 {
+			return fmt.Errorf("-tenants must be at least 1, got %d", opts.tenants)
+		}
+		res, err := prepare.RunEngine(
+			prepare.MultiTenant(opts.tenants, prepare.Scenario{
+				App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
+			}),
+			prepare.EngineOptions{Shards: opts.shards, Workers: opts.parallel})
+		if err != nil {
+			return err
+		}
+		printEngine(res)
 	default:
 		return fmt.Errorf("unknown experiment %q", opts.experiment)
 	}
@@ -304,6 +337,23 @@ func printRun(res prepare.Result) {
 	fmt.Printf("confirmed alerts: %d, prevention steps: %d\n", len(res.Alerts), len(res.Steps))
 	for _, s := range res.Steps {
 		fmt.Printf("  t=%-6v %-10s %-10v %s\n", s.Time, s.VM, s.Kind, s.Detail)
+	}
+}
+
+// printEngine prints the multi-tenant engine summary. Shard and worker
+// counts are deliberately absent: the output is byte-identical for any
+// -shards/-parallel value, which the CI determinism job checks.
+func printEngine(res prepare.EngineResult) {
+	fmt.Printf("engine: %d tenants\n", len(res.Tenants))
+	for _, tr := range res.Tenants {
+		fmt.Printf("  %-10s %s/%s/%s seed %-4d violation %4ds eval / %4ds total, alerts %3d, steps %d\n",
+			tr.Tenant, tr.Scenario.App, tr.Scenario.Fault, tr.Scenario.Scheme, tr.Scenario.Seed,
+			tr.EvalViolationSeconds, tr.TotalViolationSeconds, len(tr.Alerts), len(tr.Steps))
+	}
+	fmt.Printf("aggregate: alerts %d, prevention steps %d, violation %ds\n",
+		len(res.Alerts), len(res.Steps), res.Stats.ViolationSeconds)
+	for _, s := range res.Steps {
+		fmt.Printf("  t=%-6v %-10s %-10s %-10v %s\n", s.Time, s.Tenant, s.VM, s.Kind, s.Detail)
 	}
 }
 

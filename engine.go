@@ -1,0 +1,94 @@
+package prepare
+
+import (
+	"io"
+
+	"prepare/internal/control"
+	"prepare/internal/experiment"
+	"prepare/internal/replay"
+	"prepare/internal/substrate"
+)
+
+// Multi-tenant engine types.
+type (
+	// Engine steps N independent per-tenant controllers, sharded by a
+	// hash of the tenant ID and stepped concurrently over the bounded
+	// worker pool. Per-tenant results are bit-identical for any shard or
+	// worker count.
+	Engine = control.Engine
+	// Tenant is one independently managed application inside an Engine.
+	Tenant = control.Tenant
+	// TenantAlert is a confirmed alert tagged with its tenant.
+	TenantAlert = control.TenantAlert
+	// TenantStep is an executed prevention step tagged with its tenant.
+	TenantStep = control.TenantStep
+	// EngineStats is an engine's aggregate telemetry.
+	EngineStats = control.EngineStats
+	// TenantScenario names one tenant of a RunEngine fleet and its
+	// scenario.
+	TenantScenario = experiment.TenantScenario
+	// TenantResult is one tenant's outcome of a RunEngine run.
+	TenantResult = experiment.TenantResult
+	// EngineResult aggregates a RunEngine run.
+	EngineResult = experiment.EngineResult
+)
+
+// EngineOptions tunes engine sharding: Shards groups tenants (by ID
+// hash) into concurrently stepped groups, Workers bounds the pool.
+// Either <= 0 uses the worker-pool default.
+type EngineOptions = experiment.EngineOptions
+
+// NewEngine builds a sharded multi-tenant engine over pre-assembled
+// tenants (controller plus world-advance hook each). Use RunEngine for
+// the common case of one simulated scenario per tenant.
+func NewEngine(tenants []Tenant, opts EngineOptions) (*Engine, error) {
+	return control.NewEngine(tenants, control.EngineOptions{Shards: opts.Shards, Workers: opts.Workers})
+}
+
+// RunEngine builds one fully isolated simulated world per tenant and
+// steps the whole fleet concurrently on the sharded engine. Per-tenant
+// results are bit-identical to running each scenario alone with Run,
+// for any shard or worker count.
+func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, error) {
+	return experiment.RunEngine(tenants, opts)
+}
+
+// MultiTenant derives n tenant scenarios from a base scenario, one
+// stable ID and seed per tenant.
+func MultiTenant(n int, base Scenario) []TenantScenario {
+	return experiment.MultiTenant(n, base)
+}
+
+// Trace-replay substrate types: the second Substrate implementation,
+// driving the full control loop from recorded (or exported) labeled
+// metric traces instead of the simulator.
+type (
+	// ReplaySubstrate replays per-VM labeled metric series through the
+	// substrate contract, book-keeping inventory and logging actuations.
+	ReplaySubstrate = replay.Substrate
+	// ReplayConfig seeds initial allocations and the migration model.
+	ReplayConfig = replay.Config
+	// ReplayAction is one actuation recorded by a replay substrate.
+	ReplayAction = replay.Action
+	// ReplayApp adapts a replay substrate to the ManagedApp contract:
+	// the SLO state is reconstructed from the traces' recorded labels.
+	ReplayApp = replay.App
+)
+
+// NewReplaySubstrate builds a replay substrate over per-VM labeled
+// series (each non-empty and sorted by time).
+func NewReplaySubstrate(traces map[VMID][]Sample, cfg ReplayConfig) (*ReplaySubstrate, error) {
+	return replay.New(traces, cfg)
+}
+
+// ReplayFromCSV builds a replay substrate by parsing one sample-CSV
+// stream per VM (the format written by WriteSamplesCSV and the
+// preparetrace tool).
+func ReplayFromCSV(sources map[VMID]io.Reader, cfg ReplayConfig) (*ReplaySubstrate, error) {
+	return replay.FromCSV(map[substrate.VMID]io.Reader(sources), cfg)
+}
+
+// NewReplayApp wraps a replay substrate as the managed application.
+func NewReplayApp(sub *ReplaySubstrate) (*ReplayApp, error) {
+	return replay.NewApp(sub)
+}

@@ -12,19 +12,21 @@
 package cloudsim
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
-// HostID identifies a physical host.
-type HostID string
+// HostID identifies a physical host. It is the neutral substrate
+// identifier: IDs flow unchanged between the simulator and the
+// substrate-agnostic control loop.
+type HostID = substrate.HostID
 
-// VMID identifies a virtual machine.
-type VMID string
+// VMID identifies a virtual machine (neutral substrate identifier).
+type VMID = substrate.VMID
 
 // Default host shape, mirroring the VCL hosts in the paper.
 const (
@@ -50,13 +52,15 @@ const (
 	migrationSlowdownFrac = 0.75 // fraction of CPU available mid-migration
 )
 
-// Errors reported by cluster operations.
+// Errors reported by cluster operations. They are the substrate-level
+// sentinels, so the control loop's fallback logic works identically
+// against the simulator and any other backend.
 var (
-	ErrNoSuchVM         = errors.New("cloudsim: no such VM")
-	ErrNoSuchHost       = errors.New("cloudsim: no such host")
-	ErrInsufficient     = errors.New("cloudsim: insufficient resources on host")
-	ErrMigrating        = errors.New("cloudsim: VM is migrating")
-	ErrNoEligibleTarget = errors.New("cloudsim: no host can fit the requested resources")
+	ErrNoSuchVM         = substrate.ErrNoSuchVM
+	ErrNoSuchHost       = substrate.ErrNoSuchHost
+	ErrInsufficient     = substrate.ErrInsufficient
+	ErrMigrating        = substrate.ErrMigrating
+	ErrNoEligibleTarget = substrate.ErrNoEligibleTarget
 )
 
 // Host is a simulated physical machine.
@@ -230,29 +234,15 @@ func (vm *VM) tickSwapDebt() {
 }
 
 // ActionKind distinguishes the cluster actuations for logging and cost
-// accounting.
-type ActionKind int
+// accounting (neutral substrate type).
+type ActionKind = substrate.ActionKind
 
 // The actuator kinds.
 const (
-	ActionScaleCPU ActionKind = iota + 1
-	ActionScaleMem
-	ActionMigrate
+	ActionScaleCPU = substrate.ActionScaleCPU
+	ActionScaleMem = substrate.ActionScaleMem
+	ActionMigrate  = substrate.ActionMigrate
 )
-
-// String returns the action name.
-func (k ActionKind) String() string {
-	switch k {
-	case ActionScaleCPU:
-		return "scale_cpu"
-	case ActionScaleMem:
-		return "scale_mem"
-	case ActionMigrate:
-		return "migrate"
-	default:
-		return fmt.Sprintf("action(%d)", int(k))
-	}
-}
 
 // Action records one actuation for the experiment logs.
 type Action struct {

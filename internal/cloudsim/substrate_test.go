@@ -1,0 +1,152 @@
+package cloudsim
+
+import (
+	"errors"
+	"testing"
+
+	"prepare/internal/metrics"
+	"prepare/internal/substrate"
+)
+
+func newTestWorld(t *testing.T) (*Cluster, *VM) {
+	t.Helper()
+	c := NewCluster()
+	if _, err := c.AddDefaultHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddDefaultHost("h2"); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := c.PlaceVM("vm1", "h1", 100, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.CPUUsage = 50
+	vm.CPUDemand = 55
+	vm.WorkingSetMB = 300
+	vm.NetInKBps = 800
+	vm.NetOutKBps = 750
+	vm.DiskReadKBps = 60
+	vm.DiskWriteKBs = 30
+	return c, vm
+}
+
+func TestNewSubstrateValidation(t *testing.T) {
+	c, _ := newTestWorld(t)
+	if _, err := NewSubstrate(nil, []VMID{"vm1"}); err == nil {
+		t.Error("nil cluster should fail")
+	}
+	if _, err := NewSubstrate(c, nil); err == nil {
+		t.Error("no VMs should fail")
+	}
+	if _, err := NewSubstrate(c, []VMID{"ghost"}); !errors.Is(err, ErrNoSuchVM) {
+		t.Errorf("unknown VM error = %v, want ErrNoSuchVM", err)
+	}
+}
+
+func TestSubstrateVMsSorted(t *testing.T) {
+	c, _ := newTestWorld(t)
+	if _, err := c.PlaceVM("vm0", "h2", 50, 256); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSubstrate(c, []VMID{"vm1", "vm0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := s.VMs()
+	if len(vms) != 2 || vms[0] != "vm0" || vms[1] != "vm1" {
+		t.Errorf("VMs() = %v, want sorted [vm0 vm1]", vms)
+	}
+}
+
+func TestSubstrateSampleDerivesAttributes(t *testing.T) {
+	c, _ := newTestWorld(t)
+	s, err := NewSubstrate(c, []VMID{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Sample("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Get(metrics.CPUTotal); got != 50 {
+		t.Errorf("cpu_total = %g, want 50", got)
+	}
+	if got := v.Get(metrics.CPUUser); got != 36 {
+		t.Errorf("cpu_user = %g, want 36", got)
+	}
+	if got := v.Get(metrics.FreeMem); got != 212 {
+		t.Errorf("free_mem = %g, want 212", got)
+	}
+	if got := v.Get(metrics.MemUsed); got != 300 {
+		t.Errorf("mem_used = %g, want 300", got)
+	}
+	if got := v.Get(metrics.CtxSwitch); got != 400+35*50 {
+		t.Errorf("ctx_switch = %g", got)
+	}
+	if _, err := s.Sample("ghost"); !errors.Is(err, ErrNoSuchVM) {
+		t.Errorf("unknown VM sample error = %v", err)
+	}
+}
+
+func TestSubstrateLoadEMAConverges(t *testing.T) {
+	c, vm := newTestWorld(t)
+	vm.CPUDemand = 80 // utilization 0.8
+	s, err := NewSubstrate(c, []VMID{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Advance(0)
+	}
+	v, err := s.Sample("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := v.Get(metrics.Load1)
+	if l1 < 0.75 || l1 > 0.85 {
+		t.Errorf("load1 = %.2f, want ~0.8", l1)
+	}
+	l5 := v.Get(metrics.Load5)
+	if l5 < 0.7 || l5 > 0.85 {
+		t.Errorf("load5 = %.2f, want ~0.8", l5)
+	}
+}
+
+func TestSubstrateInventoryAndActuation(t *testing.T) {
+	c, _ := newTestWorld(t)
+	s, err := NewSubstrate(c, []VMID{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := s.Allocation("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc != (substrate.Allocation{CPUPct: 100, MemMB: 512}) {
+		t.Errorf("allocation = %+v", alloc)
+	}
+	if err := s.ScaleCPU(5, "vm1", 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScaleMem(5, "vm1", 1024); err != nil {
+		t.Fatal(err)
+	}
+	alloc, _ = s.Allocation("vm1")
+	if alloc.CPUPct != 150 || alloc.MemMB != 1024 {
+		t.Errorf("post-scale allocation = %+v", alloc)
+	}
+	if err := s.Migrate(6, "vm1", 150, 1024); err != nil {
+		t.Fatal(err)
+	}
+	mig, err := s.Migrating("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mig {
+		t.Error("vm1 should be migrating")
+	}
+	if s.MigrationSeconds(512) != MigrationSeconds(512) {
+		t.Error("MigrationSeconds must match the simulator's model")
+	}
+}

@@ -18,13 +18,13 @@ import (
 	"fmt"
 	"sort"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 	"prepare/internal/telemetry"
 )
 
@@ -39,7 +39,7 @@ type App interface {
 	// time) for trace recording.
 	SLOMetric() float64
 	// VMIDs lists the application's VMs.
-	VMIDs() []cloudsim.VMID
+	VMIDs() []substrate.VMID
 }
 
 // Scheme selects the anomaly management strategy.
@@ -150,7 +150,7 @@ func (c Config) withDefaults() Config {
 // AlertEvent records one confirmed anomaly alert.
 type AlertEvent struct {
 	Time      simclock.Time
-	VM        cloudsim.VMID
+	VM        substrate.VMID
 	Score     float64
 	Predicted bool // true for predictive alerts, false for reactive detections
 }
@@ -167,31 +167,31 @@ type pendingValidation struct {
 
 // Controller runs one management scheme against one application.
 type Controller struct {
-	scheme  Scheme
-	cfg     Config
-	cluster *cloudsim.Cluster
-	app     App
+	scheme Scheme
+	cfg    Config
+	sub    substrate.Substrate
+	app    App
 
 	sampler       *monitor.Sampler
 	sloLog        *monitor.SLOLog
-	predictors    map[cloudsim.VMID]*predict.Predictor
-	unsPredictors map[cloudsim.VMID]*predict.UnsupervisedPredictor
-	filters       map[cloudsim.VMID]*predict.AlarmFilter
+	predictors    map[substrate.VMID]*predict.Predictor
+	unsPredictors map[substrate.VMID]*predict.UnsupervisedPredictor
+	filters       map[substrate.VMID]*predict.AlarmFilter
 	planner       *prevent.Planner
 	validator     prevent.Validator
 
 	trained  bool
-	pending  map[cloudsim.VMID]*pendingValidation
-	attempts map[cloudsim.VMID]int
+	pending  map[substrate.VMID]*pendingValidation
+	attempts map[substrate.VMID]int
 	steps    []prevent.Step
 	alerts   []AlertEvent
-	vmOrder  []cloudsim.VMID
+	vmOrder  []substrate.VMID
 
 	// Episode tracking for propagation-aware fault localization (the
 	// paper's PAL [13]): anomalies propagate outward from the faulty VM,
 	// so the VM whose alert episode started first is the prime suspect.
-	episodeOnset map[cloudsim.VMID]simclock.Time
-	lastAlert    map[cloudsim.VMID]simclock.Time
+	episodeOnset map[substrate.VMID]simclock.Time
+	lastAlert    map[substrate.VMID]simclock.Time
 
 	// workload distinguishes external workload changes from internal
 	// faults: simultaneous change points on every component mean the
@@ -206,22 +206,24 @@ type Controller struct {
 	// lastMigration enforces a per-VM cooldown between migrations: each
 	// live migration costs seconds of degraded capacity, so immediately
 	// re-migrating a VM that was just moved only makes matters worse.
-	lastMigration map[cloudsim.VMID]simclock.Time
+	lastMigration map[substrate.VMID]simclock.Time
 
 	// tel is the telemetry wiring (all instruments nil when disabled).
 	tel instruments
 }
 
-// New builds a controller for the scheme over the application.
-func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Controller, error) {
-	if cluster == nil || app == nil {
-		return nil, fmt.Errorf("control: cluster and app are required")
+// New builds a controller for the scheme over the application. The
+// substrate may be the cloudsim adapter, a trace-replay source, or any
+// other implementation of the three control-loop arrows.
+func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controller, error) {
+	if sub == nil || app == nil {
+		return nil, errors.New("control: substrate and app are required")
 	}
 	if scheme != SchemeNone && scheme != SchemeReactive && scheme != SchemePREPARE {
 		return nil, fmt.Errorf("control: unsupported scheme %d", scheme)
 	}
 	cfg = cfg.withDefaults()
-	sampler, err := monitor.NewSampler(cluster, app.VMIDs(), monitor.Config{
+	sampler, err := monitor.NewSampler(sub, app.VMIDs(), monitor.Config{
 		NoiseStd:  cfg.MonitorNoiseStd,
 		Seed:      cfg.MonitorSeed,
 		Telemetry: cfg.Telemetry,
@@ -229,7 +231,7 @@ func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Contro
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
 	}
-	planner, err := prevent.NewPlanner(cluster, cfg.Policy, cfg.Prevent)
+	planner, err := prevent.NewPlanner(sub, cfg.Policy, cfg.Prevent)
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
 	}
@@ -242,21 +244,21 @@ func New(scheme Scheme, cluster *cloudsim.Cluster, app App, cfg Config) (*Contro
 	return &Controller{
 		scheme:        scheme,
 		cfg:           cfg,
-		cluster:       cluster,
+		sub:           sub,
 		app:           app,
 		sampler:       sampler,
 		sloLog:        &monitor.SLOLog{},
-		predictors:    make(map[cloudsim.VMID]*predict.Predictor, len(vms)),
-		unsPredictors: make(map[cloudsim.VMID]*predict.UnsupervisedPredictor, len(vms)),
-		filters:       make(map[cloudsim.VMID]*predict.AlarmFilter, len(vms)),
+		predictors:    make(map[substrate.VMID]*predict.Predictor, len(vms)),
+		unsPredictors: make(map[substrate.VMID]*predict.UnsupervisedPredictor, len(vms)),
+		filters:       make(map[substrate.VMID]*predict.AlarmFilter, len(vms)),
 		planner:       planner,
-		pending:       make(map[cloudsim.VMID]*pendingValidation, len(vms)),
-		attempts:      make(map[cloudsim.VMID]int, len(vms)),
+		pending:       make(map[substrate.VMID]*pendingValidation, len(vms)),
+		attempts:      make(map[substrate.VMID]int, len(vms)),
 		vmOrder:       vms,
-		episodeOnset:  make(map[cloudsim.VMID]simclock.Time, len(vms)),
-		lastAlert:     make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		episodeOnset:  make(map[substrate.VMID]simclock.Time, len(vms)),
+		lastAlert:     make(map[substrate.VMID]simclock.Time, len(vms)),
 		workload:      wd,
-		lastMigration: make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		lastMigration: make(map[substrate.VMID]simclock.Time, len(vms)),
 		tel:           newInstruments(cfg.Telemetry),
 	}, nil
 }
@@ -297,7 +299,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	if violated {
 		c.tel.sloViolatedSeconds.Inc()
 	}
-	c.sampler.UpdateLoad()
+	c.sampler.Advance(now)
 
 	if now.Seconds()%c.cfg.SamplingIntervalS != 0 {
 		return nil
@@ -339,7 +341,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	}
 
 	// Feed the new samples to the value predictors.
-	confirmed := make(map[cloudsim.VMID]predict.Verdict)
+	confirmed := make(map[substrate.VMID]predict.Verdict)
 	for _, id := range c.vmOrder {
 		sm := samples[id]
 		row := rowOf(sm)
@@ -462,7 +464,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 // sampling interval of the earliest onset (downstream victims alert later
 // than the faulty VM, so they are filtered out; near-simultaneous onsets
 // are all acted upon, as in the paper's two-VM example).
-func (c *Controller) targets(now simclock.Time, confirmed map[cloudsim.VMID]predict.Verdict) []cloudsim.VMID {
+func (c *Controller) targets(now simclock.Time, confirmed map[substrate.VMID]predict.Verdict) []substrate.VMID {
 	gap := 2 * c.cfg.SamplingIntervalS
 	for _, id := range c.vmOrder {
 		if _, ok := confirmed[id]; !ok {
@@ -492,7 +494,7 @@ func (c *Controller) targets(now simclock.Time, confirmed map[cloudsim.VMID]pred
 	// only applies while the violation is still preventable).
 	workloadChange := c.workload.WorkloadChange(now) ||
 		c.violatedStreak >= c.cfg.FilterK
-	var out []cloudsim.VMID
+	var out []substrate.VMID
 	for _, id := range c.vmOrder {
 		if _, ok := confirmed[id]; !ok {
 			continue
@@ -510,7 +512,7 @@ func (c *Controller) targets(now simclock.Time, confirmed map[cloudsim.VMID]pred
 // confirmed verdict carries the detector's per-attribute contributions
 // as the attribution strengths, so diagnosis and actuation work
 // unchanged.
-func (c *Controller) stepUnsupervised(now simclock.Time, id cloudsim.VMID, row []float64, violated bool, confirmed map[cloudsim.VMID]predict.Verdict) error {
+func (c *Controller) stepUnsupervised(now simclock.Time, id substrate.VMID, row []float64, violated bool, confirmed map[substrate.VMID]predict.Verdict) error {
 	up := c.unsPredictors[id]
 	if err := up.Observe(row); err != nil {
 		return fmt.Errorf("control: observe %s: %w", id, err)
@@ -556,8 +558,8 @@ func (c *Controller) stepUnsupervised(now simclock.Time, id cloudsim.VMID, row [
 
 // busiestVM builds a fallback diagnosis for the reactive baseline when no
 // classifier fired: pick the VM with the highest CPU utilization sample.
-func (c *Controller) busiestVM(samples map[cloudsim.VMID]metrics.Sample) (cloudsim.VMID, predict.Verdict, bool) {
-	var bestID cloudsim.VMID
+func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (substrate.VMID, predict.Verdict, bool) {
+	var bestID substrate.VMID
 	best := -1.0
 	for _, id := range c.vmOrder {
 		if u := samples[id].Values.Get(metrics.CPUTotal); u > best {
@@ -583,12 +585,12 @@ func (c *Controller) busiestVM(samples map[cloudsim.VMID]metrics.Sample) (clouds
 }
 
 // actuate executes the next prevention step for one confirmed faulty VM.
-func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict predict.Verdict) error {
-	vm, err := c.cluster.VM(target)
+func (c *Controller) actuate(now simclock.Time, target substrate.VMID, verdict predict.Verdict) error {
+	migrating, err := c.sub.Migrating(target)
 	if err != nil {
 		return fmt.Errorf("control: %w", err)
 	}
-	if vm.Migrating() {
+	if migrating {
 		return nil // an action is already in flight
 	}
 	const migrationCooldownS = 90
@@ -636,8 +638,13 @@ func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict pr
 		attr = top
 	}
 	delay := c.cfg.ValidationDelayS
-	if step.Kind == cloudsim.ActionMigrate {
-		delay += cloudsim.MigrationSeconds(vm.MemAllocationMB)
+	if step.Kind == substrate.ActionMigrate {
+		// The memory allocation does not change until the migration
+		// completes, so reading it after the step still reflects the
+		// amount of state being copied.
+		if alloc, aerr := c.sub.Allocation(target); aerr == nil {
+			delay += c.sub.MigrationSeconds(alloc.MemMB)
+		}
 		c.lastMigration[target] = now
 	}
 	c.pending[target] = &pendingValidation{
@@ -653,11 +660,11 @@ func (c *Controller) actuate(now simclock.Time, target cloudsim.VMID, verdict pr
 func (c *Controller) recordStep(now simclock.Time, step prevent.Step) {
 	kind := telemetry.KindScalingApplied
 	switch step.Kind {
-	case cloudsim.ActionScaleCPU:
+	case substrate.ActionScaleCPU:
 		c.tel.scaleCPU.Inc()
-	case cloudsim.ActionScaleMem:
+	case substrate.ActionScaleMem:
 		c.tel.scaleMem.Inc()
-	case cloudsim.ActionMigrate:
+	case substrate.ActionMigrate:
 		c.tel.migrations.Inc()
 		kind = telemetry.KindMigration
 	}
@@ -668,7 +675,7 @@ func (c *Controller) recordStep(now simclock.Time, step prevent.Step) {
 
 // resolveValidation applies the look-back/look-ahead effectiveness check
 // to one VM's pending action.
-func (c *Controller) resolveValidation(now simclock.Time, id cloudsim.VMID, alertsStopped bool) {
+func (c *Controller) resolveValidation(now simclock.Time, id substrate.VMID, alertsStopped bool) {
 	p := c.pending[id]
 	series, err := c.sampler.Series(p.step.VM)
 	if err != nil {

@@ -48,7 +48,7 @@ func (f *fakeApp) SLOViolated() bool      { return f.violated }
 func (f *fakeApp) SLOMetric() float64     { return f.metric }
 func (f *fakeApp) VMIDs() []cloudsim.VMID { return []cloudsim.VMID{f.vm} }
 
-func newFakeWorld(t *testing.T, input workload.Generator) (*cloudsim.Cluster, *fakeApp) {
+func newFakeWorld(t *testing.T, input workload.Generator) (*cloudsim.Cluster, *cloudsim.Substrate, *fakeApp) {
 	t.Helper()
 	c := cloudsim.NewCluster()
 	if _, err := c.AddDefaultHost("h1"); err != nil {
@@ -60,18 +60,23 @@ func newFakeWorld(t *testing.T, input workload.Generator) (*cloudsim.Cluster, *f
 	if _, err := c.PlaceVM("vm1", "h1", 100, 512); err != nil {
 		t.Fatal(err)
 	}
-	return c, &fakeApp{cluster: c, vm: "vm1", input: input}
+	sub, err := cloudsim.NewSubstrate(c, []cloudsim.VMID{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sub, &fakeApp{cluster: c, vm: "vm1", input: input}
 }
 
 func TestNewValidation(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 50})
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 50})
+	_ = c
 	if _, err := New(SchemePREPARE, nil, app, Config{}); err == nil {
-		t.Error("nil cluster should fail")
+		t.Error("nil substrate should fail")
 	}
-	if _, err := New(SchemePREPARE, c, nil, Config{}); err == nil {
+	if _, err := New(SchemePREPARE, sub, nil, Config{}); err == nil {
 		t.Error("nil app should fail")
 	}
-	if _, err := New(Scheme(42), c, app, Config{}); err == nil {
+	if _, err := New(Scheme(42), sub, app, Config{}); err == nil {
 		t.Error("bad scheme should fail")
 	}
 }
@@ -93,8 +98,8 @@ func TestSchemeStrings(t *testing.T) {
 }
 
 func TestNoneSchemeRecordsButNeverActs(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 150}) // always over capacity
-	ctl, err := New(SchemeNone, c, app, Config{TrainAtS: 50, MonitorSeed: 1})
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 150}) // always over capacity
+	ctl, err := New(SchemeNone, sub, app, Config{TrainAtS: 50, MonitorSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,8 +125,8 @@ func TestTrainingHappensAtConfiguredTime(t *testing.T) {
 	// Load oscillates under capacity, with a violation episode before the
 	// training point so labels exist.
 	gen := workload.Ramp{Start: 40, Peak: 160, RampFrom: 60, RampTo: 100}
-	c, app := newFakeWorld(t, &phased{ramp: gen, backTo: 40, at: 150})
-	ctl, err := New(SchemeReactive, c, app, Config{TrainAtS: 300, MonitorSeed: 2})
+	c, sub, app := newFakeWorld(t, &phased{ramp: gen, backTo: 40, at: 150})
+	ctl, err := New(SchemeReactive, sub, app, Config{TrainAtS: 300, MonitorSeed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +162,8 @@ func (p *phased) Rate(t simclock.Time) float64 {
 func TestReactiveActsOnlyAfterPersistentViolation(t *testing.T) {
 	// Violation begins at t=350 (after training at 300): overload by an
 	// external CPU hog on the VM.
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemeReactive, c, app, Config{TrainAtS: 300, MonitorSeed: 3})
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemeReactive, sub, app, Config{TrainAtS: 300, MonitorSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,8 +199,8 @@ func TestReactiveActsOnlyAfterPersistentViolation(t *testing.T) {
 }
 
 func TestPREPAREActsAndRecovers(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemePREPARE, c, app, Config{TrainAtS: 300, MonitorSeed: 4})
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemePREPARE, sub, app, Config{TrainAtS: 300, MonitorSeed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,8 +325,8 @@ func TestConfigDefaults(t *testing.T) {
 // occurrence is handled even though the first post-training occurrence
 // was unknown at initial training time.
 func TestPeriodicRetrainingAdapts(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemePREPARE, c, app, Config{
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemePREPARE, sub, app, Config{
 		TrainAtS:         200, // trained before ANY fault has occurred
 		RetrainIntervalS: 200,
 		MonitorSeed:      6,
@@ -358,8 +363,8 @@ func TestPeriodicRetrainingAdapts(t *testing.T) {
 // TestNoRetrainingStaysBlind is the control for the test above: without
 // periodic retraining, the initially clean models never learn the fault.
 func TestNoRetrainingStaysBlind(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemePREPARE, c, app, Config{
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemePREPARE, sub, app, Config{
 		TrainAtS:    200,
 		MonitorSeed: 6,
 	})
@@ -389,8 +394,8 @@ func TestNoRetrainingStaysBlind(t *testing.T) {
 // controller trains on clean data only and still prevents the first
 // occurrence of an overload.
 func TestUnsupervisedModeFirstOccurrence(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemePREPARE, c, app, Config{
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemePREPARE, sub, app, Config{
 		TrainAtS:     200, // trained before any fault
 		Unsupervised: true,
 		MonitorSeed:  8,
@@ -428,8 +433,8 @@ func TestUnsupervisedModeFirstOccurrence(t *testing.T) {
 // TestUnsupervisedReactiveMode exercises the reactive + unsupervised
 // combination (detector evaluates current states only).
 func TestUnsupervisedReactiveMode(t *testing.T) {
-	c, app := newFakeWorld(t, workload.Constant{Value: 60})
-	ctl, err := New(SchemeReactive, c, app, Config{
+	c, sub, app := newFakeWorld(t, workload.Constant{Value: 60})
+	ctl, err := New(SchemeReactive, sub, app, Config{
 		TrainAtS:     200,
 		Unsupervised: true,
 		MonitorSeed:  9,

@@ -1,0 +1,273 @@
+package control_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/metrics"
+	"prepare/internal/replay"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+var engineEpisodes = [][2]int64{{200, 500}, {900, 1200}}
+
+// newReplayTenant builds one fully isolated tenant: its own replayed
+// trace (varied by seed), app, and PREPARE controller.
+func newReplayTenant(t *testing.T, id string, seed int64, trainAtS int64) control.Tenant {
+	t.Helper()
+	sub, err := replay.New(map[substrate.VMID][]metrics.Sample{
+		substrate.VMID("vm-" + id): replay.SyntheticTrace(seed, 1500, engineEpisodes),
+	}, replay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := replay.NewApp(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := control.New(control.SchemePREPARE, sub, app, control.Config{
+		TrainAtS:        trainAtS,
+		MonitorNoiseStd: -1,
+		MonitorSeed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return control.Tenant{ID: id, Controller: ctl}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := control.NewEngine(nil, control.EngineOptions{}); err == nil {
+		t.Error("no tenants should fail")
+	}
+	good := newReplayTenant(t, "a", 1, 600)
+	if _, err := control.NewEngine([]control.Tenant{{ID: "", Controller: good.Controller}},
+		control.EngineOptions{}); err == nil {
+		t.Error("empty tenant ID should fail")
+	}
+	if _, err := control.NewEngine([]control.Tenant{{ID: "a"}}, control.EngineOptions{}); err == nil {
+		t.Error("nil controller should fail")
+	}
+	if _, err := control.NewEngine([]control.Tenant{good, good}, control.EngineOptions{}); err == nil {
+		t.Error("duplicate tenant ID should fail")
+	}
+}
+
+func TestEngineTenantsSorted(t *testing.T) {
+	tenants := []control.Tenant{
+		newReplayTenant(t, "zeta", 1, 600),
+		newReplayTenant(t, "alpha", 2, 600),
+		newReplayTenant(t, "mid", 3, 600),
+	}
+	e, err := control.NewEngine(tenants, control.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := e.Tenants()
+	if len(ids) != 3 || ids[0] != "alpha" || ids[1] != "mid" || ids[2] != "zeta" {
+		t.Errorf("Tenants() = %v, want sorted", ids)
+	}
+	if e.Controller("alpha") == nil || e.Controller("ghost") != nil {
+		t.Error("Controller lookup broken")
+	}
+}
+
+func TestEngineUntilStopsTenant(t *testing.T) {
+	a := newReplayTenant(t, "a", 1, 600)
+	ticksA, ticksB := 0, 0
+	a.Advance = func(simclock.Time) error { ticksA++; return nil }
+	a.Until = 100
+	b := newReplayTenant(t, "b", 2, 600)
+	b.Advance = func(simclock.Time) error { ticksB++; return nil }
+	e, err := control.NewEngine([]control.Tenant{a, b}, control.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if ticksA != 100 {
+		t.Errorf("tenant a ticked %d times, want 100 (Until=100)", ticksA)
+	}
+	if ticksB != 200 {
+		t.Errorf("tenant b ticked %d times, want 200", ticksB)
+	}
+	st := e.Stats()
+	if st.Ticks != 200 || st.Tenants != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineErrorNamesTenant(t *testing.T) {
+	boom := errors.New("world broke")
+	a := newReplayTenant(t, "a", 1, 600)
+	b := newReplayTenant(t, "b", 2, 600)
+	b.Advance = func(now simclock.Time) error {
+		if now.Seconds() == 7 {
+			return boom
+		}
+		return nil
+	}
+	e, err := control.NewEngine([]control.Tenant{a, b}, control.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(50)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), `tenant b`) {
+		t.Errorf("err = %q, want it to name tenant b", err)
+	}
+}
+
+// TestEngineDeterministicAcrossShardCounts is the tentpole guarantee:
+// the engine's aggregate alert and action streams are byte-identical
+// for any shard/worker count, because tenants are fully isolated and
+// aggregates are emitted in canonical (Time, Tenant) order.
+func TestEngineDeterministicAcrossShardCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant engine runs in -short mode")
+	}
+	const tenants = 8
+	run := func(shards, workers int) ([]control.TenantAlert, []control.TenantStep, control.EngineStats) {
+		tt := make([]control.Tenant, tenants)
+		for i := range tt {
+			tt[i] = newReplayTenant(t, string(rune('a'+i)), int64(i+1), 600)
+		}
+		e, err := control.NewEngine(tt, control.EngineOptions{Shards: shards, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(1500); err != nil {
+			t.Fatal(err)
+		}
+		return e.Alerts(), e.Steps(), e.Stats()
+	}
+	a1, s1, st1 := run(1, 1)
+	a8, s8, st8 := run(8, 4)
+	if len(a1) == 0 {
+		t.Fatal("engine produced no alerts; determinism check is vacuous")
+	}
+	if len(a1) != len(a8) {
+		t.Fatalf("alert counts differ: shards=1 %d vs shards=8 %d", len(a1), len(a8))
+	}
+	for i := range a1 {
+		if a1[i] != a8[i] {
+			t.Errorf("alert %d differs: %+v vs %+v", i, a1[i], a8[i])
+		}
+	}
+	if len(s1) != len(s8) {
+		t.Fatalf("step counts differ: %d vs %d", len(s1), len(s8))
+	}
+	for i := range s1 {
+		if s1[i] != s8[i] {
+			t.Errorf("step %d differs: %+v vs %+v", i, s1[i], s8[i])
+		}
+	}
+	st1.Shards, st8.Shards = 0, 0
+	if st1 != st8 {
+		t.Errorf("stats differ: %+v vs %+v", st1, st8)
+	}
+}
+
+// TestEngineModelRoundTrip is the persistence guarantee: snapshotting a
+// trained engine and restoring it into a fresh one over the same
+// replayed traces reproduces the identical subsequent alert and action
+// streams. The snapshot carries the predictors' full online state, so
+// the restored engine picks up scoring exactly where the saved one
+// stopped.
+func TestEngineModelRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant engine runs in -short mode")
+	}
+	const (
+		tenants = 3
+		trainAt = 600
+		horizon = 1500
+	)
+	build := func(trainAtS int64) *control.Engine {
+		tt := make([]control.Tenant, tenants)
+		for i := range tt {
+			tt[i] = newReplayTenant(t, string(rune('a'+i)), int64(i+10), trainAtS)
+		}
+		e, err := control.NewEngine(tt, control.EngineOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	// Engine A trains online at 600 and is snapshotted right after.
+	ea := build(trainAt)
+	if err := ea.Run(trainAt); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := ea.SaveModels(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(trainAt + 1); s <= horizon; s++ {
+		if err := ea.Step(simclock.Time(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Engine B never trains online (TrainAtS=0): its models come solely
+	// from the snapshot, and it resumes at the save point.
+	eb := build(0)
+	if err := eb.RestoreModels(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(trainAt + 1); s <= horizon; s++ {
+		if err := eb.Step(simclock.Time(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := func(alerts []control.TenantAlert) []control.TenantAlert {
+		var out []control.TenantAlert
+		for _, a := range alerts {
+			if a.Time.Seconds() > trainAt {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	aa, ab := after(ea.Alerts()), after(eb.Alerts())
+	if len(aa) == 0 {
+		t.Fatal("no post-snapshot alerts; round-trip check is vacuous")
+	}
+	if len(aa) != len(ab) {
+		t.Fatalf("alert counts differ: saved %d vs restored %d", len(aa), len(ab))
+	}
+	for i := range aa {
+		if aa[i] != ab[i] {
+			t.Errorf("alert %d differs: saved %+v vs restored %+v", i, aa[i], ab[i])
+		}
+	}
+	sa, sb := ea.Steps(), eb.Steps()
+	if len(sa) != len(sb) {
+		t.Fatalf("step counts differ: saved %d vs restored %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Errorf("step %d differs: saved %+v vs restored %+v", i, sa[i], sb[i])
+		}
+	}
+
+	// Restoring into an engine whose tenants are absent from the
+	// snapshot must fail loudly.
+	se, err := control.NewEngine([]control.Tenant{newReplayTenant(t, "zz", 99, 0)},
+		control.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.RestoreModels(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Error("restore into an engine with unknown tenants should fail")
+	}
+}

@@ -1,0 +1,150 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"prepare/internal/predict"
+	"prepare/internal/substrate"
+)
+
+// modelsVersion guards the controller model snapshot wire format.
+const modelsVersion = 1
+
+// modelsSnapshot is the JSON wire format of a controller's trained
+// per-VM predictors. Each VM entry is one predict snapshot, which
+// carries the full online state of the Markov chains and the TAN model,
+// so a restored controller scores subsequent samples exactly as the
+// saved one would have.
+type modelsSnapshot struct {
+	Version int                        `json:"version"`
+	VMs     map[string]json.RawMessage `json:"vms"`
+}
+
+// SaveModels writes the controller's trained per-VM models as JSON.
+// The snapshot is self-contained: restored into a fresh controller over
+// the same VM set (RestoreModels), it reproduces the saved controller's
+// subsequent predictions exactly. Unsupervised detectors do not support
+// snapshots.
+func (c *Controller) SaveModels(w io.Writer) error {
+	if !c.trained {
+		return errors.New("control: models are not trained")
+	}
+	if c.cfg.Unsupervised {
+		return errors.New("control: unsupervised models do not support snapshots")
+	}
+	snap := modelsSnapshot{
+		Version: modelsVersion,
+		VMs:     make(map[string]json.RawMessage, len(c.vmOrder)),
+	}
+	for _, id := range c.vmOrder {
+		var buf bytes.Buffer
+		if err := c.predictors[id].Save(&buf); err != nil {
+			return fmt.Errorf("control: save models for %s: %w", id, err)
+		}
+		snap.VMs[string(id)] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("control: encode models: %w", err)
+	}
+	return nil
+}
+
+// RestoreModels loads a SaveModels snapshot into the controller,
+// marking it trained. The snapshot must provide a model for every VM
+// the controller manages.
+func (c *Controller) RestoreModels(r io.Reader) error {
+	var snap modelsSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("control: decode models: %w", err)
+	}
+	if snap.Version != modelsVersion {
+		return fmt.Errorf("control: unsupported model snapshot version %d", snap.Version)
+	}
+	models := make(map[substrate.VMID]*predict.Predictor, len(snap.VMs))
+	for id, raw := range snap.VMs {
+		p, err := predict.Load(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("control: restore models for %s: %w", id, err)
+		}
+		models[substrate.VMID(id)] = p
+	}
+	return c.InstallModels(models)
+}
+
+// InstallModels installs pre-trained predictors — one per managed VM —
+// and marks the controller trained, so it starts predicting without an
+// online training pass. Fresh alarm filters are created alongside, as
+// train does.
+func (c *Controller) InstallModels(models map[substrate.VMID]*predict.Predictor) error {
+	if c.cfg.Unsupervised {
+		return errors.New("control: unsupervised controllers do not accept supervised models")
+	}
+	for _, id := range c.vmOrder {
+		if models[id] == nil {
+			return fmt.Errorf("control: no model for VM %s", id)
+		}
+	}
+	for _, id := range c.vmOrder {
+		p := models[id]
+		p.SetInstruments(c.tel.predict)
+		c.predictors[id] = p
+		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
+		if err != nil {
+			return err
+		}
+		c.filters[id] = f
+	}
+	c.trained = true
+	return nil
+}
+
+// engineSnapshot is the JSON wire format of every tenant's models.
+type engineSnapshot struct {
+	Version int                        `json:"version"`
+	Tenants map[string]json.RawMessage `json:"tenants"`
+}
+
+// SaveModels writes every tenant's trained models as one JSON snapshot.
+func (e *Engine) SaveModels(w io.Writer) error {
+	snap := engineSnapshot{
+		Version: modelsVersion,
+		Tenants: make(map[string]json.RawMessage, len(e.tenants)),
+	}
+	for _, t := range e.tenants {
+		var buf bytes.Buffer
+		if err := t.Controller.SaveModels(&buf); err != nil {
+			return fmt.Errorf("control: tenant %s: %w", t.ID, err)
+		}
+		snap.Tenants[t.ID] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("control: encode engine models: %w", err)
+	}
+	return nil
+}
+
+// RestoreModels loads an engine snapshot, restoring every tenant's
+// models. The snapshot must cover every tenant in the engine.
+func (e *Engine) RestoreModels(r io.Reader) error {
+	var snap engineSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("control: decode engine models: %w", err)
+	}
+	if snap.Version != modelsVersion {
+		return fmt.Errorf("control: unsupported engine snapshot version %d", snap.Version)
+	}
+	for _, t := range e.tenants {
+		raw, ok := snap.Tenants[t.ID]
+		if !ok {
+			return fmt.Errorf("control: snapshot has no models for tenant %s", t.ID)
+		}
+		if err := t.Controller.RestoreModels(bytes.NewReader(raw)); err != nil {
+			return fmt.Errorf("control: tenant %s: %w", t.ID, err)
+		}
+	}
+	return nil
+}

@@ -4,18 +4,18 @@ import (
 	"context"
 	"fmt"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/control"
 	"prepare/internal/metrics"
 	"prepare/internal/predict"
+	"prepare/internal/substrate"
 )
 
 // Dataset is the labeled per-VM monitoring data of one run, used for the
 // paper's trace-driven prediction accuracy experiments (Figures 10-13).
 type Dataset struct {
-	PerVM       map[cloudsim.VMID][]metrics.Sample
-	Order       []cloudsim.VMID
-	FaultTarget cloudsim.VMID
+	PerVM       map[substrate.VMID][]metrics.Sample
+	Order       []substrate.VMID
+	FaultTarget substrate.VMID
 	// TrainAtS splits the data: samples before it train the models,
 	// samples after it are replayed for scoring (the second fault
 	// injection, per the paper's protocol).
@@ -39,7 +39,7 @@ func CollectDataset(sc Scenario) (Dataset, error) {
 }
 
 // split divides one VM's samples into train and test portions.
-func (d Dataset) split(id cloudsim.VMID) (train, test []metrics.Sample, err error) {
+func (d Dataset) split(id substrate.VMID) (train, test []metrics.Sample, err error) {
 	samples, ok := d.PerVM[id]
 	if !ok {
 		return nil, nil, fmt.Errorf("experiment: no samples for VM %q", id)

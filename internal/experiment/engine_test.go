@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+	"prepare/internal/prevent"
+)
+
+func TestMultiTenant(t *testing.T) {
+	base := Scenario{App: RUBiS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 10}
+	ts := MultiTenant(3, base)
+	if len(ts) != 3 {
+		t.Fatalf("got %d tenants", len(ts))
+	}
+	for i, tn := range ts {
+		if tn.Scenario.Seed != 10+int64(i) {
+			t.Errorf("tenant %d seed = %d", i, tn.Scenario.Seed)
+		}
+		if tn.ID == "" || (i > 0 && tn.ID == ts[i-1].ID) {
+			t.Errorf("tenant %d ID = %q", i, tn.ID)
+		}
+	}
+}
+
+func TestRunEngineValidation(t *testing.T) {
+	if _, err := RunEngine(nil, EngineOptions{}); err == nil {
+		t.Error("no tenants should fail")
+	}
+	dup := []TenantScenario{
+		{ID: "a", Scenario: Scenario{App: RUBiS, Fault: faults.CPUHog, Scheme: control.SchemeNone, Seed: 1}},
+		{ID: "a", Scenario: Scenario{App: RUBiS, Fault: faults.CPUHog, Scheme: control.SchemeNone, Seed: 2}},
+	}
+	if _, err := RunEngine(dup, EngineOptions{}); err == nil {
+		t.Error("duplicate tenant IDs should fail")
+	}
+	bad := []TenantScenario{{ID: "a", Scenario: Scenario{App: AppKind(99), Seed: 1}}}
+	if _, err := RunEngine(bad, EngineOptions{}); err == nil || !strings.Contains(err.Error(), "tenant a") {
+		t.Errorf("invalid scenario error = %v, want it to name tenant a", err)
+	}
+}
+
+// TestRunEngineMatchesSerialRuns: each tenant's engine outcome must be
+// bit-identical to running its scenario alone with Run — co-tenancy
+// changes nothing because tenants share no state.
+func TestRunEngineMatchesSerialRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine runs in -short mode")
+	}
+	tenants := []TenantScenario{
+		{ID: "t1", Scenario: Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 21}},
+		{ID: "t2", Scenario: Scenario{App: SystemS, Fault: faults.CPUHog, Scheme: control.SchemeReactive, Seed: 22}},
+		{ID: "t3", Scenario: Scenario{App: RUBiS, Fault: faults.Bottleneck, Scheme: control.SchemePREPARE, Seed: 23,
+			Policy: prevent.MigrationOnly}},
+	}
+	res, err := RunEngine(tenants, EngineOptions{Shards: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != len(tenants) {
+		t.Fatalf("got %d tenant results", len(res.Tenants))
+	}
+	for _, tr := range res.Tenants {
+		serial, err := Run(tr.Scenario)
+		if err != nil {
+			t.Fatalf("serial %s: %v", tr.Tenant, err)
+		}
+		if tr.EvalViolationSeconds != serial.EvalViolationSeconds ||
+			tr.TotalViolationSeconds != serial.TotalViolationSeconds {
+			t.Errorf("%s: violation %d/%d != serial %d/%d", tr.Tenant,
+				tr.EvalViolationSeconds, tr.TotalViolationSeconds,
+				serial.EvalViolationSeconds, serial.TotalViolationSeconds)
+		}
+		if len(tr.Alerts) != len(serial.Alerts) {
+			t.Errorf("%s: %d alerts != serial %d", tr.Tenant, len(tr.Alerts), len(serial.Alerts))
+		} else {
+			for i := range tr.Alerts {
+				if tr.Alerts[i] != serial.Alerts[i] {
+					t.Errorf("%s: alert %d differs: %+v vs %+v", tr.Tenant, i, tr.Alerts[i], serial.Alerts[i])
+					break
+				}
+			}
+		}
+		if len(tr.Steps) != len(serial.Steps) {
+			t.Errorf("%s: %d steps != serial %d", tr.Tenant, len(tr.Steps), len(serial.Steps))
+		} else {
+			for i := range tr.Steps {
+				if tr.Steps[i] != serial.Steps[i] {
+					t.Errorf("%s: step %d differs: %+v vs %+v", tr.Tenant, i, tr.Steps[i], serial.Steps[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestRunEngineDeterministicAcrossShardCounts: the merged aggregate
+// streams are byte-identical for any shard/worker count.
+func TestRunEngineDeterministicAcrossShardCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine runs in -short mode")
+	}
+	base := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 50}
+	run := func(shards, workers int) EngineResult {
+		res, err := RunEngine(MultiTenant(4, base), EngineOptions{Shards: shards, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1, 1)
+	r4 := run(4, 2)
+	if len(r1.Alerts) == 0 {
+		t.Fatal("no alerts; determinism check is vacuous")
+	}
+	if len(r1.Alerts) != len(r4.Alerts) {
+		t.Fatalf("alert counts differ: %d vs %d", len(r1.Alerts), len(r4.Alerts))
+	}
+	for i := range r1.Alerts {
+		if r1.Alerts[i] != r4.Alerts[i] {
+			t.Errorf("alert %d differs: %+v vs %+v", i, r1.Alerts[i], r4.Alerts[i])
+		}
+	}
+	if len(r1.Steps) != len(r4.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(r1.Steps), len(r4.Steps))
+	}
+	for i := range r1.Steps {
+		if r1.Steps[i] != r4.Steps[i] {
+			t.Errorf("step %d differs: %+v vs %+v", i, r1.Steps[i], r4.Steps[i])
+		}
+	}
+	s1, s4 := r1.Stats, r4.Stats
+	s1.Shards, s4.Shards = 0, 0
+	if s1 != s4 {
+		t.Errorf("stats differ: %+v vs %+v", s1, s4)
+	}
+}

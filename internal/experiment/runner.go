@@ -3,125 +3,27 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"prepare/internal/pool"
 	"prepare/internal/telemetry"
 )
 
-// defaultWorkers holds the package-wide worker-pool size; 0 means
-// runtime.GOMAXPROCS(0).
-var defaultWorkers atomic.Int64
+// Runner is the bounded deterministic worker pool every sweep entry
+// point runs on. It now lives in internal/pool (the control engine
+// shares it); the alias keeps the experiment API unchanged.
+type Runner = pool.Runner
 
-// DefaultWorkers returns the worker-pool size sweeps use when none is
-// given explicitly (runtime.GOMAXPROCS(0) unless overridden with
-// SetDefaultWorkers).
-func DefaultWorkers() int {
-	if n := defaultWorkers.Load(); n > 0 {
-		return int(n)
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// DefaultWorkers returns the process-wide worker-pool size sweeps use
+// when none is given explicitly.
+func DefaultWorkers() int { return pool.DefaultWorkers() }
 
-// SetDefaultWorkers overrides the package-wide worker-pool size for
+// SetDefaultWorkers overrides the process-wide worker-pool size for
 // every sweep entry point (Repeat, the figure generators, accuracy
-// sweeps, Table1). n <= 0 restores the GOMAXPROCS default. Because every
-// scenario run is deterministically seeded and fully self-contained,
-// results are bit-identical for any worker count.
-func SetDefaultWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	defaultWorkers.Store(int64(n))
-}
-
-// Runner executes independent tasks on a bounded worker pool. The zero
-// value uses DefaultWorkers.
-type Runner struct {
-	// Workers bounds concurrent tasks; <= 0 means DefaultWorkers().
-	Workers int
-}
-
-func (r Runner) workers() int {
-	if r.Workers > 0 {
-		return r.Workers
-	}
-	return DefaultWorkers()
-}
-
-// ForEach runs fn(ctx, i) for every i in [0, n), at most r.Workers at a
-// time. Callers make results deterministic by writing into slot i of a
-// pre-sized slice — completion order never matters. The first error
-// cancels the shared context, remaining queued tasks are skipped, and
-// that first error (by task submission order, not completion time) is
-// returned.
-func (r Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
-	if n <= 0 {
-		return ctx.Err()
-	}
-	workers := r.workers()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(ctx, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	// firstErr keeps the error of the lowest-indexed failing task so the
-	// reported failure is deterministic even when several tasks fail.
-	var (
-		mu       sync.Mutex
-		firstErr error
-		firstIdx int
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if firstErr == nil || i < firstIdx {
-			firstErr, firstIdx = err, i
-		}
-		mu.Unlock()
-		cancel()
-	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || ctx.Err() != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					fail(i, err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	mu.Lock()
-	defer mu.Unlock()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
-}
+// sweeps, Table1) and for the multi-tenant control engine. n <= 0
+// restores the GOMAXPROCS default. Because every scenario run is
+// deterministically seeded and fully self-contained, results are
+// bit-identical for any worker count.
+func SetDefaultWorkers(n int) { pool.SetDefaultWorkers(n) }
 
 // BatchOptions configures RunAll.
 type BatchOptions struct {

@@ -17,6 +17,7 @@ import (
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 	"prepare/internal/telemetry"
 	"prepare/internal/workload"
 )
@@ -159,27 +160,44 @@ type Result struct {
 	Trace []TracePoint
 	// Dataset holds each VM's labeled samples (for trace-driven
 	// analyses).
-	Dataset map[cloudsim.VMID][]metrics.Sample
+	Dataset map[substrate.VMID][]metrics.Sample
 	// VMOrder lists the application VMs in canonical order.
-	VMOrder []cloudsim.VMID
+	VMOrder []substrate.VMID
 	// FaultTarget is the VM the fault was injected into ("" for
 	// bottleneck).
-	FaultTarget cloudsim.VMID
+	FaultTarget substrate.VMID
 	// Telemetry is the run's metric/event snapshot, nil unless the
 	// process-wide telemetry registry was enabled (telemetry.Enable or
 	// prepare.EnableTelemetry) when the run started.
 	Telemetry *telemetry.Snapshot
 }
 
-// Run executes the scenario.
-func Run(sc Scenario) (Result, error) {
-	sc = sc.withDefaults()
+// world bundles one fully-assembled simulated deployment: the cluster,
+// its substrate adapter (the only view the control loop gets), the
+// application, and the fault schedule.
+type world struct {
+	cluster  *cloudsim.Cluster
+	sub      *cloudsim.Substrate
+	app      control.App
+	schedule *faults.Schedule
+	target   substrate.VMID
+}
 
+// tick advances the world by one simulated second (faults, application,
+// then infrastructure), the order the controller expects.
+func (w *world) tick(now simclock.Time) {
+	w.schedule.Apply(now)
+	w.app.Tick(now)
+	w.cluster.Tick(now)
+}
+
+// buildWorld assembles the scenario's deployment.
+func buildWorld(sc Scenario) (*world, error) {
 	cluster := cloudsim.NewCluster()
 	var (
 		app      control.App
 		schedule *faults.Schedule
-		target   cloudsim.VMID
+		target   substrate.VMID
 		err      error
 	)
 	switch sc.App {
@@ -188,14 +206,30 @@ func Run(sc Scenario) (Result, error) {
 	case RUBiS:
 		app, schedule, target, err = buildRUBiS(cluster, sc)
 	default:
-		return Result{}, fmt.Errorf("experiment: unsupported app %d", sc.App)
+		return nil, fmt.Errorf("experiment: unsupported app %d", sc.App)
 	}
+	if err != nil {
+		return nil, err
+	}
+	sub, err := cloudsim.NewSubstrate(cluster, app.VMIDs())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return &world{cluster: cluster, sub: sub, app: app, schedule: schedule, target: target}, nil
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) (Result, error) {
+	sc = sc.withDefaults()
+
+	w, err := buildWorld(sc)
 	if err != nil {
 		return Result{}, err
 	}
+	app := w.app
 
 	reg := newRunRegistry()
-	ctl, err := control.New(sc.Scheme, cluster, app, control.Config{
+	ctl, err := control.New(sc.Scheme, w.sub, app, control.Config{
 		SamplingIntervalS: sc.SamplingIntervalS,
 		LookaheadS:        sc.LookaheadS,
 		FilterK:           sc.FilterK,
@@ -215,9 +249,7 @@ func Run(sc Scenario) (Result, error) {
 	trace := make([]TracePoint, 0, sc.DurationS)
 	for t := int64(1); t <= sc.DurationS; t++ {
 		now := simclock.Time(t)
-		schedule.Apply(now)
-		app.Tick(now)
-		cluster.Tick(now)
+		w.tick(now)
 		if err := ctl.OnTick(now); err != nil {
 			return Result{}, fmt.Errorf("experiment: tick %d: %w", t, err)
 		}
@@ -238,7 +270,7 @@ func Run(sc Scenario) (Result, error) {
 		Trace:                 trace,
 		Dataset:               ctl.Sampler().Dataset(),
 		VMOrder:               app.VMIDs(),
-		FaultTarget:           target,
+		FaultTarget:           w.target,
 	}
 	finishRun(reg, &res)
 	return res, nil
@@ -246,7 +278,7 @@ func Run(sc Scenario) (Result, error) {
 
 // buildSystemS assembles the seven-PE System S deployment: one host per
 // PE (headroom for scaling) plus one idle host as a migration target.
-func buildSystemS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.Schedule, cloudsim.VMID, error) {
+func buildSystemS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.Schedule, substrate.VMID, error) {
 	hostIDs := make([]cloudsim.HostID, 0, 7)
 	for i := 0; i < 7; i++ {
 		id := cloudsim.HostID(fmt.Sprintf("host%d", i+1))
@@ -277,7 +309,7 @@ func buildSystemS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.
 	}
 	var input workload.Generator = base
 	var schedule *faults.Schedule
-	var target cloudsim.VMID
+	var target substrate.VMID
 
 	if sc.Fault == faults.Bottleneck {
 		s1 := &faults.Surge{
@@ -337,7 +369,7 @@ func buildSystemS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.
 
 // buildRUBiS assembles the four-VM RUBiS deployment (one host per tier
 // plus a spare) driven by the NASA-like workload.
-func buildRUBiS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.Schedule, cloudsim.VMID, error) {
+func buildRUBiS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.Schedule, substrate.VMID, error) {
 	hostIDs := make([]cloudsim.HostID, 0, 4)
 	for i := 0; i < 4; i++ {
 		id := cloudsim.HostID(fmt.Sprintf("host%d", i+1))
@@ -370,7 +402,7 @@ func buildRUBiS(cluster *cloudsim.Cluster, sc Scenario) (control.App, *faults.Sc
 	}
 	var input workload.Generator = base
 	var schedule *faults.Schedule
-	target := cloudsim.VMID("vm-db")
+	target := substrate.VMID("vm-db")
 
 	if sc.Fault == faults.Bottleneck {
 		s1 := &faults.Surge{

@@ -118,13 +118,17 @@ func timeMonitoring(rounds int) (string, error) {
 	}
 	vm.CPUUsage = 50
 	vm.WorkingSetMB = 300
-	sampler, err := monitor.NewSampler(cluster, []cloudsim.VMID{"vm1"}, monitor.Config{Seed: 1})
+	sub, err := cloudsim.NewSubstrate(cluster, []cloudsim.VMID{"vm1"})
+	if err != nil {
+		return "", err
+	}
+	sampler, err := monitor.NewSampler(sub, []cloudsim.VMID{"vm1"}, monitor.Config{Seed: 1})
 	if err != nil {
 		return "", err
 	}
 	start := time.Now()
 	for i := 0; i < rounds; i++ {
-		sampler.UpdateLoad()
+		sampler.Advance(simclock.Time(i))
 		if _, err := sampler.Collect(simclock.Time(i), metrics.LabelNormal); err != nil {
 			return "", err
 		}

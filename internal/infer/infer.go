@@ -8,21 +8,22 @@
 package infer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"prepare/internal/bayes"
-	"prepare/internal/cloudsim"
 	"prepare/internal/metrics"
 	"prepare/internal/predict"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
 // Diagnosis identifies a faulty VM and the metrics implicated in its
 // predicted anomaly.
 type Diagnosis struct {
-	VM cloudsim.VMID
+	VM substrate.VMID
 	// Ranked lists the attributes by decreasing impact strength L_i;
 	// only attributes with positive strength (i.e., evidence toward
 	// "abnormal") are included.
@@ -45,7 +46,7 @@ func (d Diagnosis) TopAttribute() (metrics.Attribute, bool) {
 // Diagnose converts a per-VM alerting verdict into a diagnosis. The
 // verdict's strength indices must refer to the 13 metrics attributes in
 // canonical order (as produced by per-VM predictors).
-func Diagnose(vm cloudsim.VMID, verdict predict.Verdict) (Diagnosis, error) {
+func Diagnose(vm substrate.VMID, verdict predict.Verdict) (Diagnosis, error) {
 	d := Diagnosis{VM: vm, Score: verdict.Score}
 	d.Strengths = append(d.Strengths, verdict.Strengths...)
 	for _, s := range verdict.Strengths {
@@ -178,24 +179,24 @@ func (c *ChangeDetector) Offer(value float64) bool {
 // cause is workload, not an internal fault.
 type WorkloadDetector struct {
 	windowS   int64
-	detectors map[cloudsim.VMID]*ChangeDetector
-	changedAt map[cloudsim.VMID]simclock.Time
-	order     []cloudsim.VMID
+	detectors map[substrate.VMID]*ChangeDetector
+	changedAt map[substrate.VMID]simclock.Time
+	order     []substrate.VMID
 }
 
 // NewWorkloadDetector builds a detector over the given VMs. windowS is
 // the simultaneity window in seconds.
-func NewWorkloadDetector(vms []cloudsim.VMID, warmup int, windowS int64) (*WorkloadDetector, error) {
+func NewWorkloadDetector(vms []substrate.VMID, warmup int, windowS int64) (*WorkloadDetector, error) {
 	if len(vms) == 0 {
-		return nil, fmt.Errorf("infer: at least one VM is required")
+		return nil, errors.New("infer: at least one VM is required")
 	}
 	if windowS <= 0 {
 		return nil, fmt.Errorf("infer: window %d must be positive", windowS)
 	}
 	w := &WorkloadDetector{
 		windowS:   windowS,
-		detectors: make(map[cloudsim.VMID]*ChangeDetector, len(vms)),
-		changedAt: make(map[cloudsim.VMID]simclock.Time, len(vms)),
+		detectors: make(map[substrate.VMID]*ChangeDetector, len(vms)),
+		changedAt: make(map[substrate.VMID]simclock.Time, len(vms)),
 	}
 	for _, id := range vms {
 		d, err := NewChangeDetector(warmup, 8)
@@ -210,7 +211,7 @@ func NewWorkloadDetector(vms []cloudsim.VMID, warmup int, windowS int64) (*Workl
 }
 
 // Offer feeds one VM's tracked metric value at the given instant.
-func (w *WorkloadDetector) Offer(now simclock.Time, vm cloudsim.VMID, value float64) error {
+func (w *WorkloadDetector) Offer(now simclock.Time, vm substrate.VMID, value float64) error {
 	d, ok := w.detectors[vm]
 	if !ok {
 		return fmt.Errorf("infer: VM %q is not tracked", vm)
@@ -237,8 +238,8 @@ func (w *WorkloadDetector) WorkloadChange(now simclock.Time) bool {
 }
 
 // ChangedVMs returns the VMs with a change point within the window.
-func (w *WorkloadDetector) ChangedVMs(now simclock.Time) []cloudsim.VMID {
-	var out []cloudsim.VMID
+func (w *WorkloadDetector) ChangedVMs(now simclock.Time) []substrate.VMID {
+	var out []substrate.VMID
 	for _, id := range w.order {
 		if t, ok := w.changedAt[id]; ok && now.Sub(t) <= w.windowS {
 			out = append(out, id)

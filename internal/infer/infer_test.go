@@ -224,6 +224,41 @@ func TestWorkloadDetectorAllComponentsChange(t *testing.T) {
 	}
 }
 
+func TestChangedVMsCanonicalOrder(t *testing.T) {
+	// The detector is built from an unsorted VM list; ChangedVMs must
+	// still return canonical sorted order every call, regardless of map
+	// iteration or insertion order.
+	unsorted := toVMIDs([]string{"vm9", "vm2", "vm7", "vm1"})
+	w, err := NewWorkloadDetector(unsorted, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		now := simclock.Time(i)
+		for _, vm := range unsorted {
+			v := 10.0
+			if i >= 50 {
+				v = 30
+			}
+			if err := w.Offer(now, vm, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := toVMIDs([]string{"vm1", "vm2", "vm7", "vm9"})
+	for trial := 0; trial < 5; trial++ {
+		got := w.ChangedVMs(79)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ChangedVMs = %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: ChangedVMs = %v, want sorted %v", trial, got, want)
+			}
+		}
+	}
+}
+
 func TestWorkloadDetectorSingleVMChangeIsNotWorkload(t *testing.T) {
 	vms := toVMIDs([]string{"vm1", "vm2"})
 	w, err := NewWorkloadDetector(vms, 20, 40)

@@ -4,9 +4,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
 func TestSLOLogOrdering(t *testing.T) {
@@ -149,46 +149,73 @@ func TestPropertyViolationSecondsMatchesIntervals(t *testing.T) {
 	}
 }
 
-func newMonitoredCluster(t *testing.T) (*cloudsim.Cluster, *cloudsim.VM) {
-	t.Helper()
-	c := cloudsim.NewCluster()
-	if _, err := c.AddDefaultHost("h1"); err != nil {
-		t.Fatal(err)
+// fakeSource is an in-memory substrate.MetricSource: per-VM noise-free
+// vectors plus a load EMA integrated on Advance, mirroring how real
+// substrates behave.
+type fakeSource struct {
+	vectors  map[substrate.VMID]metrics.Vector
+	demand   map[substrate.VMID]float64
+	load1    map[substrate.VMID]float64
+	advanced int
+}
+
+func newFakeSource() *fakeSource {
+	var v metrics.Vector
+	v.Set(metrics.CPUTotal, 50)
+	v.Set(metrics.CPUUser, 36)
+	v.Set(metrics.CPUSystem, 14)
+	v.Set(metrics.FreeMem, 212)
+	v.Set(metrics.MemUsed, 300)
+	v.Set(metrics.NetIn, 800)
+	v.Set(metrics.NetOut, 750)
+	v.Set(metrics.DiskRead, 60)
+	v.Set(metrics.DiskWrite, 30)
+	v.Set(metrics.CtxSwitch, 2150)
+	v.Set(metrics.PageFaults, 40)
+	return &fakeSource{
+		vectors: map[substrate.VMID]metrics.Vector{"vm1": v},
+		demand:  map[substrate.VMID]float64{"vm1": 0.55},
+		load1:   make(map[substrate.VMID]float64),
 	}
-	vm, err := c.PlaceVM("vm1", "h1", 100, 512)
-	if err != nil {
-		t.Fatal(err)
+}
+
+func (f *fakeSource) Advance(simclock.Time) {
+	f.advanced++
+	for id, d := range f.demand {
+		f.load1[id] = 0.28*d + (1-0.28)*f.load1[id]
 	}
-	vm.CPUUsage = 50
-	vm.CPUDemand = 55
-	vm.WorkingSetMB = 300
-	vm.NetInKBps = 800
-	vm.NetOutKBps = 750
-	vm.DiskReadKBps = 60
-	vm.DiskWriteKBs = 30
-	return c, vm
+}
+
+func (f *fakeSource) Sample(id substrate.VMID) (metrics.Vector, error) {
+	v, ok := f.vectors[id]
+	if !ok {
+		return metrics.Vector{}, substrate.ErrNoSuchVM
+	}
+	v.Set(metrics.Load1, f.load1[id])
+	v.Set(metrics.Load5, f.load1[id]*0.9)
+	return v, nil
 }
 
 func TestNewSamplerValidation(t *testing.T) {
-	c, _ := newMonitoredCluster(t)
-	if _, err := NewSampler(nil, []cloudsim.VMID{"vm1"}, Config{}); err == nil {
-		t.Error("nil cluster should fail")
+	src := newFakeSource()
+	if _, err := NewSampler(nil, []substrate.VMID{"vm1"}, Config{}); err == nil {
+		t.Error("nil source should fail")
 	}
-	if _, err := NewSampler(c, nil, Config{}); err == nil {
+	if _, err := NewSampler(src, nil, Config{}); err == nil {
 		t.Error("no VMs should fail")
 	}
-	if _, err := NewSampler(c, []cloudsim.VMID{"ghost"}, Config{}); err == nil {
+	if _, err := NewSampler(src, []substrate.VMID{"ghost"}, Config{}); err == nil {
 		t.Error("unknown VM should fail")
 	}
 }
 
 func TestCollectProducesAllAttributes(t *testing.T) {
-	c, _ := newMonitoredCluster(t)
-	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	src := newFakeSource()
+	s, err := NewSampler(src, []substrate.VMID{"vm1"}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.UpdateLoad()
+	s.Advance(0)
 	samples, err := s.Collect(5, metrics.LabelNormal)
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +227,7 @@ func TestCollectProducesAllAttributes(t *testing.T) {
 	if sm.Time != 5 || sm.Label != metrics.LabelNormal {
 		t.Errorf("sample meta = %+v", sm)
 	}
-	// Core attributes reflect the VM state within noise.
+	// Core attributes reflect the source state within noise.
 	cpu := sm.Values.Get(metrics.CPUTotal)
 	if cpu < 35 || cpu > 65 {
 		t.Errorf("cpu_total = %.1f, want ~50", cpu)
@@ -213,13 +240,15 @@ func TestCollectProducesAllAttributes(t *testing.T) {
 		t.Error("net_in should be positive")
 	}
 	if sm.Values.Get(metrics.Load1) <= 0 {
-		t.Error("load1 should be positive after UpdateLoad")
+		t.Error("load1 should be positive after Advance")
+	}
+	if src.advanced != 1 {
+		t.Errorf("source advanced %d times, want 1", src.advanced)
 	}
 }
 
 func TestCollectAppendsToSeries(t *testing.T) {
-	c, _ := newMonitoredCluster(t)
-	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	s, err := NewSampler(newFakeSource(), []substrate.VMID{"vm1"}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,8 +271,7 @@ func TestCollectAppendsToSeries(t *testing.T) {
 
 func TestSamplerDeterministicForSeed(t *testing.T) {
 	mk := func() metrics.Sample {
-		c, _ := newMonitoredCluster(t)
-		s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 99})
+		s, err := NewSampler(newFakeSource(), []substrate.VMID{"vm1"}, Config{Seed: 99})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,10 +287,30 @@ func TestSamplerDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestNoiseDisabledPassesValuesThrough(t *testing.T) {
+	// NoiseStd < 0 turns the sampler into a pass-through, which replayed
+	// traces (already noisy) rely on.
+	src := newFakeSource()
+	s, err := NewSampler(src, []substrate.VMID{"vm1"}, Config{Seed: 7, NoiseStd: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := s.Collect(0, metrics.LabelNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := src.Sample("vm1")
+	if samples["vm1"].Values != clean {
+		t.Errorf("pass-through sample = %v, want %v", samples["vm1"].Values, clean)
+	}
+}
+
 func TestNoiseNeverNegative(t *testing.T) {
-	c, vm := newMonitoredCluster(t)
-	vm.NetInKBps = 0.001
-	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 3, NoiseStd: 3.0})
+	src := newFakeSource()
+	v := src.vectors["vm1"]
+	v.Set(metrics.NetIn, 0.001)
+	src.vectors["vm1"] = v
+	s, err := NewSampler(src, []substrate.VMID{"vm1"}, Config{Seed: 3, NoiseStd: 3.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,14 +329,14 @@ func TestNoiseNeverNegative(t *testing.T) {
 }
 
 func TestLoadEMAConverges(t *testing.T) {
-	c, vm := newMonitoredCluster(t)
-	vm.CPUDemand = 80 // utilization 0.8
-	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	src := newFakeSource()
+	src.demand["vm1"] = 0.8
+	s, err := NewSampler(src, []substrate.VMID{"vm1"}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		s.UpdateLoad()
+		s.Advance(simclock.Time(i))
 	}
 	samples, err := s.Collect(1000, metrics.LabelNormal)
 	if err != nil {
@@ -301,8 +349,7 @@ func TestLoadEMAConverges(t *testing.T) {
 }
 
 func TestDataset(t *testing.T) {
-	c, _ := newMonitoredCluster(t)
-	s, err := NewSampler(c, []cloudsim.VMID{"vm1"}, Config{Seed: 1})
+	s, err := NewSampler(newFakeSource(), []substrate.VMID{"vm1"}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,31 +1,46 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 	"prepare/internal/telemetry"
 )
 
 // DefaultSamplingInterval is the paper's metric sampling interval (5 s).
 const DefaultSamplingInterval = int64(5)
 
+// noiseOrder fixes the per-attribute order in which measurement noise is
+// drawn from the RNG. It is part of the determinism contract: the order
+// predates the substrate refactor (it follows the original derivation
+// sequence, not attribute index order), so seeded experiment results
+// stay byte-identical across versions.
+var noiseOrder = []metrics.Attribute{
+	metrics.CPUTotal, metrics.CPUUser, metrics.CPUSystem,
+	metrics.FreeMem, metrics.MemUsed,
+	metrics.NetIn, metrics.NetOut,
+	metrics.DiskRead, metrics.DiskWrite,
+	metrics.Load1, metrics.Load5,
+	metrics.CtxSwitch, metrics.PageFaults,
+}
+
 // Sampler collects the 13 system-level attributes of each monitored VM
-// from the cluster, adds measurement noise, derives load averages, and
-// appends labeled samples to per-VM series.
+// from any substrate's metric source, adds measurement noise, and
+// appends labeled samples to per-VM series. It is the simulated
+// analogue of domain-0 libxenstat monitoring, but works identically
+// over replayed traces or any other MetricSource.
 type Sampler struct {
-	cluster  *cloudsim.Cluster
-	vmIDs    []cloudsim.VMID
+	source   substrate.MetricSource
+	vmIDs    []substrate.VMID
 	rng      *rand.Rand
 	noiseStd float64
 
-	load1  map[cloudsim.VMID]float64
-	load5  map[cloudsim.VMID]float64
-	series map[cloudsim.VMID]*metrics.Series
+	series map[substrate.VMID]*metrics.Series
 
 	// ingested counts appended samples; nil (disabled telemetry) no-ops.
 	ingested *telemetry.Counter
@@ -34,7 +49,9 @@ type Sampler struct {
 // Config parameterizes the sampler.
 type Config struct {
 	// NoiseStd is the relative standard deviation of measurement noise
-	// applied to each attribute (default 0.03 when zero).
+	// applied to each attribute (default 0.03 when zero; negative
+	// disables noise entirely, for sources that already carry it, such
+	// as replayed traces).
 	NoiseStd float64
 	// Seed drives the noise generator.
 	Seed int64
@@ -43,16 +60,16 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// NewSampler monitors the given VMs on the cluster.
-func NewSampler(cluster *cloudsim.Cluster, vmIDs []cloudsim.VMID, cfg Config) (*Sampler, error) {
-	if cluster == nil {
-		return nil, fmt.Errorf("monitor: cluster is required")
+// NewSampler monitors the given VMs over the metric source.
+func NewSampler(source substrate.MetricSource, vmIDs []substrate.VMID, cfg Config) (*Sampler, error) {
+	if source == nil {
+		return nil, errors.New("monitor: metric source is required")
 	}
 	if len(vmIDs) == 0 {
-		return nil, fmt.Errorf("monitor: at least one VM is required")
+		return nil, errors.New("monitor: at least one VM is required")
 	}
 	for _, id := range vmIDs {
-		if _, err := cluster.VM(id); err != nil {
+		if _, err := source.Sample(id); err != nil {
 			return nil, fmt.Errorf("monitor: %w", err)
 		}
 	}
@@ -60,16 +77,14 @@ func NewSampler(cluster *cloudsim.Cluster, vmIDs []cloudsim.VMID, cfg Config) (*
 	if noise == 0 {
 		noise = 0.03
 	}
-	ids := make([]cloudsim.VMID, len(vmIDs))
+	ids := make([]substrate.VMID, len(vmIDs))
 	copy(ids, vmIDs)
 	s := &Sampler{
-		cluster:  cluster,
+		source:   source,
 		vmIDs:    ids,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		noiseStd: noise,
-		load1:    make(map[cloudsim.VMID]float64, len(ids)),
-		load5:    make(map[cloudsim.VMID]float64, len(ids)),
-		series:   make(map[cloudsim.VMID]*metrics.Series, len(ids)),
+		series:   make(map[substrate.VMID]*metrics.Series, len(ids)),
 		ingested: cfg.Telemetry.Counter("monitor.samples.ingested"),
 	}
 	for _, id := range ids {
@@ -79,14 +94,14 @@ func NewSampler(cluster *cloudsim.Cluster, vmIDs []cloudsim.VMID, cfg Config) (*
 }
 
 // VMIDs returns the monitored VM IDs.
-func (s *Sampler) VMIDs() []cloudsim.VMID {
-	out := make([]cloudsim.VMID, len(s.vmIDs))
+func (s *Sampler) VMIDs() []substrate.VMID {
+	out := make([]substrate.VMID, len(s.vmIDs))
 	copy(out, s.vmIDs)
 	return out
 }
 
 // Series returns the sample series of a VM.
-func (s *Sampler) Series(id cloudsim.VMID) (*metrics.Series, error) {
+func (s *Sampler) Series(id substrate.VMID) (*metrics.Series, error) {
 	sr, ok := s.series[id]
 	if !ok {
 		return nil, fmt.Errorf("monitor: VM %q is not monitored", id)
@@ -94,38 +109,28 @@ func (s *Sampler) Series(id cloudsim.VMID) (*metrics.Series, error) {
 	return sr, nil
 }
 
-// UpdateLoad advances the load-average EMAs; call once per simulated
-// second (load averages integrate faster than the sampling interval).
-func (s *Sampler) UpdateLoad() {
-	const (
-		alpha1 = 0.28 // ~1-minute EMA at 1 s ticks, compressed timescale
-		alpha5 = 0.08
-	)
-	for _, id := range s.vmIDs {
-		vm, err := s.cluster.VM(id)
-		if err != nil {
-			continue
-		}
-		inst := 0.0
-		if vm.CPUAllocation > 0 {
-			inst = vm.CPUDemand / vm.CPUAllocation
-		}
-		s.load1[id] = alpha1*inst + (1-alpha1)*s.load1[id]
-		s.load5[id] = alpha5*inst + (1-alpha5)*s.load5[id]
-	}
+// Advance moves the metric source to now; call once per simulated
+// second (load averages and replay cursors integrate faster than the
+// sampling interval).
+func (s *Sampler) Advance(now simclock.Time) {
+	s.source.Advance(now)
 }
 
 // Collect samples every monitored VM at the given instant, labels the
 // samples with the current SLO state, and appends them to the per-VM
 // series. The labeled samples are returned keyed by VM.
-func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[cloudsim.VMID]metrics.Sample, error) {
-	out := make(map[cloudsim.VMID]metrics.Sample, len(s.vmIDs))
+func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[substrate.VMID]metrics.Sample, error) {
+	out := make(map[substrate.VMID]metrics.Sample, len(s.vmIDs))
 	for _, id := range s.vmIDs {
-		vm, err := s.cluster.VM(id)
+		clean, err := s.source.Sample(id)
 		if err != nil {
 			return nil, fmt.Errorf("monitor: collect %q: %w", id, err)
 		}
-		sample := s.sampleVM(vm, now, label)
+		var v metrics.Vector
+		for _, a := range noiseOrder {
+			v.Set(a, s.noisy(clean.Get(a)))
+		}
+		sample := metrics.Sample{Time: now, Values: v, Label: label}
 		if err := s.series[id].Append(sample); err != nil {
 			return nil, fmt.Errorf("monitor: append %q: %w", id, err)
 		}
@@ -135,32 +140,10 @@ func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[cloudsim.
 	return out, nil
 }
 
-// sampleVM derives the 13 attributes from simulator state with noise.
-func (s *Sampler) sampleVM(vm *cloudsim.VM, now simclock.Time, label metrics.Label) metrics.Sample {
-	util := 0.0
-	if vm.CPUAllocation > 0 {
-		util = 100 * vm.CPUUsage / vm.CPUAllocation
-	}
-	pressure := vm.MemPressure()
-
-	var v metrics.Vector
-	v.Set(metrics.CPUTotal, s.noisy(util))
-	v.Set(metrics.CPUUser, s.noisy(util*0.72))
-	v.Set(metrics.CPUSystem, s.noisy(util*0.28))
-	v.Set(metrics.FreeMem, s.noisy(vm.FreeMemMB()))
-	v.Set(metrics.MemUsed, s.noisy(vm.WorkingSetMB+vm.LeakedMB))
-	v.Set(metrics.NetIn, s.noisy(vm.NetInKBps))
-	v.Set(metrics.NetOut, s.noisy(vm.NetOutKBps))
-	v.Set(metrics.DiskRead, s.noisy(vm.DiskReadKBps))
-	v.Set(metrics.DiskWrite, s.noisy(vm.DiskWriteKBs))
-	v.Set(metrics.Load1, s.noisy(s.load1[vm.ID]))
-	v.Set(metrics.Load5, s.noisy(s.load5[vm.ID]))
-	v.Set(metrics.CtxSwitch, s.noisy(400+35*vm.CPUUsage))
-	v.Set(metrics.PageFaults, s.noisy(40+450*(pressure-1)))
-	return metrics.Sample{Time: now, Values: v, Label: label}
-}
-
 func (s *Sampler) noisy(value float64) float64 {
+	if s.noiseStd < 0 {
+		return value
+	}
 	v := value * (1 + s.rng.NormFloat64()*s.noiseStd)
 	if v < 0 {
 		v = 0
@@ -170,15 +153,15 @@ func (s *Sampler) noisy(value float64) float64 {
 
 // Dataset bundles each VM's labeled series for offline (trace-driven)
 // experiments, sorted by VM ID for determinism.
-func (s *Sampler) Dataset() map[cloudsim.VMID][]metrics.Sample {
-	out := make(map[cloudsim.VMID][]metrics.Sample, len(s.series))
+func (s *Sampler) Dataset() map[substrate.VMID][]metrics.Sample {
+	out := make(map[substrate.VMID][]metrics.Sample, len(s.series))
 	ids := make([]string, 0, len(s.series))
 	for id := range s.series {
 		ids = append(ids, string(id))
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		out[cloudsim.VMID(id)] = s.series[cloudsim.VMID(id)].All()
+		out[substrate.VMID(id)] = s.series[substrate.VMID(id)].All()
 	}
 	return out
 }

@@ -37,6 +37,14 @@ func (l *SLOLog) Record(now simclock.Time, violated bool) error {
 // Len returns the number of records.
 func (l *SLOLog) Len() int { return len(l.records) }
 
+// End returns the time of the latest record (zero when empty).
+func (l *SLOLog) End() simclock.Time {
+	if len(l.records) == 0 {
+		return 0
+	}
+	return l.records[len(l.records)-1].Time
+}
+
 // ViolatedAt reports the SLO state at time t, using the most recent
 // record at or before t. Times before the first record report false.
 func (l *SLOLog) ViolatedAt(t simclock.Time) bool {

@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The pool's full behavioral suite (concurrency bound, cancellation,
+// determinism under -race) runs in internal/experiment, which exercises
+// it through real scenario sweeps. These tests cover the contract at
+// the package boundary.
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 40
+		counts := make([]atomic.Int64, n)
+		err := Runner{Workers: workers}.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Runner{Workers: workers}.ForEach(context.Background(), 20, func(_ context.Context, i int) error {
+			if i >= 3 && i%2 == 1 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Errorf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := Runner{Workers: workers}.ForEach(ctx, 10, func(context.Context, int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(5)
+	if got := DefaultWorkers(); got != 5 {
+		t.Errorf("DefaultWorkers() = %d, want 5", got)
+	}
+	SetDefaultWorkers(-1)
+	if got := DefaultWorkers(); got < 1 {
+		t.Errorf("DefaultWorkers() = %d, want >= 1", got)
+	}
+}

@@ -12,10 +12,10 @@ import (
 	"errors"
 	"fmt"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
 // Policy selects the actuation strategy for an experiment.
@@ -78,8 +78,8 @@ func (c Config) withDefaults() Config {
 // Step describes one executed prevention action.
 type Step struct {
 	Time     simclock.Time
-	VM       cloudsim.VMID
-	Kind     cloudsim.ActionKind
+	VM       substrate.VMID
+	Kind     substrate.ActionKind
 	Resource infer.ResourceKind
 	Detail   string
 }
@@ -93,22 +93,23 @@ var (
 	ErrSaturated = errors.New("prevent: VM already at maximum allocation")
 )
 
-// Planner executes prevention actions against the cluster.
+// Planner executes prevention actions against any substrate's
+// inventory and actuator; it never sees the simulator directly.
 type Planner struct {
-	cluster *cloudsim.Cluster
-	cfg     Config
-	policy  Policy
+	sys    substrate.System
+	cfg    Config
+	policy Policy
 }
 
-// NewPlanner builds a planner.
-func NewPlanner(cluster *cloudsim.Cluster, policy Policy, cfg Config) (*Planner, error) {
-	if cluster == nil {
-		return nil, fmt.Errorf("prevent: cluster is required")
+// NewPlanner builds a planner over the substrate.
+func NewPlanner(sys substrate.System, policy Policy, cfg Config) (*Planner, error) {
+	if sys == nil {
+		return nil, errors.New("prevent: substrate system is required")
 	}
 	if policy != ScalingFirst && policy != MigrationOnly {
 		return nil, fmt.Errorf("prevent: unsupported policy %d", policy)
 	}
-	return &Planner{cluster: cluster, cfg: cfg.withDefaults(), policy: policy}, nil
+	return &Planner{sys: sys, cfg: cfg.withDefaults(), policy: policy}, nil
 }
 
 // Policy returns the planner's policy.
@@ -122,7 +123,7 @@ func (p *Planner) Policy() Policy { return p.policy }
 // migrates directly. Scaling that cannot fit on the local host falls
 // back to migration within the same call.
 func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) (Step, error) {
-	vm, err := p.cluster.VM(diag.VM)
+	alloc, err := p.sys.Allocation(diag.VM)
 	if err != nil {
 		return Step{}, fmt.Errorf("prevent: %w", err)
 	}
@@ -139,7 +140,7 @@ func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) 
 			return Step{}, ErrExhausted
 		}
 		res = resources[attempt]
-		return p.migrate(now, vm, res)
+		return p.migrate(now, diag.VM, alloc, res)
 	}
 
 	if attempt >= len(resources) {
@@ -149,45 +150,45 @@ func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) 
 		return Step{}, ErrExhausted
 	}
 	res := resources[attempt]
-	step, err := p.scale(now, vm, res)
-	if errors.Is(err, cloudsim.ErrInsufficient) {
+	step, err := p.scale(now, diag.VM, alloc, res)
+	if errors.Is(err, substrate.ErrInsufficient) {
 		// Local host cannot fit the scaled allocation: migrate instead.
-		return p.migrate(now, vm, res)
+		return p.migrate(now, diag.VM, alloc, res)
 	}
 	return step, err
 }
 
 // scale grows the VM's allocation of the resource by the configured step.
-func (p *Planner) scale(now simclock.Time, vm *cloudsim.VM, res infer.ResourceKind) (Step, error) {
+func (p *Planner) scale(now simclock.Time, id substrate.VMID, alloc substrate.Allocation, res infer.ResourceKind) (Step, error) {
 	switch res {
 	case infer.ResourceMemory:
-		target := vm.MemAllocationMB * p.cfg.MemStep
+		target := alloc.MemMB * p.cfg.MemStep
 		if target > p.cfg.MaxMemMB {
 			target = p.cfg.MaxMemMB
 		}
-		if target <= vm.MemAllocationMB {
+		if target <= alloc.MemMB {
 			return Step{}, ErrSaturated
 		}
-		if err := p.cluster.ScaleMem(now, vm.ID, target); err != nil {
+		if err := p.sys.ScaleMem(now, id, target); err != nil {
 			return Step{}, err
 		}
 		return Step{
-			Time: now, VM: vm.ID, Kind: cloudsim.ActionScaleMem, Resource: res,
+			Time: now, VM: id, Kind: substrate.ActionScaleMem, Resource: res,
 			Detail: fmt.Sprintf("mem->%.0fMB", target),
 		}, nil
 	default: // CPU and anything unattributable
-		target := vm.CPUAllocation * p.cfg.CPUStep
+		target := alloc.CPUPct * p.cfg.CPUStep
 		if target > p.cfg.MaxCPU {
 			target = p.cfg.MaxCPU
 		}
-		if target <= vm.CPUAllocation {
+		if target <= alloc.CPUPct {
 			return Step{}, ErrSaturated
 		}
-		if err := p.cluster.ScaleCPU(now, vm.ID, target); err != nil {
+		if err := p.sys.ScaleCPU(now, id, target); err != nil {
 			return Step{}, err
 		}
 		return Step{
-			Time: now, VM: vm.ID, Kind: cloudsim.ActionScaleCPU, Resource: infer.ResourceCPU,
+			Time: now, VM: id, Kind: substrate.ActionScaleCPU, Resource: infer.ResourceCPU,
 			Detail: fmt.Sprintf("cpu->%.0f%%", target),
 		}, nil
 	}
@@ -195,29 +196,29 @@ func (p *Planner) scale(now simclock.Time, vm *cloudsim.VM, res infer.ResourceKi
 
 // migrate relocates the VM to a host where the implicated resource can
 // be grown by the configured step.
-func (p *Planner) migrate(now simclock.Time, vm *cloudsim.VM, res infer.ResourceKind) (Step, error) {
-	desiredCPU := vm.CPUAllocation
-	desiredMem := vm.MemAllocationMB
+func (p *Planner) migrate(now simclock.Time, id substrate.VMID, alloc substrate.Allocation, res infer.ResourceKind) (Step, error) {
+	desiredCPU := alloc.CPUPct
+	desiredMem := alloc.MemMB
 	switch res {
 	case infer.ResourceMemory:
-		desiredMem = vm.MemAllocationMB * p.cfg.MemStep
+		desiredMem = alloc.MemMB * p.cfg.MemStep
 		if desiredMem > p.cfg.MaxMemMB {
 			desiredMem = p.cfg.MaxMemMB
 		}
 	default:
-		desiredCPU = vm.CPUAllocation * p.cfg.CPUStep
+		desiredCPU = alloc.CPUPct * p.cfg.CPUStep
 		if desiredCPU > p.cfg.MaxCPU {
 			desiredCPU = p.cfg.MaxCPU
 		}
 	}
-	if err := p.cluster.Migrate(now, vm.ID, desiredCPU, desiredMem); err != nil {
-		if errors.Is(err, cloudsim.ErrNoEligibleTarget) {
+	if err := p.sys.Migrate(now, id, desiredCPU, desiredMem); err != nil {
+		if errors.Is(err, substrate.ErrNoEligibleTarget) {
 			return Step{}, fmt.Errorf("%w: %v", ErrExhausted, err)
 		}
 		return Step{}, err
 	}
 	return Step{
-		Time: now, VM: vm.ID, Kind: cloudsim.ActionMigrate, Resource: res,
+		Time: now, VM: id, Kind: substrate.ActionMigrate, Resource: res,
 		Detail: fmt.Sprintf("migrate cpu=%.0f mem=%.0f", desiredCPU, desiredMem),
 	}, nil
 }

@@ -4,40 +4,100 @@ import (
 	"errors"
 	"testing"
 
-	"prepare/internal/cloudsim"
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
-func newCluster(t *testing.T, hosts int) *cloudsim.Cluster {
-	t.Helper()
-	c := cloudsim.NewCluster()
-	for i := 0; i < hosts; i++ {
-		if _, err := c.AddDefaultHost(cloudsim.HostID(rune('a' + i))); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return c
+// fakeSystem is a scriptable substrate.System: it records every
+// actuation and can be told to fail scaling (host full) or migration
+// (no eligible target), so planner fallback paths are exercised
+// without a simulator.
+type fakeSystem struct {
+	allocs map[substrate.VMID]substrate.Allocation
+
+	scaleErr   error // returned by ScaleCPU/ScaleMem when set
+	migrateErr error // returned by Migrate when set
+
+	calls     []string
+	migrating map[substrate.VMID]bool
 }
 
-func memDiag(vm cloudsim.VMID) infer.Diagnosis {
+func newFakeSystem() *fakeSystem {
+	return &fakeSystem{
+		allocs:    map[substrate.VMID]substrate.Allocation{"vm1": {CPUPct: 100, MemMB: 512}},
+		migrating: make(map[substrate.VMID]bool),
+	}
+}
+
+func (f *fakeSystem) VMs() []substrate.VMID { return []substrate.VMID{"vm1"} }
+
+func (f *fakeSystem) Allocation(id substrate.VMID) (substrate.Allocation, error) {
+	a, ok := f.allocs[id]
+	if !ok {
+		return substrate.Allocation{}, substrate.ErrNoSuchVM
+	}
+	return a, nil
+}
+
+func (f *fakeSystem) Migrating(id substrate.VMID) (bool, error) {
+	if _, ok := f.allocs[id]; !ok {
+		return false, substrate.ErrNoSuchVM
+	}
+	return f.migrating[id], nil
+}
+
+func (f *fakeSystem) ScaleCPU(_ simclock.Time, id substrate.VMID, newCPUPct float64) error {
+	f.calls = append(f.calls, "scale_cpu")
+	if f.scaleErr != nil {
+		return f.scaleErr
+	}
+	a := f.allocs[id]
+	a.CPUPct = newCPUPct
+	f.allocs[id] = a
+	return nil
+}
+
+func (f *fakeSystem) ScaleMem(_ simclock.Time, id substrate.VMID, newMemMB float64) error {
+	f.calls = append(f.calls, "scale_mem")
+	if f.scaleErr != nil {
+		return f.scaleErr
+	}
+	a := f.allocs[id]
+	a.MemMB = newMemMB
+	f.allocs[id] = a
+	return nil
+}
+
+func (f *fakeSystem) Migrate(_ simclock.Time, id substrate.VMID, desiredCPUPct, desiredMemMB float64) error {
+	f.calls = append(f.calls, "migrate")
+	if f.migrateErr != nil {
+		return f.migrateErr
+	}
+	f.allocs[id] = substrate.Allocation{CPUPct: desiredCPUPct, MemMB: desiredMemMB}
+	f.migrating[id] = true
+	return nil
+}
+
+func (f *fakeSystem) MigrationSeconds(float64) int64 { return 10 }
+
+func memDiag(vm substrate.VMID) infer.Diagnosis {
 	return infer.Diagnosis{VM: vm, Ranked: []metrics.Attribute{metrics.FreeMem, metrics.CPUTotal}}
 }
 
-func cpuDiag(vm cloudsim.VMID) infer.Diagnosis {
+func cpuDiag(vm substrate.VMID) infer.Diagnosis {
 	return infer.Diagnosis{VM: vm, Ranked: []metrics.Attribute{metrics.CPUTotal, metrics.FreeMem}}
 }
 
 func TestNewPlannerValidation(t *testing.T) {
-	c := newCluster(t, 1)
 	if _, err := NewPlanner(nil, ScalingFirst, Config{}); err == nil {
-		t.Error("nil cluster should fail")
+		t.Error("nil system should fail")
 	}
-	if _, err := NewPlanner(c, Policy(9), Config{}); err == nil {
+	if _, err := NewPlanner(newFakeSystem(), Policy(9), Config{}); err == nil {
 		t.Error("bad policy should fail")
 	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	p, err := NewPlanner(newFakeSystem(), ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +107,8 @@ func TestNewPlannerValidation(t *testing.T) {
 }
 
 func TestScalingFirstScalesTopResource(t *testing.T) {
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	sys := newFakeSystem()
+	p, err := NewPlanner(sys, ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,21 +116,16 @@ func TestScalingFirstScalesTopResource(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Prevent: %v", err)
 	}
-	if step.Kind != cloudsim.ActionScaleMem {
+	if step.Kind != substrate.ActionScaleMem {
 		t.Errorf("kind = %v, want scale_mem", step.Kind)
 	}
-	vm, _ := c.VM("vm1")
-	if vm.MemAllocationMB != 512*1.75 {
-		t.Errorf("mem alloc = %g, want 896", vm.MemAllocationMB)
+	if got := sys.allocs["vm1"].MemMB; got != 512*1.75 {
+		t.Errorf("mem alloc = %g, want 896", got)
 	}
 }
 
 func TestScalingSecondAttemptUsesNextResource(t *testing.T) {
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	p, err := NewPlanner(newFakeSystem(), ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +133,7 @@ func TestScalingSecondAttemptUsesNextResource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if step.Kind != cloudsim.ActionScaleCPU {
+	if step.Kind != substrate.ActionScaleCPU {
 		t.Errorf("attempt 1 kind = %v, want scale_cpu", step.Kind)
 	}
 }
@@ -90,11 +142,7 @@ func TestExhaustedAttemptsStop(t *testing.T) {
 	// The paper migrates only when scaling cannot be applied; once every
 	// implicated resource has been scaled without effect, the planner
 	// stops rather than disturb the VM with a migration.
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	p, err := NewPlanner(newFakeSystem(), ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,15 +152,9 @@ func TestExhaustedAttemptsStop(t *testing.T) {
 }
 
 func TestScalingFallsBackToMigrationWhenHostFull(t *testing.T) {
-	c := newCluster(t, 2)
-	// Fill host "a" so CPU scaling cannot fit.
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.PlaceVM("filler", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	sys := newFakeSystem()
+	sys.scaleErr = substrate.ErrInsufficient // host cannot fit the scaled cap
+	p, err := NewPlanner(sys, ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,21 +162,56 @@ func TestScalingFallsBackToMigrationWhenHostFull(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Prevent: %v", err)
 	}
-	if step.Kind != cloudsim.ActionMigrate {
+	if step.Kind != substrate.ActionMigrate {
 		t.Errorf("kind = %v, want migrate fallback", step.Kind)
 	}
-	vm, _ := c.VM("vm1")
-	if !vm.Migrating() {
+	if !sys.migrating["vm1"] {
 		t.Error("vm should be migrating")
+	}
+	want := []string{"scale_cpu", "migrate"}
+	if len(sys.calls) != 2 || sys.calls[0] != want[0] || sys.calls[1] != want[1] {
+		t.Errorf("actuation order = %v, want %v", sys.calls, want)
+	}
+}
+
+func TestMigrationFallbackRequestsGrownAllocation(t *testing.T) {
+	// The fallback migration must carry the scaled-up (not current)
+	// allocation so the target host reserves enough headroom.
+	sys := newFakeSystem()
+	sys.scaleErr = substrate.ErrInsufficient
+	p, err := NewPlanner(sys, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(10, cpuDiag("vm1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.allocs["vm1"].CPUPct; got != 100*1.5 {
+		t.Errorf("migrated CPU allocation = %g, want 150", got)
+	}
+	if got := sys.allocs["vm1"].MemMB; got != 512 {
+		t.Errorf("migrated mem allocation = %g, want unchanged 512", got)
+	}
+}
+
+func TestScalingErrorOtherThanInsufficientPropagates(t *testing.T) {
+	sys := newFakeSystem()
+	sys.scaleErr = substrate.ErrMigrating
+	p, err := NewPlanner(sys, ScalingFirst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(10, cpuDiag("vm1"), 0); !errors.Is(err, substrate.ErrMigrating) {
+		t.Errorf("error = %v, want ErrMigrating passthrough (no migrate fallback)", err)
+	}
+	if len(sys.calls) != 1 {
+		t.Errorf("calls = %v, want only the failed scale", sys.calls)
 	}
 }
 
 func TestMigrationOnlyPolicyMigratesDirectly(t *testing.T) {
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, MigrationOnly, Config{})
+	sys := newFakeSystem()
+	p, err := NewPlanner(sys, MigrationOnly, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,17 +219,18 @@ func TestMigrationOnlyPolicyMigratesDirectly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if step.Kind != cloudsim.ActionMigrate {
+	if step.Kind != substrate.ActionMigrate {
 		t.Errorf("kind = %v, want migrate", step.Kind)
+	}
+	if len(sys.calls) != 1 || sys.calls[0] != "migrate" {
+		t.Errorf("calls = %v, want direct migrate", sys.calls)
 	}
 }
 
 func TestMigrationExhaustedWhenNoTarget(t *testing.T) {
-	c := newCluster(t, 1) // single host: nowhere to migrate
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, MigrationOnly, Config{})
+	sys := newFakeSystem()
+	sys.migrateErr = substrate.ErrNoEligibleTarget
+	p, err := NewPlanner(sys, MigrationOnly, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +240,9 @@ func TestMigrationExhaustedWhenNoTarget(t *testing.T) {
 }
 
 func TestSaturatedAllocation(t *testing.T) {
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 200, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{MaxCPU: 200})
+	sys := newFakeSystem()
+	sys.allocs["vm1"] = substrate.Allocation{CPUPct: 200, MemMB: 512}
+	p, err := NewPlanner(sys, ScalingFirst, Config{MaxCPU: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +252,7 @@ func TestSaturatedAllocation(t *testing.T) {
 }
 
 func TestEmptyDiagnosisDefaultsToCPU(t *testing.T) {
-	c := newCluster(t, 2)
-	if _, err := c.PlaceVM("vm1", "a", 100, 512); err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	p, err := NewPlanner(newFakeSystem(), ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,19 +260,18 @@ func TestEmptyDiagnosisDefaultsToCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if step.Kind != cloudsim.ActionScaleCPU {
+	if step.Kind != substrate.ActionScaleCPU {
 		t.Errorf("kind = %v, want scale_cpu default", step.Kind)
 	}
 }
 
 func TestPreventUnknownVM(t *testing.T) {
-	c := newCluster(t, 2)
-	p, err := NewPlanner(c, ScalingFirst, Config{})
+	p, err := NewPlanner(newFakeSystem(), ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Prevent(0, memDiag("ghost"), 0); err == nil {
-		t.Error("unknown VM should fail")
+	if _, err := p.Prevent(0, memDiag("ghost"), 0); !errors.Is(err, substrate.ErrNoSuchVM) {
+		t.Errorf("unknown VM error = %v, want ErrNoSuchVM", err)
 	}
 }
 
@@ -246,6 +317,21 @@ func TestValidateEmptyWindowsInconclusive(t *testing.T) {
 	var v Validator
 	if got := v.Validate(nil, nil, metrics.FreeMem, false); got != Inconclusive {
 		t.Errorf("validation = %v, want inconclusive", got)
+	}
+}
+
+func TestValidateCustomThreshold(t *testing.T) {
+	// A ~15% drop is Inconclusive at the 10% default but Ineffective when
+	// the planner demands a 25% swing; the fallthrough to the next ranked
+	// metric keys off this verdict.
+	before := mkSamples([]int64{0, 5}, metrics.CPUTotal, []float64{100, 100})
+	after := mkSamples([]int64{20, 25}, metrics.CPUTotal, []float64{85, 85})
+	if got := (Validator{}).Validate(before, after, metrics.CPUTotal, false); got != Inconclusive {
+		t.Errorf("default threshold validation = %v, want inconclusive", got)
+	}
+	strict := Validator{MinRelChange: 0.25}
+	if got := strict.Validate(before, after, metrics.CPUTotal, false); got != Ineffective {
+		t.Errorf("strict threshold validation = %v, want ineffective", got)
 	}
 }
 

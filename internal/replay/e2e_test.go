@@ -1,0 +1,135 @@
+package replay_test
+
+import (
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/metrics"
+	"prepare/internal/replay"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// TestFullLoopOverReplayedTrace drives the complete PREPARE loop —
+// monitor, predict, filter, diagnose, prevent, validate — from offline
+// data only: a labeled trace with two identical anomaly episodes. The
+// models train after the first episode and must predict the second,
+// producing prevention actions in the replay substrate's log. No
+// simulator is involved anywhere.
+func TestFullLoopOverReplayedTrace(t *testing.T) {
+	const (
+		durationS = 1500
+		trainAtS  = 600
+	)
+	episodes := [][2]int64{{200, 500}, {900, 1200}}
+	sub, err := replay.New(map[substrate.VMID][]metrics.Sample{
+		"vm1": replay.SyntheticTrace(1, durationS, episodes),
+	}, replay.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := replay.NewApp(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := control.New(control.SchemePREPARE, sub, app, control.Config{
+		TrainAtS:        trainAtS,
+		MonitorNoiseStd: -1, // the trace already carries noise
+		MonitorSeed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(1); s <= durationS; s++ {
+		if err := ctl.OnTick(simclock.Time(s)); err != nil {
+			t.Fatalf("tick %d: %v", s, err)
+		}
+	}
+
+	if !ctl.Trained() {
+		t.Fatal("models never trained from the replayed labels")
+	}
+	alerts := ctl.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts on the second episode of a learned anomaly")
+	}
+	for _, a := range alerts {
+		if !a.Predicted {
+			t.Error("replay PREPARE alerts must be predictive")
+		}
+		// Allow a short tail past the episode end: the k-of-W filter
+		// confirms a few samples after the last abnormal one.
+		if sec := a.Time.Seconds(); sec < trainAtS || sec > episodes[1][1]+30 {
+			t.Errorf("alert at %d outside the post-training prediction window", sec)
+		}
+	}
+	acts := sub.Actions()
+	if len(acts) == 0 {
+		t.Fatal("no prevention actions recorded in the replay log")
+	}
+	if acts[0].VM != "vm1" {
+		t.Errorf("action targeted %q, want vm1", acts[0].VM)
+	}
+	if len(ctl.Steps()) != len(acts) {
+		t.Errorf("controller recorded %d steps but substrate logged %d actions",
+			len(ctl.Steps()), len(acts))
+	}
+	// The SLO log reconstructed from trace labels must match the
+	// episodes' abnormal windows (abnormal from 25% episode progress).
+	log := ctl.SLOLog()
+	if log.ViolationSeconds(0, durationS) == 0 {
+		t.Error("replayed SLO log recorded no violations")
+	}
+	if log.ViolationSeconds(600, 900) != 0 {
+		t.Error("violation recorded in the quiet window between episodes")
+	}
+}
+
+// TestReplayRunsAreDeterministic: two identical replay runs must agree
+// byte-for-byte on alerts and actions.
+func TestReplayRunsAreDeterministic(t *testing.T) {
+	run := func() ([]control.AlertEvent, []replay.Action) {
+		sub, err := replay.New(map[substrate.VMID][]metrics.Sample{
+			"vm1": replay.SyntheticTrace(7, 1500, [][2]int64{{200, 500}, {900, 1200}}),
+		}, replay.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := replay.NewApp(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := control.New(control.SchemePREPARE, sub, app, control.Config{
+			TrainAtS:        600,
+			MonitorNoiseStd: -1,
+			MonitorSeed:     5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := int64(1); s <= 1500; s++ {
+			if err := ctl.OnTick(simclock.Time(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ctl.Alerts(), sub.Actions()
+	}
+	a1, s1 := run()
+	a2, s2 := run()
+	if len(a1) != len(a2) {
+		t.Fatalf("alert counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Errorf("alert %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("action counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("action %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}

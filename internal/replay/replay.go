@@ -1,0 +1,304 @@
+// Package replay implements the trace-driven substrate: labeled per-VM
+// metric series (for example exported by cmd/preparetrace) stand in for
+// the simulator as the control loop's metric source, while inventory
+// and actuation are book-kept locally. The full PREPARE loop — predict,
+// filter, diagnose, prevent, validate — runs unmodified over offline
+// data; executed preventions are recorded in an action log instead of
+// changing a live system.
+//
+// Because replayed metrics do not react to preventions, the substrate
+// is an open-loop harness: it answers "what would PREPARE have done,
+// and when" for a recorded incident, which is exactly the replay study
+// the paper runs against its collected testbed traces.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// DefaultAllocation is assumed for VMs whose trace does not come with
+// an explicit initial allocation (the paper's standard VM: 1 VCPU at
+// 100%, 512 MB).
+var DefaultAllocation = substrate.Allocation{CPUPct: 100, MemMB: 512}
+
+// Action is one recorded actuation against the replayed inventory.
+type Action struct {
+	Time simclock.Time
+	Kind substrate.ActionKind
+	VM   substrate.VMID
+	// CPUPct/MemMB are the allocation after the action.
+	CPUPct, MemMB float64
+}
+
+// Config tunes a replay substrate.
+type Config struct {
+	// Allocations seeds per-VM initial allocations; VMs absent from the
+	// map start at DefaultAllocation.
+	Allocations map[substrate.VMID]substrate.Allocation
+	// MigrationSecondsFn models live-migration duration from the memory
+	// allocation. Nil uses the same pre-copy model as the simulator
+	// (~7 s base plus transfer time).
+	MigrationSecondsFn func(memMB float64) int64
+}
+
+// Substrate replays per-VM metric series through the substrate
+// contract.
+type Substrate struct {
+	vmIDs  []substrate.VMID
+	traces map[substrate.VMID][]metrics.Sample
+	cursor map[substrate.VMID]int
+
+	allocs    map[substrate.VMID]substrate.Allocation
+	migrating map[substrate.VMID]simclock.Time // migration end time
+	now       simclock.Time
+
+	migSeconds func(memMB float64) int64
+	actions    []Action
+}
+
+var _ substrate.Substrate = (*Substrate)(nil)
+
+// New builds a replay substrate over the per-VM series. Every series
+// must be non-empty and sorted by time.
+func New(traces map[substrate.VMID][]metrics.Sample, cfg Config) (*Substrate, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("replay: at least one VM trace is required")
+	}
+	ids := make([]substrate.VMID, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	owned := make(map[substrate.VMID][]metrics.Sample, len(traces))
+	for _, id := range ids {
+		series := traces[id]
+		if len(series) == 0 {
+			return nil, fmt.Errorf("replay: trace for VM %q is empty", id)
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i].Time.Before(series[i-1].Time) {
+				return nil, fmt.Errorf("replay: trace for VM %q is not sorted at index %d", id, i)
+			}
+		}
+		cp := make([]metrics.Sample, len(series))
+		copy(cp, series)
+		owned[id] = cp
+	}
+
+	allocs := make(map[substrate.VMID]substrate.Allocation, len(ids))
+	for _, id := range ids {
+		a, ok := cfg.Allocations[id]
+		if !ok {
+			a = DefaultAllocation
+		}
+		allocs[id] = a
+	}
+	migSeconds := cfg.MigrationSecondsFn
+	if migSeconds == nil {
+		migSeconds = func(memMB float64) int64 { return int64(7 + memMB/330) }
+	}
+	return &Substrate{
+		vmIDs:      ids,
+		traces:     owned,
+		cursor:     make(map[substrate.VMID]int, len(ids)),
+		allocs:     allocs,
+		migrating:  make(map[substrate.VMID]simclock.Time),
+		migSeconds: migSeconds,
+	}, nil
+}
+
+// FromCSV builds a replay substrate by parsing one WriteSamplesCSV
+// stream per VM.
+func FromCSV(sources map[substrate.VMID]io.Reader, cfg Config) (*Substrate, error) {
+	traces := make(map[substrate.VMID][]metrics.Sample, len(sources))
+	for id, r := range sources {
+		samples, err := metrics.ReadSamplesCSV(r)
+		if err != nil {
+			return nil, fmt.Errorf("replay: VM %q: %w", id, err)
+		}
+		traces[id] = samples
+	}
+	return New(traces, cfg)
+}
+
+// VMs lists the replayed VMs in canonical sorted order.
+func (s *Substrate) VMs() []substrate.VMID {
+	out := make([]substrate.VMID, len(s.vmIDs))
+	copy(out, s.vmIDs)
+	return out
+}
+
+// Advance moves every VM's replay cursor to the latest sample at or
+// before now and expires completed migrations.
+func (s *Substrate) Advance(now simclock.Time) {
+	s.now = now
+	for _, id := range s.vmIDs {
+		series := s.traces[id]
+		i := s.cursor[id]
+		for i+1 < len(series) && !now.Before(series[i+1].Time) {
+			i++
+		}
+		s.cursor[id] = i
+	}
+	for id, end := range s.migrating {
+		if !now.Before(end) {
+			delete(s.migrating, id)
+		}
+	}
+}
+
+// Sample returns the VM's current replayed attribute vector. Replayed
+// traces already carry measurement noise, so samplers over this source
+// should disable their own (monitor.Config.NoiseStd < 0).
+func (s *Substrate) Sample(id substrate.VMID) (metrics.Vector, error) {
+	series, ok := s.traces[id]
+	if !ok {
+		return metrics.Vector{}, substrate.ErrNoSuchVM
+	}
+	return series[s.cursor[id]].Values, nil
+}
+
+// Label returns the SLO label recorded with the VM's current sample.
+func (s *Substrate) Label(id substrate.VMID) (metrics.Label, error) {
+	series, ok := s.traces[id]
+	if !ok {
+		return metrics.LabelUnknown, substrate.ErrNoSuchVM
+	}
+	return series[s.cursor[id]].Label, nil
+}
+
+// End returns the last instant covered by any trace.
+func (s *Substrate) End() simclock.Time {
+	var end simclock.Time
+	for _, series := range s.traces {
+		if last := series[len(series)-1].Time; end.Before(last) {
+			end = last
+		}
+	}
+	return end
+}
+
+// Allocation returns the VM's book-kept resource caps.
+func (s *Substrate) Allocation(id substrate.VMID) (substrate.Allocation, error) {
+	a, ok := s.allocs[id]
+	if !ok {
+		return substrate.Allocation{}, substrate.ErrNoSuchVM
+	}
+	return a, nil
+}
+
+// Migrating reports whether a recorded migration is still in flight.
+func (s *Substrate) Migrating(id substrate.VMID) (bool, error) {
+	if _, ok := s.allocs[id]; !ok {
+		return false, substrate.ErrNoSuchVM
+	}
+	_, mig := s.migrating[id]
+	return mig, nil
+}
+
+// ScaleCPU records a CPU scaling action and updates the inventory.
+func (s *Substrate) ScaleCPU(now simclock.Time, id substrate.VMID, newCPUPct float64) error {
+	return s.scale(now, id, substrate.ActionScaleCPU, newCPUPct, 0)
+}
+
+// ScaleMem records a memory scaling action and updates the inventory.
+func (s *Substrate) ScaleMem(now simclock.Time, id substrate.VMID, newMemMB float64) error {
+	return s.scale(now, id, substrate.ActionScaleMem, 0, newMemMB)
+}
+
+func (s *Substrate) scale(now simclock.Time, id substrate.VMID, kind substrate.ActionKind, cpuPct, memMB float64) error {
+	a, ok := s.allocs[id]
+	if !ok {
+		return substrate.ErrNoSuchVM
+	}
+	if _, mig := s.migrating[id]; mig {
+		return substrate.ErrMigrating
+	}
+	if kind == substrate.ActionScaleCPU {
+		a.CPUPct = cpuPct
+	} else {
+		a.MemMB = memMB
+	}
+	s.allocs[id] = a
+	s.actions = append(s.actions, Action{Time: now, Kind: kind, VM: id, CPUPct: a.CPUPct, MemMB: a.MemMB})
+	return nil
+}
+
+// Migrate records a live migration: the VM is marked in-flight for the
+// modeled duration and lands with the desired allocation.
+func (s *Substrate) Migrate(now simclock.Time, id substrate.VMID, desiredCPUPct, desiredMemMB float64) error {
+	a, ok := s.allocs[id]
+	if !ok {
+		return substrate.ErrNoSuchVM
+	}
+	if _, mig := s.migrating[id]; mig {
+		return substrate.ErrMigrating
+	}
+	s.migrating[id] = now.Add(s.migSeconds(a.MemMB))
+	s.allocs[id] = substrate.Allocation{CPUPct: desiredCPUPct, MemMB: desiredMemMB}
+	s.actions = append(s.actions, Action{Time: now, Kind: substrate.ActionMigrate, VM: id, CPUPct: desiredCPUPct, MemMB: desiredMemMB})
+	return nil
+}
+
+// MigrationSeconds returns the modeled live-migration duration.
+func (s *Substrate) MigrationSeconds(memMB float64) int64 {
+	return s.migSeconds(memMB)
+}
+
+// Actions returns the recorded actuation log.
+func (s *Substrate) Actions() []Action {
+	out := make([]Action, len(s.actions))
+	copy(out, s.actions)
+	return out
+}
+
+// App adapts a replay substrate to the control loop's application
+// contract: the SLO is considered violated whenever any replayed VM's
+// current sample carries the abnormal label (the label was recorded
+// from the application's real SLO state when the trace was captured).
+type App struct {
+	sub *Substrate
+}
+
+// NewApp wraps the substrate as a managed application.
+func NewApp(sub *Substrate) (*App, error) {
+	if sub == nil {
+		return nil, errors.New("replay: substrate is required")
+	}
+	return &App{sub: sub}, nil
+}
+
+// Tick is a no-op: the trace advances through the substrate's Advance.
+func (a *App) Tick(simclock.Time) {}
+
+// SLOViolated reports whether any VM's current sample is abnormal.
+func (a *App) SLOViolated() bool {
+	for _, id := range a.sub.vmIDs {
+		if l, err := a.sub.Label(id); err == nil && l == metrics.LabelAbnormal {
+			return true
+		}
+	}
+	return false
+}
+
+// SLOMetric returns the fraction of VMs currently labeled abnormal.
+func (a *App) SLOMetric() float64 {
+	n := 0
+	for _, id := range a.sub.vmIDs {
+		if l, err := a.sub.Label(id); err == nil && l == metrics.LabelAbnormal {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.sub.vmIDs))
+}
+
+// VMIDs lists the replayed VMs in canonical order.
+func (a *App) VMIDs() []substrate.VMID { return a.sub.VMs() }

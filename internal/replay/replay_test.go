@@ -1,0 +1,202 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+func flatSeries(times []int64, cpu float64, label metrics.Label) []metrics.Sample {
+	out := make([]metrics.Sample, len(times))
+	for i, t := range times {
+		var v metrics.Vector
+		v.Set(metrics.CPUTotal, cpu)
+		out[i] = metrics.Sample{Time: simclock.Time(t), Values: v, Label: label}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty traces should fail")
+	}
+	if _, err := New(map[substrate.VMID][]metrics.Sample{"vm1": nil}, Config{}); err == nil {
+		t.Error("empty series should fail")
+	}
+	unsorted := flatSeries([]int64{10, 5}, 1, metrics.LabelNormal)
+	if _, err := New(map[substrate.VMID][]metrics.Sample{"vm1": unsorted}, Config{}); err == nil {
+		t.Error("unsorted series should fail")
+	}
+}
+
+func TestCursorTracksTime(t *testing.T) {
+	s, err := New(map[substrate.VMID][]metrics.Sample{
+		"vm1": {
+			{Time: 0, Values: vecWith(metrics.CPUTotal, 10)},
+			{Time: 5, Values: vecWith(metrics.CPUTotal, 20)},
+			{Time: 10, Values: vecWith(metrics.CPUTotal, 30)},
+		},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		now  simclock.Time
+		want float64
+	}{{0, 10}, {3, 10}, {5, 20}, {9, 20}, {10, 30}, {100, 30}} {
+		s.Advance(tt.now)
+		v, err := s.Sample("vm1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Get(metrics.CPUTotal); got != tt.want {
+			t.Errorf("at %v cpu = %g, want %g", tt.now, got, tt.want)
+		}
+	}
+	if _, err := s.Sample("ghost"); !errors.Is(err, substrate.ErrNoSuchVM) {
+		t.Errorf("unknown VM error = %v", err)
+	}
+}
+
+func vecWith(a metrics.Attribute, val float64) metrics.Vector {
+	var v metrics.Vector
+	v.Set(a, val)
+	return v
+}
+
+func TestInventoryAndActionLog(t *testing.T) {
+	s, err := New(map[substrate.VMID][]metrics.Sample{
+		"vm1": flatSeries([]int64{0, 5}, 10, metrics.LabelNormal),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Allocation("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != DefaultAllocation {
+		t.Errorf("initial allocation = %+v", a)
+	}
+	if err := s.ScaleCPU(5, "vm1", 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScaleMem(6, "vm1", 896); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = s.Allocation("vm1")
+	if a.CPUPct != 150 || a.MemMB != 896 {
+		t.Errorf("post-scale allocation = %+v", a)
+	}
+	acts := s.Actions()
+	if len(acts) != 2 || acts[0].Kind != substrate.ActionScaleCPU || acts[1].Kind != substrate.ActionScaleMem {
+		t.Errorf("action log = %+v", acts)
+	}
+}
+
+func TestMigrationWindow(t *testing.T) {
+	s, err := New(map[substrate.VMID][]metrics.Sample{
+		"vm1": flatSeries([]int64{0, 100}, 10, metrics.LabelNormal),
+	}, Config{MigrationSecondsFn: func(float64) int64 { return 10 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Migrate(20, "vm1", 150, 896); err != nil {
+		t.Fatal(err)
+	}
+	if mig, _ := s.Migrating("vm1"); !mig {
+		t.Error("vm should be migrating")
+	}
+	if err := s.ScaleCPU(21, "vm1", 200); !errors.Is(err, substrate.ErrMigrating) {
+		t.Errorf("scaling mid-migration error = %v", err)
+	}
+	if err := s.Migrate(21, "vm1", 200, 1024); !errors.Is(err, substrate.ErrMigrating) {
+		t.Errorf("double migration error = %v", err)
+	}
+	s.Advance(29)
+	if mig, _ := s.Migrating("vm1"); !mig {
+		t.Error("migration should still be in flight at 29")
+	}
+	s.Advance(30)
+	if mig, _ := s.Migrating("vm1"); mig {
+		t.Error("migration should be complete at 30")
+	}
+	if s.MigrationSeconds(512) != 10 {
+		t.Error("custom migration model not used")
+	}
+	a, _ := s.Allocation("vm1")
+	if a.CPUPct != 150 || a.MemMB != 896 {
+		t.Errorf("post-migration allocation = %+v", a)
+	}
+}
+
+func TestFromCSVRoundTrip(t *testing.T) {
+	series := flatSeries([]int64{0, 5, 10}, 42, metrics.LabelAbnormal)
+	var buf bytes.Buffer
+	if err := metrics.WriteSamplesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromCSV(map[substrate.VMID]io.Reader{"vm1": &buf}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(5)
+	v, err := s.Sample("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Get(metrics.CPUTotal); got != 42 {
+		t.Errorf("cpu = %g, want 42", got)
+	}
+	if l, _ := s.Label("vm1"); l != metrics.LabelAbnormal {
+		t.Errorf("label = %v, want abnormal", l)
+	}
+	if s.End() != 10 {
+		t.Errorf("End = %v, want 10", s.End())
+	}
+}
+
+func TestAppReflectsTraceLabels(t *testing.T) {
+	s, err := New(map[substrate.VMID][]metrics.Sample{
+		"vm1": {
+			{Time: 0, Label: metrics.LabelNormal},
+			{Time: 5, Label: metrics.LabelAbnormal},
+			{Time: 10, Label: metrics.LabelNormal},
+		},
+		"vm2": flatSeries([]int64{0, 5, 10}, 1, metrics.LabelNormal),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewApp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewApp(nil); err == nil {
+		t.Error("nil substrate should fail")
+	}
+	ids := app.VMIDs()
+	if len(ids) != 2 || ids[0] != "vm1" || ids[1] != "vm2" {
+		t.Errorf("VMIDs = %v", ids)
+	}
+	s.Advance(0)
+	if app.SLOViolated() {
+		t.Error("not violated at 0")
+	}
+	s.Advance(5)
+	if !app.SLOViolated() {
+		t.Error("violated at 5")
+	}
+	if got := app.SLOMetric(); got != 0.5 {
+		t.Errorf("SLOMetric = %g, want 0.5", got)
+	}
+	s.Advance(10)
+	if app.SLOViolated() {
+		t.Error("not violated at 10")
+	}
+}

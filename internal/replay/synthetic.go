@@ -1,0 +1,61 @@
+package replay
+
+import (
+	"math/rand"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+// SyntheticTrace builds a deterministic labeled trace (5 s sampling)
+// with recurring anomaly episodes: a jittered baseline, and CPU
+// saturation plus memory exhaustion ramping up inside each episode
+// window. It exists so replay-driven tests and demos have a realistic
+// offline trace without first running the simulator.
+func SyntheticTrace(seed int64, durationS int64, episodes [][2]int64) []metrics.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []metrics.Sample
+	for t := int64(0); t <= durationS; t += 5 {
+		inEpisode := false
+		var progress float64
+		for _, ep := range episodes {
+			if t >= ep[0] && t < ep[1] {
+				inEpisode = true
+				progress = float64(t-ep[0]) / float64(ep[1]-ep[0])
+			}
+		}
+		var v metrics.Vector
+		jitter := func(base, spread float64) float64 {
+			x := base + spread*rng.NormFloat64()
+			if x < 0 {
+				x = 0
+			}
+			return x
+		}
+		cpu := jitter(30, 2)
+		free := jitter(300, 8)
+		label := metrics.LabelNormal
+		if inEpisode {
+			cpu = jitter(60+35*progress, 2)
+			free = jitter(250-220*progress, 6)
+			if progress > 0.25 {
+				label = metrics.LabelAbnormal
+			}
+		}
+		v.Set(metrics.CPUTotal, cpu)
+		v.Set(metrics.CPUUser, cpu*0.72)
+		v.Set(metrics.CPUSystem, cpu*0.28)
+		v.Set(metrics.FreeMem, free)
+		v.Set(metrics.MemUsed, jitter(512-free, 5))
+		v.Set(metrics.NetIn, jitter(800, 30))
+		v.Set(metrics.NetOut, jitter(750, 30))
+		v.Set(metrics.DiskRead, jitter(60, 4))
+		v.Set(metrics.DiskWrite, jitter(30, 3))
+		v.Set(metrics.Load1, cpu/100)
+		v.Set(metrics.Load5, cpu/110)
+		v.Set(metrics.CtxSwitch, jitter(400+35*cpu, 20))
+		v.Set(metrics.PageFaults, jitter(40+2*(300-free), 5))
+		out = append(out, metrics.Sample{Time: simclock.Time(t), Values: v, Label: label})
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package substrate
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestActionKindStrings(t *testing.T) {
+	tests := []struct {
+		kind ActionKind
+		want string
+	}{
+		{ActionScaleCPU, "scale_cpu"},
+		{ActionScaleMem, "scale_mem"},
+		{ActionMigrate, "migrate"},
+		{ActionKind(99), "action(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestSentinelErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNoSuchVM, ErrNoSuchHost, ErrInsufficient, ErrMigrating, ErrNoEligibleTarget}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("error %d and %d must be distinct sentinels", i, j)
+			}
+		}
+	}
+}

@@ -55,7 +55,6 @@
 package prepare
 
 import (
-	"prepare/internal/cloudsim"
 	"prepare/internal/control"
 	"prepare/internal/experiment"
 	"prepare/internal/faults"
@@ -64,6 +63,7 @@ import (
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 )
 
 // Core experiment types.
@@ -132,7 +132,7 @@ type (
 	// SimTime is a simulated instant (whole seconds).
 	SimTime = simclock.Time
 	// VMID identifies a virtual machine.
-	VMID = cloudsim.VMID
+	VMID = substrate.VMID
 	// SLOLog records an application's SLO state over time.
 	SLOLog = monitor.SLOLog
 )

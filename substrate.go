@@ -1,0 +1,49 @@
+package prepare
+
+import (
+	"prepare/internal/cloudsim"
+	"prepare/internal/substrate"
+)
+
+// Substrate abstraction types: the control loop's three arrows into the
+// managed infrastructure (monitoring, inventory, actuation), decoupled
+// from any particular implementation. The simulated cluster provides
+// one implementation (NewClusterSubstrate); replayed traces provide
+// another (NewReplaySubstrate).
+type (
+	// Substrate is the full contract the control loop needs: metric
+	// source + inventory + actuator.
+	Substrate = substrate.Substrate
+	// MetricSource feeds the monitoring module.
+	MetricSource = substrate.MetricSource
+	// Inventory answers which VMs exist and how they are allocated.
+	Inventory = substrate.Inventory
+	// Actuator executes prevention actions.
+	Actuator = substrate.Actuator
+	// Allocation is a VM's resource caps.
+	Allocation = substrate.Allocation
+	// ActionKind identifies a prevention actuation type.
+	ActionKind = substrate.ActionKind
+	// ClusterSubstrate adapts a simulated Cluster to the substrate
+	// contract.
+	ClusterSubstrate = cloudsim.Substrate
+)
+
+// Substrate-level sentinel errors.
+var (
+	// ErrNoSuchVM reports an unknown VM ID.
+	ErrNoSuchVM = substrate.ErrNoSuchVM
+	// ErrInsufficient reports that the host cannot fit a requested
+	// allocation.
+	ErrInsufficient = substrate.ErrInsufficient
+	// ErrMigrating reports an actuation attempted mid-migration.
+	ErrMigrating = substrate.ErrMigrating
+	// ErrNoEligibleTarget reports that no host can receive a migration.
+	ErrNoEligibleTarget = substrate.ErrNoEligibleTarget
+)
+
+// NewClusterSubstrate wraps a simulated cluster as a Substrate managing
+// the given VMs.
+func NewClusterSubstrate(cluster *Cluster, vmIDs []VMID) (*ClusterSubstrate, error) {
+	return cloudsim.NewSubstrate(cluster, vmIDs)
+}
