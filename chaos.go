@@ -1,0 +1,42 @@
+package prepare
+
+import (
+	"prepare/internal/chaos"
+	"prepare/internal/substrate"
+)
+
+// Chaos substrate: a deterministic fault-injecting decorator around any
+// Substrate. A seeded plan drops, delays, freezes, and corrupts metric
+// samples, fails actuations transiently or permanently, and stalls
+// migrations — reproducibly, so resilience runs are byte-identical for
+// a given seed.
+type (
+	// ChaosPlan configures which faults fire and how often.
+	ChaosPlan = chaos.Plan
+	// ChaosSubstrate is the fault-injecting Substrate decorator.
+	ChaosSubstrate = chaos.Substrate
+	// ChaosEvent is one injected fault in the decorator's log.
+	ChaosEvent = chaos.Event
+	// ChaosFaultKind identifies an injected fault type.
+	ChaosFaultKind = chaos.FaultKind
+)
+
+// ErrUnavailable reports a transient substrate failure: safe to retry
+// after a backoff. The prevention planner absorbs a bounded number of
+// these before escalating.
+var ErrUnavailable = substrate.ErrUnavailable
+
+// IsTransientSubstrateError reports whether err is worth retrying
+// (ErrUnavailable or ErrMigrating) rather than escalating immediately.
+func IsTransientSubstrateError(err error) bool { return substrate.IsTransient(err) }
+
+// NewChaosSubstrate wraps inner with the plan's fault injection.
+func NewChaosSubstrate(inner Substrate, plan ChaosPlan) (*ChaosSubstrate, error) {
+	return chaos.New(inner, plan)
+}
+
+// UniformChaos builds a plan injecting every fault kind at the same
+// per-call rate, keyed by seed.
+func UniformChaos(seed int64, rate float64) ChaosPlan {
+	return chaos.Uniform(seed, rate)
+}

@@ -19,6 +19,17 @@
 // loop each) on the sharded multi-tenant engine; output is identical
 // for any -shards/-parallel value.
 //
+// Add -chaos to the run and engine modes to interpose a deterministic
+// fault-injecting decorator between the control loop and the simulator:
+//
+//	preparesim -experiment run -app systems -fault memleak -chaos -chaos-rate 0.02
+//	preparesim -engine -tenants 4 -chaos -chaos-seed 7
+//
+// Chaos drops/freezes/corrupts metric samples, fails actuations
+// transiently, and stalls migrations at -chaos-rate per call, keyed by
+// -chaos-seed (0 derives one from -seed), so a given seed reproduces
+// the exact same fault schedule.
+//
 // All multi-run experiments accept -parallel N to size the worker pool
 // (0, the default, uses GOMAXPROCS). Output is identical for any value.
 //
@@ -61,6 +72,18 @@ type options struct {
 	telemetry       bool
 	telemetryFormat string
 	telemetryAddr   string
+	chaos           bool
+	chaosSeed       int64
+	chaosRate       float64
+}
+
+// chaosPlan builds the run's fault-injection plan from the flags (the
+// zero plan when -chaos is absent).
+func (o options) chaosPlan() prepare.ChaosPlan {
+	if !o.chaos {
+		return prepare.ChaosPlan{}
+	}
+	return prepare.UniformChaos(o.chaosSeed, o.chaosRate)
 }
 
 func run(args []string) error {
@@ -88,6 +111,12 @@ func run(args []string) error {
 		"end-of-run telemetry report format: text, json or prom")
 	fs.StringVar(&opts.telemetryAddr, "telemetry-addr", "",
 		"serve live telemetry over HTTP on this address (/metrics, /trace); implies -telemetry")
+	fs.BoolVar(&opts.chaos, "chaos", false,
+		"inject deterministic substrate faults into the run and engine modes")
+	fs.Int64Var(&opts.chaosSeed, "chaos-seed", 0,
+		"chaos fault-schedule seed (0 = derive from -seed)")
+	fs.Float64Var(&opts.chaosRate, "chaos-rate", 0.02,
+		"per-call probability of each chaos fault kind")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -283,6 +312,7 @@ func dispatch(opts options) error {
 		}
 		res, err := prepare.Run(prepare.Scenario{
 			App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
+			Chaos: opts.chaosPlan(),
 		})
 		if err != nil {
 			return err
@@ -299,6 +329,7 @@ func dispatch(opts options) error {
 		res, err := prepare.RunEngine(
 			prepare.MultiTenant(opts.tenants, prepare.Scenario{
 				App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
+				Chaos: opts.chaosPlan(),
 			}),
 			prepare.EngineOptions{Shards: opts.shards, Workers: opts.parallel})
 		if err != nil {
@@ -338,6 +369,9 @@ func printRun(res prepare.Result) {
 	for _, s := range res.Steps {
 		fmt.Printf("  t=%-6v %-10s %-10v %s\n", s.Time, s.VM, s.Kind, s.Detail)
 	}
+	if n := len(res.ChaosEvents); n > 0 {
+		fmt.Printf("chaos: %d faults injected (seed %d)\n", n, res.Scenario.Chaos.Seed)
+	}
 }
 
 // printEngine prints the multi-tenant engine summary. Shard and worker
@@ -354,6 +388,13 @@ func printEngine(res prepare.EngineResult) {
 		len(res.Alerts), len(res.Steps), res.Stats.ViolationSeconds)
 	for _, s := range res.Steps {
 		fmt.Printf("  t=%-6v %-10s %-10s %-10v %s\n", s.Time, s.Tenant, s.VM, s.Kind, s.Detail)
+	}
+	chaosFaults := 0
+	for _, tr := range res.Tenants {
+		chaosFaults += len(tr.ChaosEvents)
+	}
+	if chaosFaults > 0 {
+		fmt.Printf("chaos: %d faults injected across %d tenants\n", chaosFaults, len(res.Tenants))
 	}
 }
 

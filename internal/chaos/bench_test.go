@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"testing"
+
+	"prepare/internal/simclock"
+)
+
+// TestZeroRatePathAllocationFree pins the decorator's hot-loop promise:
+// with every rate at zero the interposed Sample/actuator calls add no
+// allocations over the inner substrate, so leaving a disabled chaos
+// layer wired in costs nothing but branch checks.
+func TestZeroRatePathAllocationFree(t *testing.T) {
+	s, err := New(newInnerStub("vm1"), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the per-VM maps so steady-state, not first-insert, is measured.
+	s.Advance(1)
+	if _, err := s.Sample("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	now := simclock.Time(2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Advance(now)
+		if _, err := s.Sample("vm1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ScaleCPU(now, "vm1", 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Migrate(now, "vm1", 100, 512); err != nil {
+			t.Fatal(err)
+		}
+		s.MigrationSeconds(512)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled chaos path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledChaosSample measures the zero-rate interception
+// overhead on the per-tick sampling path (map lookups and rate checks);
+// CI's bench job gates its allocs/op alongside the other hot paths.
+func BenchmarkDisabledChaosSample(b *testing.B) {
+	s, err := New(newInnerStub("vm1"), Plan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Advance(1)
+	if _, err := s.Sample("vm1"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample("vm1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// innerStub is a minimal deterministic substrate: every VM's sample
+// encodes the current second, so replayed/frozen vectors are easy to
+// distinguish from live ones.
+type innerStub struct {
+	now simclock.Time
+	ids []substrate.VMID
+}
+
+func newInnerStub(ids ...substrate.VMID) *innerStub {
+	if len(ids) == 0 {
+		ids = []substrate.VMID{"vm1", "vm2"}
+	}
+	return &innerStub{ids: ids}
+}
+
+func (f *innerStub) Advance(now simclock.Time) { f.now = now }
+
+func (f *innerStub) Sample(id substrate.VMID) (metrics.Vector, error) {
+	var v metrics.Vector
+	for i := range v {
+		v[i] = float64(f.now.Seconds()) + float64(i)/100
+	}
+	return v, nil
+}
+
+func (f *innerStub) VMs() []substrate.VMID { return f.ids }
+
+func (f *innerStub) Allocation(substrate.VMID) (substrate.Allocation, error) {
+	return substrate.Allocation{CPUPct: 100, MemMB: 512}, nil
+}
+
+func (f *innerStub) Migrating(substrate.VMID) (bool, error) { return false, nil }
+
+func (f *innerStub) ScaleCPU(simclock.Time, substrate.VMID, float64) error { return nil }
+func (f *innerStub) ScaleMem(simclock.Time, substrate.VMID, float64) error { return nil }
+func (f *innerStub) Migrate(simclock.Time, substrate.VMID, float64, float64) error {
+	return nil
+}
+func (f *innerStub) MigrationSeconds(float64) int64 { return 10 }
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative rate", Plan{DropRate: -0.1}},
+		{"rate above one", Plan{TransientRate: 1.5}},
+		{"nan rate", Plan{StaleRate: math.NaN()}},
+		{"stall factor below one", Plan{StallRate: 0.1, StallFactor: 0.5}},
+		{"too many nan attrs", Plan{NaNRate: 0.1, NaNAttrs: metrics.NumAttributes + 1}},
+		{"negative stuck window", Plan{StuckRate: 0.1, StuckSeconds: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(newInnerStub(), tc.plan); err == nil {
+				t.Fatalf("New(%+v) accepted an invalid plan", tc.plan)
+			}
+		})
+	}
+	if _, err := New(nil, Plan{}); err == nil {
+		t.Fatal("New(nil, ...) accepted a nil inner substrate")
+	}
+}
+
+// drive runs the decorator through n seconds of the full per-tick call
+// pattern the control loop issues (advance, sample every VM, plus one
+// actuation per VM) and returns the formatted event log.
+func driveChaos(t *testing.T, s *Substrate, n int64) []string {
+	t.Helper()
+	for sec := int64(1); sec <= n; sec++ {
+		s.Advance(simclock.Time(sec))
+		for _, id := range s.VMs() {
+			s.Sample(id)                                //nolint:errcheck // faults expected
+			s.Allocation(id)                            //nolint:errcheck
+			s.ScaleCPU(simclock.Time(sec), id, 100)     //nolint:errcheck
+			s.Migrate(simclock.Time(sec), id, 100, 512) //nolint:errcheck
+		}
+		s.MigrationSeconds(512)
+	}
+	events := s.Events()
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.String()
+	}
+	return out
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	s, err := New(newInnerStub(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChaos(t, s, 200)
+	if n := s.TotalInjected(); n != 0 {
+		t.Fatalf("zero plan injected %d faults: %v", n, s.Events())
+	}
+	s.Advance(50)
+	v, err := s.Sample("vm1")
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if v[0] != 50 {
+		t.Fatalf("zero plan altered the sample: got %v, want 50", v[0])
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	plan := Uniform(42, 0.05)
+	a, err := New(newInnerStub(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(newInnerStub(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := driveChaos(t, a, 400), driveChaos(t, b, 400)
+	if len(ea) == 0 {
+		t.Fatal("uniform 5% plan injected nothing over 400 s")
+	}
+	if fmt.Sprint(ea) != fmt.Sprint(eb) {
+		t.Fatalf("same seed produced different schedules:\n%v\nvs\n%v", ea, eb)
+	}
+
+	c, err := New(newInnerStub(), Uniform(43, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec := driveChaos(t, c, 400); fmt.Sprint(ea) == fmt.Sprint(ec) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleIsCallOrderIndependent pins the counter-mode PRNG claim:
+// a VM's faults depend only on (seed, time, VM), not on how many other
+// VMs were sampled first.
+func TestScheduleIsCallOrderIndependent(t *testing.T) {
+	plan := Uniform(7, 0.1)
+	solo, err := New(newInnerStub("vm1"), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := New(newInnerStub("vm0", "vm1", "vmZ"), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(events []Event) []string {
+		var out []string
+		for _, e := range events {
+			if e.VM == "vm1" {
+				out = append(out, e.String())
+			}
+		}
+		return out
+	}
+	driveChaos(t, solo, 300)
+	driveChaos(t, crowd, 300)
+	a, b := pick(solo.Events()), pick(crowd.Events())
+	if len(a) == 0 {
+		t.Fatal("no faults for vm1 over 300 s at 10%")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("vm1 schedule changed with co-tenants:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestInjectedErrorClassification(t *testing.T) {
+	inner := newInnerStub("vm1")
+	find := func(plan Plan, op func(s *Substrate, now simclock.Time) error) error {
+		s, err := New(inner, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sec := int64(1); sec <= 5000; sec++ {
+			s.Advance(simclock.Time(sec))
+			if err := op(s, simclock.Time(sec)); err != nil {
+				return err
+			}
+		}
+		t.Fatal("fault never fired in 5000 s")
+		return nil
+	}
+
+	dropErr := find(Plan{Seed: 1, DropRate: 0.05}, func(s *Substrate, now simclock.Time) error {
+		_, err := s.Sample("vm1")
+		return err
+	})
+	if !substrate.IsTransient(dropErr) {
+		t.Errorf("dropped sample error %v is not transient", dropErr)
+	}
+
+	scaleErr := find(Plan{Seed: 2, TransientRate: 0.05}, func(s *Substrate, now simclock.Time) error {
+		return s.ScaleCPU(now, "vm1", 100)
+	})
+	if !substrate.IsTransient(scaleErr) {
+		t.Errorf("transient scale error %v is not transient", scaleErr)
+	}
+
+	insErr := find(Plan{Seed: 3, InsufficientRate: 0.05}, func(s *Substrate, now simclock.Time) error {
+		return s.ScaleMem(now, "vm1", 512)
+	})
+	if !errors.Is(insErr, substrate.ErrInsufficient) || substrate.IsTransient(insErr) {
+		t.Errorf("spurious insufficient error %v misclassified", insErr)
+	}
+
+	tgtErr := find(Plan{Seed: 4, NoTargetRate: 0.05}, func(s *Substrate, now simclock.Time) error {
+		return s.Migrate(now, "vm1", 100, 512)
+	})
+	if !errors.Is(tgtErr, substrate.ErrNoEligibleTarget) || substrate.IsTransient(tgtErr) {
+		t.Errorf("spurious no-target error %v misclassified", tgtErr)
+	}
+}
+
+func TestStuckSensorFreezesVector(t *testing.T) {
+	s, err := New(newInnerStub("vm1"), Plan{Seed: 9, StuckRate: 0.05, StuckSeconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frozen metrics.Vector
+	var onset simclock.Time
+	for sec := int64(1); sec <= 2000 && onset == 0; sec++ {
+		s.Advance(simclock.Time(sec))
+		v, err := s.Sample("vm1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Injected(FaultMetricStuck) > 0 {
+			frozen, onset = v, simclock.Time(sec)
+		}
+	}
+	if onset == 0 {
+		t.Fatal("stuck fault never fired")
+	}
+	for sec := onset.Seconds() + 1; sec < onset.Seconds()+10; sec++ {
+		s.Advance(simclock.Time(sec))
+		v, err := s.Sample("vm1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != frozen {
+			t.Fatalf("t=%d: stuck sensor moved: %v != %v", sec, v[0], frozen[0])
+		}
+	}
+	after := onset.Add(10)
+	s.Advance(after)
+	v, err := s.Sample("vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == frozen {
+		t.Fatalf("sensor still frozen after the %ds window", 10)
+	}
+}
+
+func TestNaNFaultPoisonsConfiguredAttrs(t *testing.T) {
+	s, err := New(newInnerStub("vm1"), Plan{Seed: 11, NaNRate: 0.05, NaNAttrs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := int64(1); sec <= 2000; sec++ {
+		s.Advance(simclock.Time(sec))
+		v, err := s.Sample("vm1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nans := 0
+		for _, x := range v {
+			if math.IsNaN(x) {
+				nans++
+			}
+		}
+		if nans > 0 {
+			if nans != 3 {
+				t.Fatalf("NaN fault poisoned %d attributes, want 3", nans)
+			}
+			return
+		}
+	}
+	t.Fatal("NaN fault never fired in 2000 s")
+}
+
+func TestWindowAndTargetGating(t *testing.T) {
+	plan := Uniform(5, 0.2)
+	plan.From, plan.Until = 100, 200
+	plan.VMs = []substrate.VMID{"vm2"}
+	s, err := New(newInnerStub("vm1", "vm2"), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChaos(t, s, 300)
+	if n := s.TotalInjected(); n == 0 {
+		t.Fatal("plan injected nothing inside its window")
+	}
+	for _, e := range s.Events() {
+		if e.Time.Before(100) || e.Time.After(200) {
+			t.Errorf("event %v outside window [100, 200]", e)
+		}
+		if e.Kind != FaultMigrationStall && e.VM != "vm2" {
+			t.Errorf("event %v targeted a VM outside the plan's list", e)
+		}
+	}
+}
+
+func TestMigrationStallMultipliesDuration(t *testing.T) {
+	s, err := New(newInnerStub("vm1"), Plan{Seed: 13, StallRate: 0.1, StallFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := int64(1); sec <= 2000; sec++ {
+		s.Advance(simclock.Time(sec))
+		if d := s.MigrationSeconds(512); d != 10 {
+			if d != 40 {
+				t.Fatalf("stalled duration = %d, want 40 (4 x 10)", d)
+			}
+			if s.Injected(FaultMigrationStall) == 0 {
+				t.Fatal("stalled duration without a recorded stall event")
+			}
+			return
+		}
+	}
+	t.Fatal("stall never fired in 2000 s")
+}
+
+func TestStaleFaultReplaysPreviousSample(t *testing.T) {
+	s, err := New(newInnerStub("vm1"), Plan{Seed: 17, StaleRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev metrics.Vector
+	for sec := int64(1); sec <= 2000; sec++ {
+		s.Advance(simclock.Time(sec))
+		before := s.Injected(FaultMetricStale)
+		v, err := s.Sample("vm1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Injected(FaultMetricStale) > before {
+			if v != prev {
+				t.Fatalf("t=%d: stale fault returned %v, want previous sample %v", sec, v[0], prev[0])
+			}
+			return
+		}
+		prev = v
+	}
+	t.Fatal("stale fault never fired in 2000 s")
+}

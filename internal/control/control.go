@@ -119,6 +119,9 @@ type Config struct {
 	// MonitorNoiseStd / MonitorSeed configure the sampler.
 	MonitorNoiseStd float64
 	MonitorSeed     int64
+	// MonitorResilience tunes the sampler's tolerance of a faulty metric
+	// source: carry-forward staleness bounds and stuck-sensor detection.
+	MonitorResilience monitor.Resilience
 }
 
 func (c Config) withDefaults() Config {
@@ -224,9 +227,10 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 	}
 	cfg = cfg.withDefaults()
 	sampler, err := monitor.NewSampler(sub, app.VMIDs(), monitor.Config{
-		NoiseStd:  cfg.MonitorNoiseStd,
-		Seed:      cfg.MonitorSeed,
-		Telemetry: cfg.Telemetry,
+		NoiseStd:   cfg.MonitorNoiseStd,
+		Seed:       cfg.MonitorSeed,
+		Telemetry:  cfg.Telemetry,
+		Resilience: cfg.MonitorResilience,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
@@ -584,11 +588,26 @@ func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (subst
 	return bestID, verdict, true
 }
 
+// degrade records a skipped or deferred piece of a management step: the
+// substrate failed underneath the loop, the loop logs it and keeps
+// going rather than aborting the tick.
+func (c *Controller) degrade(now simclock.Time, id substrate.VMID, op string, err error) {
+	c.tel.degradedSkips.Inc()
+	if c.tel.reg != nil {
+		c.tel.reg.Emit(now.Seconds(), string(id), telemetry.StageControl, telemetry.KindDegraded,
+			op+": "+err.Error())
+	}
+}
+
 // actuate executes the next prevention step for one confirmed faulty VM.
 func (c *Controller) actuate(now simclock.Time, target substrate.VMID, verdict predict.Verdict) error {
 	migrating, err := c.sub.Migrating(target)
 	if err != nil {
-		return fmt.Errorf("control: %w", err)
+		// An inventory lookup failing — transiently or otherwise — must
+		// not abort the whole management tick: skip this VM's actuation
+		// and let the next confirmed alert try again.
+		c.degrade(now, target, "migrating-lookup", err)
+		return nil
 	}
 	if migrating {
 		return nil // an action is already in flight
@@ -618,10 +637,20 @@ func (c *Controller) actuate(now simclock.Time, target substrate.VMID, verdict p
 	}
 	step, err := c.planner.Prevent(now, diag, c.attempts[target])
 	if err != nil {
-		if errors.Is(err, prevent.ErrSaturated) {
+		switch {
+		case errors.Is(err, prevent.ErrBackoff):
+			// A transient actuator failure was absorbed; the same
+			// attempt retries after the planner's sim-clock backoff.
+			// Keep the attempt ladder and episode untouched.
+			c.tel.retryBackoffs.Inc()
+			if c.tel.reg != nil {
+				c.tel.reg.Emit(now.Seconds(), string(target), telemetry.StagePrevent,
+					telemetry.KindRetryScheduled, "", telemetry.F("attempt", float64(c.attempts[target])))
+			}
+		case errors.Is(err, prevent.ErrSaturated):
 			// This resource is at its cap: move to the next option.
 			c.attempts[target]++
-		} else {
+		default:
 			// Out of options for this VM: push its alert episode to the
 			// back of the queue so localization gives other alerting VMs
 			// a turn, and restart its ladder for the next episode.

@@ -26,6 +26,8 @@ type instruments struct {
 	valEffective       *telemetry.Counter
 	valIneffective     *telemetry.Counter
 	valInconclusive    *telemetry.Counter
+	degradedSkips      *telemetry.Counter
+	retryBackoffs      *telemetry.Counter
 
 	predict predict.Instruments
 }
@@ -48,6 +50,8 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		valEffective:       reg.Counter("prevent.validations.effective"),
 		valIneffective:     reg.Counter("prevent.validations.ineffective"),
 		valInconclusive:    reg.Counter("prevent.validations.inconclusive"),
+		degradedSkips:      reg.Counter("control.degraded.skips"),
+		retryBackoffs:      reg.Counter("prevent.retries.backoff"),
 		predict: predict.Instruments{
 			Windows:       reg.Counter("predict.windows"),
 			WindowLatency: reg.Histogram("predict.window.latency"),

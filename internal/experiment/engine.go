@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"prepare/internal/chaos"
 	"prepare/internal/control"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
@@ -41,6 +42,9 @@ type TenantResult struct {
 	// Telemetry is the tenant's metric/event snapshot, nil unless the
 	// process-wide registry was enabled when the run started.
 	Telemetry *telemetry.Snapshot
+	// ChaosEvents is the tenant's fault-injection log (nil when the
+	// tenant's chaos plan is disabled).
+	ChaosEvents []chaos.Event
 }
 
 // EngineResult aggregates a multi-tenant engine run.
@@ -69,6 +73,7 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 		ts      = make([]control.Tenant, len(tenants))
 		scs     = make([]Scenario, len(tenants))
 		regs    = make([]*telemetry.Registry, len(tenants))
+		chaoses = make([]*chaos.Substrate, len(tenants))
 		byID    = make(map[string]int, len(tenants))
 	)
 	for i, t := range tenants {
@@ -83,7 +88,12 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			return EngineResult{}, fmt.Errorf("experiment: tenant %s: %w", t.ID, err)
 		}
 		regs[i] = newRunRegistry()
-		ctl, err := control.New(sc.Scheme, w.sub, w.app, control.Config{
+		sub, cs, err := wireChaos(sc, w, regs[i])
+		if err != nil {
+			return EngineResult{}, fmt.Errorf("experiment: tenant %s: %w", t.ID, err)
+		}
+		chaoses[i] = cs
+		ctl, err := control.New(sc.Scheme, sub, w.app, control.Config{
 			SamplingIntervalS: sc.SamplingIntervalS,
 			LookaheadS:        sc.LookaheadS,
 			FilterK:           sc.FilterK,
@@ -95,6 +105,7 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			DisableValidation: sc.DisableValidation,
 			Unsupervised:      sc.Unsupervised,
 			Telemetry:         regs[i],
+			MonitorResilience: sc.monitorResilience(),
 		})
 		if err != nil {
 			return EngineResult{}, fmt.Errorf("experiment: tenant %s: %w", t.ID, err)
@@ -141,6 +152,9 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			TotalViolationSeconds: log.ViolationSeconds(0, simclock.Time(sc.DurationS+1)),
 			Alerts:                ctl.Alerts(),
 			Steps:                 ctl.Steps(),
+		}
+		if chaoses[i] != nil {
+			tr.ChaosEvents = chaoses[i].Events()
 		}
 		if regs[i] != nil {
 			snap := regs[i].Snapshot()

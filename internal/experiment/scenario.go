@@ -10,10 +10,12 @@ import (
 
 	"prepare/internal/apps/rubis"
 	"prepare/internal/apps/streamsys"
+	"prepare/internal/chaos"
 	"prepare/internal/cloudsim"
 	"prepare/internal/control"
 	"prepare/internal/faults"
 	"prepare/internal/metrics"
+	"prepare/internal/monitor"
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
@@ -102,6 +104,12 @@ type Scenario struct {
 	// SurgePeakFactor overrides the bottleneck surge's peak multiplier
 	// (0 = default: 1.5 for System S, 2.3 for RUBiS).
 	SurgePeakFactor float64
+	// Chaos injects deterministic substrate faults (dropped/stale/stuck/
+	// NaN samples, transient actuator errors, migration stalls) between
+	// the control loop and the simulator. The zero Plan disables
+	// injection; a zero Chaos.Seed derives one from Seed so engine
+	// tenants get distinct but reproducible fault schedules.
+	Chaos chaos.Plan
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -131,7 +139,36 @@ func (s Scenario) withDefaults() Scenario {
 		// never fires: the Inject2 occurrence is the anomaly's first.
 		s.Inject1 = [2]int64{s.DurationS + 10, s.DurationS + 11}
 	}
+	if s.Chaos.Enabled() && s.Chaos.Seed == 0 {
+		s.Chaos.Seed = s.Seed + 5000
+	}
 	return s
+}
+
+// monitorResilience picks the sampler hardening for the scenario: chaos
+// runs get stuck-sensor detection on top of the default carry-forward
+// bounds; clean runs keep the zero value so established results are
+// byte-identical to earlier revisions.
+func (s Scenario) monitorResilience() monitor.Resilience {
+	if !s.Chaos.Enabled() {
+		return monitor.Resilience{}
+	}
+	return monitor.Resilience{StuckThreshold: 3}
+}
+
+// wireChaos interposes the scenario's chaos decorator between the
+// control loop and the world's substrate. The returned *chaos.Substrate
+// is nil when the plan is disabled.
+func wireChaos(sc Scenario, w *world, reg *telemetry.Registry) (substrate.Substrate, *chaos.Substrate, error) {
+	if !sc.Chaos.Enabled() {
+		return w.sub, nil, nil
+	}
+	cs, err := chaos.New(w.sub, sc.Chaos)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: %w", err)
+	}
+	cs.SetTelemetry(reg)
+	return cs, cs, nil
 }
 
 // TracePoint is one second of the SLO metric trace.
@@ -170,6 +207,9 @@ type Result struct {
 	// process-wide telemetry registry was enabled (telemetry.Enable or
 	// prepare.EnableTelemetry) when the run started.
 	Telemetry *telemetry.Snapshot
+	// ChaosEvents is the chronological fault-injection log (nil when the
+	// scenario's chaos plan is disabled).
+	ChaosEvents []chaos.Event
 }
 
 // world bundles one fully-assembled simulated deployment: the cluster,
@@ -229,7 +269,11 @@ func Run(sc Scenario) (Result, error) {
 	app := w.app
 
 	reg := newRunRegistry()
-	ctl, err := control.New(sc.Scheme, w.sub, app, control.Config{
+	sub, cs, err := wireChaos(sc, w, reg)
+	if err != nil {
+		return Result{}, err
+	}
+	ctl, err := control.New(sc.Scheme, sub, app, control.Config{
 		SamplingIntervalS: sc.SamplingIntervalS,
 		LookaheadS:        sc.LookaheadS,
 		FilterK:           sc.FilterK,
@@ -241,6 +285,7 @@ func Run(sc Scenario) (Result, error) {
 		DisableValidation: sc.DisableValidation,
 		Unsupervised:      sc.Unsupervised,
 		Telemetry:         reg,
+		MonitorResilience: sc.monitorResilience(),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment: %w", err)
@@ -271,6 +316,9 @@ func Run(sc Scenario) (Result, error) {
 		Dataset:               ctl.Sampler().Dataset(),
 		VMOrder:               app.VMIDs(),
 		FaultTarget:           w.target,
+	}
+	if cs != nil {
+		res.ChaosEvents = cs.Events()
 	}
 	finishRun(reg, &res)
 	return res, nil

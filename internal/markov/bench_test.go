@@ -84,6 +84,34 @@ func BenchmarkPredictSeries(b *testing.B) {
 	benchmarkPredictSeries(b, c)
 }
 
+// TestPredictSeriesAllocBudget pins BenchmarkPredictSeries' allocation
+// budget inside the regular test run (2 allocs/op: the returned
+// slice-of-rows header block plus the backing array), so a regression
+// fails `go test` directly instead of waiting for the CI bench gate.
+func TestPredictSeriesAllocBudget(t *testing.T) {
+	c, err := NewTwoDepChain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]int, 600)
+	for i := range seq {
+		seq[i] = rng.Intn(8)
+	}
+	if err := c.Fit(seq); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2
+	allocs := testing.AllocsPerRun(500, func() {
+		if series := c.PredictSeries(24); len(series) != 24 {
+			t.Fatal("bad series length")
+		}
+	})
+	if allocs > budget {
+		t.Errorf("PredictSeries allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
+
 // BenchmarkTwoDepChainObserveThenPredict exercises the online loop the
 // controller runs every sampling tick: one observation followed by one
 // full series prediction (so per-call caches are invalidated each time,

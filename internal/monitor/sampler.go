@@ -34,16 +34,67 @@ var noiseOrder = []metrics.Attribute{
 // appends labeled samples to per-VM series. It is the simulated
 // analogue of domain-0 libxenstat monitoring, but works identically
 // over replayed traces or any other MetricSource.
+//
+// The sampler tolerates an unreliable source: transient sample errors
+// (substrate.ErrUnavailable) are bridged by carrying the VM's last
+// known-good vector forward, NaN/Inf/negative readings are sanitized
+// against it before discretization ever sees them, and a sensor that
+// freezes on one bitwise-identical vector is detected as stuck. Both
+// carried and stuck samples count toward a bounded per-VM staleness
+// budget; once it is exceeded the synthesized samples stop being
+// appended to the training series (the control loop still receives
+// them), so a long outage cannot teach the models a flat line.
 type Sampler struct {
 	source   substrate.MetricSource
 	vmIDs    []substrate.VMID
 	rng      *rand.Rand
 	noiseStd float64
+	res      Resilience
 
 	series map[substrate.VMID]*metrics.Series
 
-	// ingested counts appended samples; nil (disabled telemetry) no-ops.
-	ingested *telemetry.Counter
+	// lastGood is each VM's most recent sanitized raw vector; it seeds
+	// carry-forward and per-attribute sanitization fallbacks.
+	lastGood map[substrate.VMID]metrics.Vector
+	haveGood map[substrate.VMID]bool
+	// staleRun counts consecutive sampling ticks a VM's value was
+	// synthesized (carried forward) or judged sensor-stuck.
+	staleRun map[substrate.VMID]int
+	// stuckRun counts consecutive bitwise-identical raw vectors.
+	stuckRun map[substrate.VMID]int
+
+	// ingested counts appended samples; nil (disabled telemetry) no-ops,
+	// as do the resilience counters below.
+	ingested     *telemetry.Counter
+	carried      *telemetry.Counter
+	sanitized    *telemetry.Counter
+	stuckSamples *telemetry.Counter
+	droppedStale *telemetry.Counter
+}
+
+// Resilience tunes the sampler's tolerance of a faulty metric source.
+type Resilience struct {
+	// MaxStaleTicks bounds how many consecutive sampling ticks a VM's
+	// sample may be synthesized (carried forward over a transient error,
+	// or repeated by a stuck sensor) and still be appended to the
+	// training series (default 6; one monitoring half-minute at the
+	// paper's 5 s interval). Past the bound the control loop still
+	// receives the carried value, but the series stops recording it.
+	MaxStaleTicks int
+	// StuckThreshold is the number of consecutive bitwise-identical raw
+	// vectors after which the sensor is judged stuck and the samples
+	// count as stale. Zero disables stuck detection (the default: clean
+	// simulated sources repeat values legitimately only below any
+	// sensible threshold, but replayed or chaos-injected sources should
+	// enable it).
+	StuckThreshold int
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.MaxStaleTicks == 0 {
+		r.MaxStaleTicks = 6
+	}
+	return r
 }
 
 // Config parameterizes the sampler.
@@ -58,6 +109,9 @@ type Config struct {
 	// Telemetry receives monitoring counters (nil disables, at zero
 	// cost on the sampling path).
 	Telemetry *telemetry.Registry
+	// Resilience tunes carry-forward, sanitization, and stuck-sensor
+	// accounting.
+	Resilience Resilience
 }
 
 // NewSampler monitors the given VMs over the metric source.
@@ -69,7 +123,10 @@ func NewSampler(source substrate.MetricSource, vmIDs []substrate.VMID, cfg Confi
 		return nil, errors.New("monitor: at least one VM is required")
 	}
 	for _, id := range vmIDs {
-		if _, err := source.Sample(id); err != nil {
+		// A transiently unavailable sample (a chaos drop, a collector
+		// hiccup) must not fail construction: the first Collect carries
+		// forward instead. Only permanent errors (unknown VM) reject.
+		if _, err := source.Sample(id); err != nil && !substrate.IsTransient(err) {
 			return nil, fmt.Errorf("monitor: %w", err)
 		}
 	}
@@ -80,12 +137,21 @@ func NewSampler(source substrate.MetricSource, vmIDs []substrate.VMID, cfg Confi
 	ids := make([]substrate.VMID, len(vmIDs))
 	copy(ids, vmIDs)
 	s := &Sampler{
-		source:   source,
-		vmIDs:    ids,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		noiseStd: noise,
-		series:   make(map[substrate.VMID]*metrics.Series, len(ids)),
-		ingested: cfg.Telemetry.Counter("monitor.samples.ingested"),
+		source:       source,
+		vmIDs:        ids,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		noiseStd:     noise,
+		res:          cfg.Resilience.withDefaults(),
+		series:       make(map[substrate.VMID]*metrics.Series, len(ids)),
+		lastGood:     make(map[substrate.VMID]metrics.Vector, len(ids)),
+		haveGood:     make(map[substrate.VMID]bool, len(ids)),
+		staleRun:     make(map[substrate.VMID]int, len(ids)),
+		stuckRun:     make(map[substrate.VMID]int, len(ids)),
+		ingested:     cfg.Telemetry.Counter("monitor.samples.ingested"),
+		carried:      cfg.Telemetry.Counter("monitor.samples.carried_forward"),
+		sanitized:    cfg.Telemetry.Counter("monitor.samples.sanitized"),
+		stuckSamples: cfg.Telemetry.Counter("monitor.samples.stuck"),
+		droppedStale: cfg.Telemetry.Counter("monitor.samples.dropped_stale"),
 	}
 	for _, id := range ids {
 		s.series[id] = metrics.NewSeries(512)
@@ -118,27 +184,81 @@ func (s *Sampler) Advance(now simclock.Time) {
 
 // Collect samples every monitored VM at the given instant, labels the
 // samples with the current SLO state, and appends them to the per-VM
-// series. The labeled samples are returned keyed by VM.
+// series. The labeled samples are returned keyed by VM — every
+// monitored VM is present in the map even when its source sample had to
+// be synthesized by carry-forward.
 func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[substrate.VMID]metrics.Sample, error) {
 	out := make(map[substrate.VMID]metrics.Sample, len(s.vmIDs))
+	ingested := 0
 	for _, id := range s.vmIDs {
 		clean, err := s.source.Sample(id)
+		synthesized := false
 		if err != nil {
-			return nil, fmt.Errorf("monitor: collect %q: %w", id, err)
+			if !substrate.IsTransient(err) {
+				return nil, fmt.Errorf("monitor: collect %q: %w", id, err)
+			}
+			// Transient gap: carry the last known-good vector forward
+			// (zero vector before the first good sample — sanitization
+			// fallbacks have nothing better yet either).
+			clean = s.lastGood[id]
+			synthesized = true
+			s.carried.Inc()
 		}
+		clean, repaired := SanitizeVector(clean, s.lastGood[id])
+		if repaired > 0 {
+			s.sanitized.Add(int64(repaired))
+		}
+
+		// Staleness accounting: a synthesized sample is stale by
+		// definition; a successfully read one may still be stale if the
+		// sensor is frozen on one bitwise-identical vector.
+		stale := synthesized
+		if !synthesized && s.res.StuckThreshold > 0 {
+			if s.haveGood[id] && clean == s.lastGood[id] {
+				s.stuckRun[id]++
+			} else {
+				s.stuckRun[id] = 0
+			}
+			if s.stuckRun[id] >= s.res.StuckThreshold {
+				stale = true
+				s.stuckSamples.Inc()
+			}
+		}
+		if stale {
+			s.staleRun[id]++
+		} else {
+			s.staleRun[id] = 0
+		}
+		if !synthesized {
+			s.lastGood[id] = clean
+			s.haveGood[id] = true
+		}
+
 		var v metrics.Vector
 		for _, a := range noiseOrder {
 			v.Set(a, s.noisy(clean.Get(a)))
 		}
 		sample := metrics.Sample{Time: now, Values: v, Label: label}
-		if err := s.series[id].Append(sample); err != nil {
-			return nil, fmt.Errorf("monitor: append %q: %w", id, err)
+		if s.staleRun[id] <= s.res.MaxStaleTicks {
+			if err := s.series[id].Append(sample); err != nil {
+				return nil, fmt.Errorf("monitor: append %q: %w", id, err)
+			}
+			ingested++
+		} else {
+			// Past the staleness budget: the loop still gets a value,
+			// but the training series stops recording the flat line.
+			s.droppedStale.Inc()
 		}
 		out[id] = sample
 	}
-	s.ingested.Add(int64(len(s.vmIDs)))
+	s.ingested.Add(int64(ingested))
 	return out, nil
 }
+
+// StaleTicks returns how many consecutive sampling ticks the VM's
+// sample has been synthesized or judged sensor-stuck (0 for a healthy
+// source).
+func (s *Sampler) StaleTicks(id substrate.VMID) int { return s.staleRun[id] }
 
 func (s *Sampler) noisy(value float64) float64 {
 	if s.noiseStd < 0 {

@@ -64,3 +64,26 @@ func BenchmarkPredictWindow(b *testing.B) {
 		}
 	}
 }
+
+// TestPredictWindowAllocBudget pins BenchmarkPredictWindow's allocation
+// budget inside the regular test run, so a hot-path regression fails
+// `go test` directly instead of waiting for the CI bench gate.
+func TestPredictWindowAllocBudget(t *testing.T) {
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, labels := benchTrace(600, 1)
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 33 // one marginals scratch miss per attribute + the verdict's future-bins copy
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.PredictWindow(120); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("PredictWindow allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

@@ -57,6 +57,18 @@ type Config struct {
 	MaxCPU float64
 	// MaxMemMB caps a VM's memory allocation (default 3072).
 	MaxMemMB float64
+	// MaxTransientRetries bounds how many consecutive transient actuator
+	// failures (substrate.ErrUnavailable and friends) one VM's
+	// prevention absorbs before the failure is treated as permanent:
+	// scaling falls through to migration, migration reports ErrExhausted
+	// (default 3; negative disables retrying entirely).
+	MaxTransientRetries int
+	// RetryBackoffS is the simulated-clock backoff before the first
+	// transient retry; it doubles per consecutive failure and is capped
+	// at MaxRetryBackoffS (default 2).
+	RetryBackoffS int64
+	// MaxRetryBackoffS caps the doubling backoff (default 60).
+	MaxRetryBackoffS int64
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +83,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMemMB == 0 {
 		c.MaxMemMB = 3072
+	}
+	if c.MaxTransientRetries == 0 {
+		c.MaxTransientRetries = 3
+	}
+	if c.MaxTransientRetries < 0 {
+		c.MaxTransientRetries = 0
+	}
+	if c.RetryBackoffS == 0 {
+		c.RetryBackoffS = 2
+	}
+	if c.MaxRetryBackoffS == 0 {
+		c.MaxRetryBackoffS = 60
 	}
 	return c
 }
@@ -91,14 +115,36 @@ var (
 	ErrExhausted = errors.New("prevent: prevention options exhausted")
 	// ErrSaturated means the VM is already at its allocation caps.
 	ErrSaturated = errors.New("prevent: VM already at maximum allocation")
+	// ErrBackoff means a transient actuator failure was absorbed: the
+	// same prevention attempt is scheduled for retry after a
+	// deterministic sim-clock backoff. The caller keeps the attempt
+	// index unchanged and calls Prevent again on a later tick.
+	ErrBackoff = errors.New("prevent: transient actuator failure, retry scheduled")
 )
+
+// retryState tracks one VM's transient-failure retry ladder.
+type retryState struct {
+	// tries counts consecutive transient failures absorbed so far.
+	tries int
+	// nextTry is the earliest instant the next attempt may execute.
+	nextTry simclock.Time
+}
 
 // Planner executes prevention actions against any substrate's
 // inventory and actuator; it never sees the simulator directly.
+//
+// Transient actuator failures (substrate.IsTransient) do not abort a
+// prevention: the planner absorbs up to MaxTransientRetries of them per
+// VM, spacing re-attempts by a deterministic doubling sim-clock backoff
+// (Prevent returns ErrBackoff while one is pending). Only when the
+// transient budget is exhausted is the failure treated like a permanent
+// one: scaling falls through to migration, migration reports
+// ErrExhausted.
 type Planner struct {
 	sys    substrate.System
 	cfg    Config
 	policy Policy
+	retry  map[substrate.VMID]*retryState
 }
 
 // NewPlanner builds a planner over the substrate.
@@ -109,7 +155,12 @@ func NewPlanner(sys substrate.System, policy Policy, cfg Config) (*Planner, erro
 	if policy != ScalingFirst && policy != MigrationOnly {
 		return nil, fmt.Errorf("prevent: unsupported policy %d", policy)
 	}
-	return &Planner{sys: sys, cfg: cfg.withDefaults(), policy: policy}, nil
+	return &Planner{
+		sys:    sys,
+		cfg:    cfg.withDefaults(),
+		policy: policy,
+		retry:  make(map[substrate.VMID]*retryState),
+	}, nil
 }
 
 // Policy returns the planner's policy.
@@ -122,9 +173,22 @@ func (p *Planner) Policy() Policy { return p.policy }
 // exhausted the planner migrates. Under MigrationOnly the first attempt
 // migrates directly. Scaling that cannot fit on the local host falls
 // back to migration within the same call.
+//
+// Transient substrate failures return ErrBackoff and leave the attempt
+// ladder untouched; the caller re-invokes Prevent with the same attempt
+// on a later tick and the planner re-executes once the backoff expires.
 func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) (Step, error) {
+	if rs, ok := p.retry[diag.VM]; ok && now.Before(rs.nextTry) {
+		return Step{}, ErrBackoff
+	}
 	alloc, err := p.sys.Allocation(diag.VM)
 	if err != nil {
+		if substrate.IsTransient(err) {
+			if p.deferRetry(now, diag.VM) {
+				return Step{}, ErrBackoff
+			}
+			return Step{}, fmt.Errorf("%w: allocation lookup kept failing: %v", ErrExhausted, err)
+		}
 		return Step{}, fmt.Errorf("prevent: %w", err)
 	}
 	resources := infer.RankedResources(diag)
@@ -135,12 +199,10 @@ func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) 
 	}
 
 	if p.policy == MigrationOnly {
-		res := resources[0]
 		if attempt >= len(resources) {
 			return Step{}, ErrExhausted
 		}
-		res = resources[attempt]
-		return p.migrate(now, diag.VM, alloc, res)
+		return p.migrate(now, diag.VM, alloc, resources[attempt])
 	}
 
 	if attempt >= len(resources) {
@@ -151,11 +213,62 @@ func (p *Planner) Prevent(now simclock.Time, diag infer.Diagnosis, attempt int) 
 	}
 	res := resources[attempt]
 	step, err := p.scale(now, diag.VM, alloc, res)
-	if errors.Is(err, substrate.ErrInsufficient) {
-		// Local host cannot fit the scaled allocation: migrate instead.
+	switch {
+	case err == nil:
+		p.clearRetry(diag.VM)
+		return step, nil
+	case errors.Is(err, substrate.ErrInsufficient):
+		// Local host cannot fit the scaled allocation — a permanent
+		// answer, whether genuine or injected: migrate instead.
+		p.clearRetry(diag.VM)
 		return p.migrate(now, diag.VM, alloc, res)
+	case substrate.IsTransient(err):
+		if p.deferRetry(now, diag.VM) {
+			return Step{}, ErrBackoff
+		}
+		// Transient budget exhausted: treat the scaling path as down
+		// and fall through to migration, like ErrInsufficient.
+		return p.migrate(now, diag.VM, alloc, res)
+	default:
+		return Step{}, err
 	}
-	return step, err
+}
+
+// deferRetry books one more transient failure for the VM. It reports
+// true when a retry was scheduled (nextTry pushed out by the doubling
+// backoff) and false when the per-VM transient budget is exhausted, in
+// which case the state is reset and the caller must treat the failure
+// as permanent.
+func (p *Planner) deferRetry(now simclock.Time, id substrate.VMID) bool {
+	rs := p.retry[id]
+	if rs == nil {
+		rs = &retryState{}
+		p.retry[id] = rs
+	}
+	rs.tries++
+	if rs.tries > p.cfg.MaxTransientRetries {
+		delete(p.retry, id)
+		return false
+	}
+	backoff := p.cfg.RetryBackoffS << (rs.tries - 1)
+	if backoff > p.cfg.MaxRetryBackoffS {
+		backoff = p.cfg.MaxRetryBackoffS
+	}
+	rs.nextTry = now.Add(backoff)
+	return true
+}
+
+// clearRetry forgets the VM's transient-failure ladder after a
+// successful or permanently failed actuation.
+func (p *Planner) clearRetry(id substrate.VMID) {
+	delete(p.retry, id)
+}
+
+// RetryPending reports whether the VM has a transient retry scheduled
+// and not yet due at now.
+func (p *Planner) RetryPending(now simclock.Time, id substrate.VMID) bool {
+	rs, ok := p.retry[id]
+	return ok && now.Before(rs.nextTry)
 }
 
 // scale grows the VM's allocation of the resource by the configured step.
@@ -213,10 +326,20 @@ func (p *Planner) migrate(now simclock.Time, id substrate.VMID, alloc substrate.
 	}
 	if err := p.sys.Migrate(now, id, desiredCPU, desiredMem); err != nil {
 		if errors.Is(err, substrate.ErrNoEligibleTarget) {
+			p.clearRetry(id)
 			return Step{}, fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		if substrate.IsTransient(err) {
+			if p.deferRetry(now, id) {
+				return Step{}, ErrBackoff
+			}
+			// Migration is the last rung of the ladder; when even its
+			// transient budget is spent the VM's options are exhausted.
+			return Step{}, fmt.Errorf("%w: migration kept failing transiently: %v", ErrExhausted, err)
 		}
 		return Step{}, err
 	}
+	p.clearRetry(id)
 	return Step{
 		Time: now, VM: id, Kind: substrate.ActionMigrate, Resource: res,
 		Detail: fmt.Sprintf("migrate cpu=%.0f mem=%.0f", desiredCPU, desiredMem),

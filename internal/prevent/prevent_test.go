@@ -195,14 +195,19 @@ func TestMigrationFallbackRequestsGrownAllocation(t *testing.T) {
 }
 
 func TestScalingErrorOtherThanInsufficientPropagates(t *testing.T) {
+	// A permanent, unclassified scaling error passes through unchanged:
+	// no migrate fallback, no retry. (Transient errors — ErrUnavailable,
+	// ErrMigrating — are absorbed by the retry ladder instead; see
+	// retry_test.go.)
+	permanent := errors.New("hypervisor rejected the call")
 	sys := newFakeSystem()
-	sys.scaleErr = substrate.ErrMigrating
+	sys.scaleErr = permanent
 	p, err := NewPlanner(sys, ScalingFirst, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Prevent(10, cpuDiag("vm1"), 0); !errors.Is(err, substrate.ErrMigrating) {
-		t.Errorf("error = %v, want ErrMigrating passthrough (no migrate fallback)", err)
+	if _, err := p.Prevent(10, cpuDiag("vm1"), 0); !errors.Is(err, permanent) {
+		t.Errorf("error = %v, want passthrough (no migrate fallback)", err)
 	}
 	if len(sys.calls) != 1 {
 		t.Errorf("calls = %v, want only the failed scale", sys.calls)

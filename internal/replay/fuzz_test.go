@@ -1,0 +1,68 @@
+package replay
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"prepare/internal/metrics"
+	"prepare/internal/substrate"
+)
+
+const fuzzCSVHeader = "time_s,cpu_user,cpu_system,cpu_total,free_mem,mem_used," +
+	"net_in,net_out,disk_read,disk_write,load1,load5,ctx_switch,page_faults,label"
+
+// FuzzParseCSVTrace throws arbitrary bytes at the trace CSV parser and
+// checks the contract the replay substrate depends on: malformed input
+// is rejected with an error (never a panic), and accepted input
+// round-trips through the writer preserving every sample's time and
+// label.
+func FuzzParseCSVTrace(f *testing.F) {
+	f.Add([]byte(fuzzCSVHeader + "\n" +
+		"1,1.0,1.1,1.2,1.3,1.4,1.5,1.6,1.7,1.8,1.9,2.0,2.1,2.2,normal\n" +
+		"2,2.0,2.1,2.2,2.3,2.4,2.5,2.6,2.7,2.8,2.9,3.0,3.1,3.2,abnormal\n"))
+	f.Add([]byte(fuzzCSVHeader + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("time_s,label\n1,normal\n"))
+	f.Add([]byte(fuzzCSVHeader + "\nx,1,1,1,1,1,1,1,1,1,1,1,1,1,normal\n"))
+	f.Add([]byte(fuzzCSVHeader + "\n1,NaN,+Inf,-Inf,0,0,0,0,0,0,0,0,0,0,\n"))
+	f.Add([]byte(fuzzCSVHeader + "\n5,1,1,1,1,1,1,1,1,1,1,1,1,1,bogus\n"))
+	f.Add([]byte("\"unterminated,quote\n1,2\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := metrics.ReadSamplesCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := metrics.WriteSamplesCSV(&buf, samples); err != nil {
+			t.Fatalf("write-back of accepted input failed: %v", err)
+		}
+		again, err := metrics.ReadSamplesCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written output failed: %v\ninput: %q", err, buf.String())
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(samples), len(again))
+		}
+		for i := range again {
+			if again[i].Time != samples[i].Time {
+				t.Fatalf("round trip changed row %d time: %v -> %v", i, samples[i].Time, again[i].Time)
+			}
+			if again[i].Label != samples[i].Label {
+				t.Fatalf("round trip changed row %d label: %v -> %v", i, samples[i].Label, again[i].Label)
+			}
+		}
+
+		// The replay substrate must either reject the series with an
+		// error or come up usable — never panic on parsed input.
+		sub, err := FromCSV(map[substrate.VMID]io.Reader{"vm1": bytes.NewReader(data)}, Config{})
+		if err != nil {
+			return
+		}
+		sub.Advance(1)
+		if _, err := sub.Sample("vm1"); err != nil {
+			t.Fatalf("freshly built replay substrate cannot sample: %v", err)
+		}
+	})
+}

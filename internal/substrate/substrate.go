@@ -82,7 +82,23 @@ var (
 	// ErrNoEligibleTarget means no host can fit the requested resources;
 	// the planner reports its options as exhausted.
 	ErrNoEligibleTarget = errors.New("substrate: no host can fit the requested resources")
+	// ErrUnavailable is the transient sentinel: the substrate could not
+	// serve the request right now (dropped metric sample, hypervisor API
+	// timeout, control-plane hiccup) but the same call may succeed if
+	// retried. The monitor carries the last known value forward over it
+	// and the prevention planner retries with backoff instead of falling
+	// through to the next option.
+	ErrUnavailable = errors.New("substrate: temporarily unavailable")
 )
+
+// IsTransient reports whether the error is a retryable substrate
+// condition: the operation failed for reasons that may clear on their
+// own (ErrUnavailable, or an in-flight migration blocking actuation),
+// as opposed to a permanent answer such as ErrInsufficient or
+// ErrNoEligibleTarget that the caller must plan around.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrMigrating)
+}
 
 // MetricSource provides noise-free per-VM metric vectors. The monitor
 // layers measurement noise, labeling, and series bookkeeping on top.

@@ -30,6 +30,13 @@ const (
 	// KindValidationRollback: online validation judged a prevention
 	// ineffective; the next ranked metric will be tried.
 	KindValidationRollback = "validation-rollback"
+	// KindDegraded: the loop skipped or deferred part of a step because
+	// the substrate failed underneath it (dropped samples, transient
+	// actuator errors) and kept going instead of aborting.
+	KindDegraded = "degraded"
+	// KindRetryScheduled: a transient actuator failure was absorbed and
+	// the prevention attempt was rescheduled after a sim-clock backoff.
+	KindRetryScheduled = "retry-scheduled"
 )
 
 // Field is one numeric key/value annotation on an event.
