@@ -30,6 +30,16 @@
 // -chaos-seed (0 derives one from -seed), so a given seed reproduces
 // the exact same fault schedule.
 //
+// The run and engine modes accept retraining knobs: -retrain N refits
+// the prediction models every N simulated seconds, -retrain-mode
+// auto|batch|incremental picks full-history refits or the O(1)
+// sufficient-statistics path (auto, the default, retrains incrementally
+// whenever an interval is set), and -history-window M bounds per-VM
+// sample history to a ring of M samples:
+//
+//	preparesim -experiment run -app rubis -fault memleak -retrain 600
+//	preparesim -engine -tenants 4 -retrain 600 -retrain-mode batch -history-window 720
+//
 // All multi-run experiments accept -parallel N to size the worker pool
 // (0, the default, uses GOMAXPROCS). Output is identical for any value.
 //
@@ -75,6 +85,23 @@ type options struct {
 	chaos           bool
 	chaosSeed       int64
 	chaosRate       float64
+	retrainS        int64
+	retrainMode     string
+	historyWindow   int
+}
+
+// applyRetrain copies the retraining flags onto a scenario for the run
+// and engine modes (the figure experiments keep the paper's fixed
+// train-once protocol).
+func (o options) applyRetrain(sc prepare.Scenario) (prepare.Scenario, error) {
+	mode, ok := retrainModeByName(o.retrainMode)
+	if !ok {
+		return sc, fmt.Errorf("unknown retrain mode %q (want auto, batch or incremental)", o.retrainMode)
+	}
+	sc.RetrainIntervalS = o.retrainS
+	sc.RetrainMode = mode
+	sc.HistoryWindowSamples = o.historyWindow
+	return sc, nil
 }
 
 // chaosPlan builds the run's fault-injection plan from the flags (the
@@ -117,6 +144,12 @@ func run(args []string) error {
 		"chaos fault-schedule seed (0 = derive from -seed)")
 	fs.Float64Var(&opts.chaosRate, "chaos-rate", 0.02,
 		"per-call probability of each chaos fault kind")
+	fs.Int64Var(&opts.retrainS, "retrain", 0,
+		"retrain the prediction models every N simulated seconds in the run and engine modes (0 = train once)")
+	fs.StringVar(&opts.retrainMode, "retrain-mode", "auto",
+		"how periodic retraining refits models: auto, batch or incremental")
+	fs.IntVar(&opts.historyWindow, "history-window", 0,
+		"bound per-VM sample history to a ring of N samples (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,10 +343,14 @@ func dispatch(opts options) error {
 		if !ok {
 			return fmt.Errorf("unknown scheme %q (want none, reactive or prepare)", opts.scheme)
 		}
-		res, err := prepare.Run(prepare.Scenario{
+		sc, err := opts.applyRetrain(prepare.Scenario{
 			App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
 			Chaos: opts.chaosPlan(),
 		})
+		if err != nil {
+			return err
+		}
+		res, err := prepare.Run(sc)
 		if err != nil {
 			return err
 		}
@@ -326,11 +363,15 @@ func dispatch(opts options) error {
 		if opts.tenants < 1 {
 			return fmt.Errorf("-tenants must be at least 1, got %d", opts.tenants)
 		}
+		sc, err := opts.applyRetrain(prepare.Scenario{
+			App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
+			Chaos: opts.chaosPlan(),
+		})
+		if err != nil {
+			return err
+		}
 		res, err := prepare.RunEngine(
-			prepare.MultiTenant(opts.tenants, prepare.Scenario{
-				App: app, Fault: fault, Scheme: scheme, Seed: opts.seed,
-				Chaos: opts.chaosPlan(),
-			}),
+			prepare.MultiTenant(opts.tenants, sc),
 			prepare.EngineOptions{Shards: opts.shards, Workers: opts.parallel})
 		if err != nil {
 			return err
@@ -424,6 +465,19 @@ func faultByName(name string) (prepare.FaultKind, bool) {
 		return prepare.CPUHog, true
 	case "bottleneck":
 		return prepare.Bottleneck, true
+	default:
+		return 0, false
+	}
+}
+
+func retrainModeByName(name string) (prepare.RetrainMode, bool) {
+	switch name {
+	case "auto":
+		return prepare.RetrainAuto, true
+	case "batch":
+		return prepare.RetrainBatch, true
+	case "incremental":
+		return prepare.RetrainIncremental, true
 	default:
 		return 0, false
 	}

@@ -37,6 +37,34 @@ func TestNameLookups(t *testing.T) {
 	if _, ok := schemeByName("magic"); ok {
 		t.Error("unknown scheme resolved")
 	}
+	if m, ok := retrainModeByName("auto"); !ok || m != prepare.RetrainAuto {
+		t.Error("retrainModeByName(auto) wrong")
+	}
+	if m, ok := retrainModeByName("batch"); !ok || m != prepare.RetrainBatch {
+		t.Error("retrainModeByName(batch) wrong")
+	}
+	if m, ok := retrainModeByName("incremental"); !ok || m != prepare.RetrainIncremental {
+		t.Error("retrainModeByName(incremental) wrong")
+	}
+	if _, ok := retrainModeByName("sometimes"); ok {
+		t.Error("unknown retrain mode resolved")
+	}
+}
+
+// TestApplyRetrainWiresScenario checks the CLI knobs land on the
+// scenario fields the control loop reads.
+func TestApplyRetrainWiresScenario(t *testing.T) {
+	o := options{retrainS: 600, retrainMode: "incremental", historyWindow: 720}
+	sc, err := o.applyRetrain(prepare.Scenario{App: prepare.RUBiS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.RetrainIntervalS != 600 || sc.RetrainMode != prepare.RetrainIncremental || sc.HistoryWindowSamples != 720 {
+		t.Errorf("applyRetrain produced %+v", sc)
+	}
+	if _, err := (options{retrainMode: "nope"}).applyRetrain(prepare.Scenario{}); err == nil {
+		t.Error("bad retrain mode should fail")
+	}
 }
 
 func TestMetricNames(t *testing.T) {
@@ -54,6 +82,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-experiment", "run", "-app", "nope"},
 		{"-experiment", "run", "-fault", "nope"},
 		{"-experiment", "run", "-scheme", "nope"},
+		{"-experiment", "run", "-retrain-mode", "nope"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

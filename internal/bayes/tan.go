@@ -66,19 +66,21 @@ type Options struct {
 // Train fits a TAN (or naive Bayes) model. bins gives the number of
 // discretized states per attribute; every instance must have len(bins)
 // values within range.
+//
+// Train is a thin wrapper over the sufficient-statistics path: it
+// accumulates the instances into a CountTable and builds the model
+// from the counts. Because all counts are exact integers, the result
+// is bit-identical to the historical per-instance implementation —
+// and to an incrementally maintained table fed the same instances.
 func Train(instances []Instance, bins []int, opts Options) (*Model, error) {
 	start := trainHook.Start()
 	defer trainHook.Done(start)
 	if len(instances) == 0 {
 		return nil, ErrNoInstances
 	}
-	if len(bins) == 0 {
-		return nil, fmt.Errorf("bayes: bins must be non-empty")
-	}
-	for i, b := range bins {
-		if b < 1 {
-			return nil, fmt.Errorf("bayes: attribute %d has %d bins, want >= 1", i, b)
-		}
+	t, err := NewCountTable(bins)
+	if err != nil {
+		return nil, err
 	}
 	n := len(bins)
 	for idx, inst := range instances {
@@ -91,30 +93,9 @@ func Train(instances []Instance, bins []int, opts Options) (*Model, error) {
 					ErrShape, idx, i, v, bins[i])
 			}
 		}
+		t.add(inst.Bins, inst.Abnormal, 1)
 	}
-
-	m := &Model{
-		numAttrs: n,
-		bins:     append([]int(nil), bins...),
-		parent:   make([]int, n),
-	}
-	for c := range m.classCount {
-		m.classCount[c] = 0
-	}
-	for _, inst := range instances {
-		m.classCount[classIdx(inst.Abnormal)]++
-		m.total++
-	}
-
-	if opts.Naive || n == 1 {
-		for i := range m.parent {
-			m.parent[i] = -1
-		}
-	} else {
-		m.parent = buildTree(instances, bins)
-	}
-	m.estimateCPTs(instances)
-	return m, nil
+	return trainFromCounts(t, opts)
 }
 
 func classIdx(abnormal bool) int {
@@ -124,17 +105,17 @@ func classIdx(abnormal bool) int {
 	return 0
 }
 
-// buildTree computes the Chow-Liu maximum spanning tree over conditional
-// mutual information and returns the parent array (root has parent -1).
-func buildTree(instances []Instance, bins []int) []int {
-	n := len(bins)
+// buildTreeFrom computes the Chow-Liu maximum spanning tree over
+// pairwise conditional mutual information (supplied by cmiAt, typically
+// CountTable.cmi) and returns the parent array (root has parent -1).
+func buildTreeFrom(n int, cmiAt func(i, j int) float64) []int {
 	cmi := make([][]float64, n)
 	for i := range cmi {
 		cmi[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := conditionalMutualInfo(instances, bins, i, j)
+			v := cmiAt(i, j)
 			cmi[i][j] = v
 			cmi[j][i] = v
 		}
@@ -176,21 +157,10 @@ func buildTree(instances []Instance, bins []int) []int {
 	return parent
 }
 
-// conditionalMutualInfo estimates I(A_i; A_j | C) with Laplace smoothing.
-func conditionalMutualInfo(instances []Instance, bins []int, i, j int) float64 {
-	bi, bj := bins[i], bins[j]
-	joint := [2][]float64{make([]float64, bi*bj), make([]float64, bi*bj)}
-	margI := [2][]float64{make([]float64, bi), make([]float64, bi)}
-	margJ := [2][]float64{make([]float64, bj), make([]float64, bj)}
-	classN := [2]float64{}
-	for _, inst := range instances {
-		c := classIdx(inst.Abnormal)
-		vi, vj := inst.Bins[i], inst.Bins[j]
-		joint[c][vi*bj+vj]++
-		margI[c][vi]++
-		margJ[c][vj]++
-		classN[c]++
-	}
+// cmiFromCounts estimates I(A_i; A_j | C) with Laplace smoothing from
+// per-class joint and marginal count tables. joint[c] is indexed
+// [vi*bj+vj].
+func cmiFromCounts(bi, bj int, joint, margI, margJ [2][]float64, classN [2]float64) float64 {
 	total := classN[0] + classN[1]
 	info := 0.0
 	for c := 0; c < 2; c++ {
@@ -213,8 +183,9 @@ func conditionalMutualInfo(instances []Instance, bins []int, i, j int) float64 {
 	return info
 }
 
-// estimateCPTs fills the smoothed conditional probability tables.
-func (m *Model) estimateCPTs(instances []Instance) {
+// allocCPTs sizes the conditional probability tables for the current
+// parent array, zero-filled.
+func (m *Model) allocCPTs() {
 	m.cpt = make([][2][][]float64, m.numAttrs)
 	for i := 0; i < m.numAttrs; i++ {
 		pb := 1
@@ -229,18 +200,12 @@ func (m *Model) estimateCPTs(instances []Instance) {
 			m.cpt[i][c] = table
 		}
 	}
-	for _, inst := range instances {
-		c := classIdx(inst.Abnormal)
-		for i, v := range inst.Bins {
-			u := 0
-			if p := m.parent[i]; p >= 0 {
-				u = inst.Bins[p]
-			}
-			m.cpt[i][c][u][v]++
-		}
-	}
-	// Normalize with smoothing: each (attr, class, parentValue) row
-	// becomes a distribution over attr values.
+}
+
+// normalizeCPTs converts raw counts into smoothed distributions: each
+// (attr, class, parentValue) row becomes a distribution over attr
+// values.
+func (m *Model) normalizeCPTs() {
 	for i := 0; i < m.numAttrs; i++ {
 		for c := 0; c < 2; c++ {
 			for u := range m.cpt[i][c] {

@@ -14,13 +14,16 @@
 package control
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
+	"prepare/internal/pool"
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
 	"prepare/internal/simclock"
@@ -69,6 +72,39 @@ func (s Scheme) String() string {
 	}
 }
 
+// RetrainMode selects how periodic retraining refits the per-VM models.
+type RetrainMode int
+
+const (
+	// RetrainAuto (the default) maintains sufficient statistics and
+	// retrains incrementally whenever that is possible — supervised
+	// predictors with periodic retraining enabled — and falls back to
+	// batch refits otherwise (unsupervised detectors, or no retraining).
+	RetrainAuto RetrainMode = iota
+	// RetrainBatch refits every model from the retained series at each
+	// retrain deadline (O(history) per retrain, the pre-incremental
+	// behaviour).
+	RetrainBatch
+	// RetrainIncremental folds every sample into per-VM count tables
+	// online and rebuilds the classifiers from those counts at each
+	// retrain deadline (O(attrs²·bins²), independent of history length).
+	RetrainIncremental
+)
+
+// String returns the mode name as accepted by the CLI flags.
+func (m RetrainMode) String() string {
+	switch m {
+	case RetrainAuto:
+		return "auto"
+	case RetrainBatch:
+		return "batch"
+	case RetrainIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("retrain-mode(%d)", int(m))
+	}
+}
+
 // Config tunes the control loop.
 type Config struct {
 	// SamplingIntervalS is the monitoring interval (default 5 s).
@@ -100,6 +136,22 @@ type Config struct {
 	// disables periodic retraining; the value predictors still update
 	// online on every sample either way.
 	RetrainIntervalS int64
+	// RetrainMode selects batch refits or incremental sufficient-
+	// statistics retraining (default RetrainAuto: incremental where
+	// possible).
+	RetrainMode RetrainMode
+	// TrainWorkers bounds how many per-VM model fits run concurrently
+	// during (re)training (0 = the pool default). Per-VM fits are
+	// independent and deterministically seeded, so results are identical
+	// for any worker count.
+	TrainWorkers int
+	// HistoryWindowSamples bounds each VM's retained training series to a
+	// ring of the most recent samples, capping monitoring memory for
+	// long-running loops. Zero keeps full history. Incremental retraining
+	// does not read old samples, but batch (re)fits see only what the
+	// ring still holds — keep the window larger than the training prefix
+	// (TrainAtS/SamplingIntervalS) and the validation look-back.
+	HistoryWindowSamples int
 	// Unsupervised replaces the supervised TAN classifier with an
 	// unsupervised outlier detector (the paper's Section V extension):
 	// the models train on unlabeled data, so PREPARE can prevent even the
@@ -183,7 +235,21 @@ type Controller struct {
 	planner       *prevent.Planner
 	validator     prevent.Validator
 
-	trained  bool
+	trained bool
+	// nextRetrainAt is the deadline of the next periodic retrain. A
+	// deadline (rather than a modulo on the current second) fires on the
+	// first sampling tick at or after it, so retraining happens even when
+	// the sampling interval does not divide the retrain interval.
+	nextRetrainAt simclock.Time
+	// fitAt records the tick at which each VM's model was last fit from
+	// the series; on that tick the incremental path observes the current
+	// row like the batch path does instead of re-counting it via Update.
+	fitAt map[substrate.VMID]simclock.Time
+	// rowScratch is the reusable per-tick row buffer: rows are consumed
+	// synchronously within a tick (predictors copy what they retain), so
+	// one buffer serves every VM without per-sample allocation.
+	rowScratch []float64
+
 	pending  map[substrate.VMID]*pendingValidation
 	attempts map[substrate.VMID]int
 	steps    []prevent.Step
@@ -227,10 +293,11 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 	}
 	cfg = cfg.withDefaults()
 	sampler, err := monitor.NewSampler(sub, app.VMIDs(), monitor.Config{
-		NoiseStd:   cfg.MonitorNoiseStd,
-		Seed:       cfg.MonitorSeed,
-		Telemetry:  cfg.Telemetry,
-		Resilience: cfg.MonitorResilience,
+		NoiseStd:      cfg.MonitorNoiseStd,
+		Seed:          cfg.MonitorSeed,
+		Telemetry:     cfg.Telemetry,
+		Resilience:    cfg.MonitorResilience,
+		WindowSamples: cfg.HistoryWindowSamples,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
@@ -256,6 +323,8 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 		unsPredictors: make(map[substrate.VMID]*predict.UnsupervisedPredictor, len(vms)),
 		filters:       make(map[substrate.VMID]*predict.AlarmFilter, len(vms)),
 		planner:       planner,
+		fitAt:         make(map[substrate.VMID]simclock.Time, len(vms)),
+		rowScratch:    make([]float64, metrics.NumAttributes),
 		pending:       make(map[substrate.VMID]*pendingValidation, len(vms)),
 		attempts:      make(map[substrate.VMID]int, len(vms)),
 		vmOrder:       vms,
@@ -327,18 +396,20 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	}
 
 	if !c.trained && now.Seconds() >= c.cfg.TrainAtS && c.cfg.TrainAtS > 0 {
-		if err := c.train(); err != nil {
+		if err := c.train(now); err != nil {
 			return fmt.Errorf("control: train: %w", err)
 		}
-	} else if c.trained && c.cfg.RetrainIntervalS > 0 &&
-		now.Seconds() > c.cfg.TrainAtS &&
-		(now.Seconds()-c.cfg.TrainAtS)%c.cfg.RetrainIntervalS == 0 {
-		// Periodic model update with everything collected so far, so
+	} else if c.trained && c.cfg.RetrainIntervalS > 0 && !now.Before(c.nextRetrainAt) {
+		// Periodic model update with everything accumulated so far, so
 		// anomalies first seen after the initial training become
-		// predictable on their next recurrence.
-		if err := c.train(); err != nil {
+		// predictable on their next recurrence. The deadline fires on the
+		// first sampling tick at or past it (a modulo check would never
+		// fire when the sampling interval does not divide the retrain
+		// interval) and then advances by a full interval.
+		if err := c.retrain(now); err != nil {
 			return fmt.Errorf("control: retrain: %w", err)
 		}
+		c.nextRetrainAt = now.Add(c.cfg.RetrainIntervalS)
 	}
 	if !c.trained {
 		return nil
@@ -348,7 +419,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	confirmed := make(map[substrate.VMID]predict.Verdict)
 	for _, id := range c.vmOrder {
 		sm := samples[id]
-		row := rowOf(sm)
+		row := c.rowOf(sm)
 		if c.cfg.Unsupervised {
 			if err := c.stepUnsupervised(now, id, row, violated, confirmed); err != nil {
 				return err
@@ -356,7 +427,24 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			continue
 		}
 		p := c.predictors[id]
-		if err := p.Observe(row); err != nil {
+		if p.Incremental() && c.fitAt[id] != now {
+			// Incremental training: one Update advances the value-
+			// prediction chains AND folds the labeled row into the TAN
+			// sufficient statistics. Samples the sampler refused to record
+			// (past the staleness budget) become unlabeled so a frozen
+			// sensor cannot teach the classifier a flat line, mirroring
+			// what batch refits from the series would have seen.
+			lbl := sm.Label
+			if !c.sampler.Recording(id) {
+				lbl = metrics.LabelUnknown
+			}
+			if err := p.Update(row, lbl); err != nil {
+				return fmt.Errorf("control: update %s: %w", id, err)
+			}
+		} else if err := p.Observe(row); err != nil {
+			// A model (re)fit this tick already counted the current row
+			// from the series; it only observes, exactly like batch
+			// training has always done.
 			return fmt.Errorf("control: observe %s: %w", id, err)
 		}
 		switch c.scheme {
@@ -575,13 +663,13 @@ func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (subst
 		return "", predict.Verdict{}, false
 	}
 	if c.cfg.Unsupervised {
-		strengths, err := c.unsPredictors[bestID].Attribution(rowOf(samples[bestID]))
+		strengths, err := c.unsPredictors[bestID].Attribution(c.rowOf(samples[bestID]))
 		if err != nil {
 			return "", predict.Verdict{}, false
 		}
 		return bestID, predict.Verdict{Abnormal: true, Strengths: strengths}, true
 	}
-	verdict, err := c.predictors[bestID].Evaluate(rowOf(samples[bestID]))
+	verdict, err := c.predictors[bestID].Evaluate(c.rowOf(samples[bestID]))
 	if err != nil {
 		return "", predict.Verdict{}, false
 	}
@@ -761,38 +849,144 @@ func (c *Controller) rollbackEvent(now simclock.Time, p *pendingValidation) {
 // Without this gating, every VM's model would learn the application-level
 // violation windows — including VMs whose metrics carry no fault signal —
 // and then raise persistent false alarms on recurring workload patterns.
-func (c *Controller) train() error {
+func (c *Controller) train(now simclock.Time) error {
 	names := predict.AttributeNames()
-	for _, id := range c.vmOrder {
-		series, err := c.sampler.Series(id)
+	sup := make([]*predict.Predictor, len(c.vmOrder))
+	uns := make([]*predict.UnsupervisedPredictor, len(c.vmOrder))
+	// Per-VM fits are independent and deterministically seeded, so they
+	// fan out across the worker pool; each goroutine writes only its own
+	// slot and the results are installed in canonical VM order below.
+	runner := pool.Runner{Workers: c.cfg.TrainWorkers}
+	err := runner.ForEach(context.Background(), len(c.vmOrder), func(_ context.Context, i int) error {
+		id := c.vmOrder[i]
+		p, up, err := c.fitVM(id, names)
 		if err != nil {
 			return err
 		}
-		samples := series.All()
-		rows, labels := predict.RowsFromSamples(samples)
-		if c.cfg.Unsupervised {
-			// Unsupervised mode ignores the labels entirely: the detector
-			// learns the normal operating modes from the raw data.
-			up, err := predict.NewUnsupervised(c.cfg.Predict, names)
-			if err != nil {
-				return err
+		sup[i], uns[i] = p, up
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, id := range c.vmOrder {
+		if uns[i] != nil {
+			c.unsPredictors[id] = uns[i]
+		}
+		if sup[i] != nil {
+			c.predictors[id] = sup[i]
+		}
+		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
+		if err != nil {
+			return err
+		}
+		c.filters[id] = f
+		c.fitAt[id] = now
+	}
+	c.trained = true
+	c.tel.trainings.Inc()
+	c.nextRetrainAt = now.Add(c.cfg.RetrainIntervalS)
+	return nil
+}
+
+// fitVM fits one VM's model from its retained series: an unsupervised
+// detector, an incremental (sufficient-statistics) supervised predictor,
+// or a plain batch one, per the configured mode.
+func (c *Controller) fitVM(id substrate.VMID, names []string) (*predict.Predictor, *predict.UnsupervisedPredictor, error) {
+	series, err := c.sampler.Series(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, labels := predict.RowsFromSamples(series.All())
+	if c.cfg.Unsupervised {
+		// Unsupervised mode ignores the labels entirely: the detector
+		// learns the normal operating modes from the raw data.
+		up, err := predict.NewUnsupervised(c.cfg.Predict, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		up.SetInstruments(c.tel.predict)
+		if err := up.Train(rows, c.cfg.UnsupervisedDetector, c.cfg.MonitorSeed); err != nil {
+			return nil, nil, fmt.Errorf("train %s: %w", id, err)
+		}
+		return nil, up, nil
+	}
+	p, err := predict.New(c.cfg.Predict, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.SetInstruments(c.tel.predict)
+	lookback := int(c.cfg.LookaheadS / c.cfg.SamplingIntervalS)
+	if c.incrementalTraining() {
+		if err := p.TrainIncremental(rows, labels, lookback); err != nil {
+			return nil, nil, fmt.Errorf("train %s: %w", id, err)
+		}
+		return p, nil, nil
+	}
+	predict.RelabelForTraining(rows, labels, lookback)
+	if err := p.Train(rows, labels); err != nil {
+		return nil, nil, fmt.Errorf("train %s: %w", id, err)
+	}
+	return p, nil, nil
+}
+
+// incrementalTraining reports whether this configuration maintains
+// per-VM sufficient statistics and retrains from them. Unsupervised
+// detectors have no count-table form and always refit batch; RetrainAuto
+// goes incremental only when periodic retraining is actually enabled
+// (without it the statistics would never be consumed).
+func (c *Controller) incrementalTraining() bool {
+	if c.cfg.Unsupervised {
+		return false
+	}
+	switch c.cfg.RetrainMode {
+	case RetrainBatch:
+		return false
+	case RetrainIncremental:
+		return true
+	default:
+		return c.cfg.RetrainIntervalS > 0
+	}
+}
+
+// retrain performs one periodic model update. In batch mode it refits
+// everything from the retained series (O(history)); in incremental mode
+// it rebuilds each classifier from its accumulated count table
+// (O(attrs²·bins²), independent of history length) and refits from the
+// series only to self-heal predictors that carry no incremental state
+// (e.g. restored from an older snapshot). Alarm filters restart fresh
+// either way, as batch retraining always did.
+func (c *Controller) retrain(now simclock.Time) error {
+	if !c.incrementalTraining() {
+		defer c.tel.retrainBatch.ObserveSince(time.Now())
+		return c.train(now)
+	}
+	defer c.tel.retrainIncremental.ObserveSince(time.Now())
+	names := predict.AttributeNames()
+	healed := make([]*predict.Predictor, len(c.vmOrder))
+	runner := pool.Runner{Workers: c.cfg.TrainWorkers}
+	err := runner.ForEach(context.Background(), len(c.vmOrder), func(_ context.Context, i int) error {
+		id := c.vmOrder[i]
+		if p := c.predictors[id]; p != nil && p.Incremental() {
+			if err := p.Retrain(); err != nil {
+				return fmt.Errorf("retrain %s: %w", id, err)
 			}
-			up.SetInstruments(c.tel.predict)
-			if err := up.Train(rows, c.cfg.UnsupervisedDetector, c.cfg.MonitorSeed); err != nil {
-				return fmt.Errorf("train %s: %w", id, err)
-			}
-			c.unsPredictors[id] = up
-		} else {
-			predict.RelabelForTraining(rows, labels, int(c.cfg.LookaheadS/c.cfg.SamplingIntervalS))
-			p, err := predict.New(c.cfg.Predict, names)
-			if err != nil {
-				return err
-			}
-			p.SetInstruments(c.tel.predict)
-			if err := p.Train(rows, labels); err != nil {
-				return fmt.Errorf("train %s: %w", id, err)
-			}
-			c.predictors[id] = p
+			return nil
+		}
+		p, _, err := c.fitVM(id, names)
+		if err != nil {
+			return err
+		}
+		healed[i] = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, id := range c.vmOrder {
+		if healed[i] != nil {
+			c.predictors[id] = healed[i]
+			c.fitAt[id] = now
 		}
 		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
 		if err != nil {
@@ -800,15 +994,15 @@ func (c *Controller) train() error {
 		}
 		c.filters[id] = f
 	}
-	c.trained = true
 	c.tel.trainings.Inc()
 	return nil
 }
 
-func rowOf(sm metrics.Sample) []float64 {
-	row := make([]float64, metrics.NumAttributes)
-	for j := 0; j < metrics.NumAttributes; j++ {
-		row[j] = sm.Values[j]
-	}
-	return row
+// rowOf copies the sample's attribute values into the controller's
+// reusable row buffer. Rows are consumed synchronously within a tick and
+// predictors copy anything they retain, so sharing one buffer is safe
+// and keeps the per-tick loop allocation-free.
+func (c *Controller) rowOf(sm metrics.Sample) []float64 {
+	copy(c.rowScratch, sm.Values[:])
+	return c.rowScratch
 }

@@ -29,6 +29,12 @@ type instruments struct {
 	degradedSkips      *telemetry.Counter
 	retryBackoffs      *telemetry.Counter
 
+	// retrainBatch / retrainIncremental record the wall-clock latency of
+	// each periodic retrain pass, split by mode, so the O(history) vs
+	// O(1) cost difference is observable in telemetry.
+	retrainBatch       *telemetry.Histogram
+	retrainIncremental *telemetry.Histogram
+
 	predict predict.Instruments
 }
 
@@ -52,10 +58,13 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		valInconclusive:    reg.Counter("prevent.validations.inconclusive"),
 		degradedSkips:      reg.Counter("control.degraded.skips"),
 		retryBackoffs:      reg.Counter("prevent.retries.backoff"),
+		retrainBatch:       reg.Histogram("control.retrain.latency.batch"),
+		retrainIncremental: reg.Histogram("control.retrain.latency.incremental"),
 		predict: predict.Instruments{
-			Windows:       reg.Counter("predict.windows"),
-			WindowLatency: reg.Histogram("predict.window.latency"),
-			TrainLatency:  reg.Histogram("predict.train.latency"),
+			Windows:            reg.Counter("predict.windows"),
+			WindowLatency:      reg.Histogram("predict.window.latency"),
+			TrainLatency:       reg.Histogram("predict.train.latency"),
+			IncrementalUpdates: reg.Counter("train.incremental.updates"),
 		},
 	}
 }

@@ -20,13 +20,16 @@ func chaosFingerprint(alerts, steps, events interface{}) string {
 // byte-identical guarantee to fault injection: with chaos enabled, the
 // merged streams AND each tenant's injected fault schedule must be
 // identical for any shard/worker count, because injection decisions are
-// pure functions of (seed, time, VM), never of scheduling.
+// pure functions of (seed, time, VM), never of scheduling. The scenario
+// retrains periodically (incremental under RetrainAuto), so the
+// sufficient-statistics update and pool-parallel (re)fit paths are
+// inside the determinism and race (-race CI job) envelope too.
 func TestChaosEngineDeterministicAcrossShardCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full engine runs in -short mode")
 	}
 	base := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 50,
-		Chaos: chaos.Uniform(0, 0.02)}
+		RetrainIntervalS: 300, Chaos: chaos.Uniform(0, 0.02)}
 	run := func(shards, workers int) EngineResult {
 		res, err := RunEngine(MultiTenant(3, base), EngineOptions{Shards: shards, Workers: workers})
 		if err != nil {
@@ -76,7 +79,7 @@ func TestChaosSoak(t *testing.T) {
 
 	const soakSteps = 5100
 	soak := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 7,
-		DurationS: soakSteps, Chaos: chaos.Uniform(0, 0.015)}
+		DurationS: soakSteps, RetrainIntervalS: 600, Chaos: chaos.Uniform(0, 0.015)}
 	side := Scenario{App: SystemS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 8,
 		Chaos: chaos.Uniform(0, 0.015)}
 
@@ -127,6 +130,20 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if !prevented {
 		t.Errorf("no prevention step on fault target %s (steps: %+v)", res.FaultTarget, res.Steps)
+	}
+
+	// The soak retrains incrementally (RetrainAuto with an interval set):
+	// every post-training sample must have been folded into the
+	// sufficient statistics, and each retrain deadline must have rebuilt
+	// the classifiers through the O(1) path, not a batch refit.
+	if c := snap.Counter("train.incremental.updates"); c == 0 {
+		t.Error("no incremental training updates despite periodic retraining")
+	}
+	if n := snap.Histograms["control.retrain.latency.incremental"].Count; n == 0 {
+		t.Error("no incremental retrains were recorded by the latency histogram")
+	}
+	if n := snap.Histograms["control.retrain.latency.batch"].Count; n != 0 {
+		t.Errorf("%d batch retrains recorded; the soak should retrain incrementally", n)
 	}
 
 	// The monitor's resilience path must actually have fired: dropped

@@ -99,6 +99,8 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			FilterK:           sc.FilterK,
 			FilterW:           sc.FilterW,
 			TrainAtS:          sc.TrainAtS,
+			RetrainIntervalS:  sc.RetrainIntervalS,
+			RetrainMode:       sc.RetrainMode,
 			Policy:            sc.Policy,
 			Predict:           sc.Predict,
 			MonitorSeed:       sc.Seed + 1000,
@@ -106,6 +108,8 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			Unsupervised:      sc.Unsupervised,
 			Telemetry:         regs[i],
 			MonitorResilience: sc.monitorResilience(),
+
+			HistoryWindowSamples: sc.HistoryWindowSamples,
 		})
 		if err != nil {
 			return EngineResult{}, fmt.Errorf("experiment: tenant %s: %w", t.ID, err)

@@ -81,6 +81,16 @@ type Scenario struct {
 	LookaheadS int64
 	// FilterK/FilterW configure alarm filtering (defaults 3/4).
 	FilterK, FilterW int
+	// RetrainIntervalS periodically retrains the models with the data
+	// accumulated since training (0 disables periodic retraining).
+	RetrainIntervalS int64
+	// RetrainMode selects batch or incremental (sufficient-statistics)
+	// periodic retraining; the default RetrainAuto goes incremental
+	// whenever the configuration allows it.
+	RetrainMode control.RetrainMode
+	// HistoryWindowSamples bounds each VM's retained training series to
+	// the most recent samples (0 keeps full history).
+	HistoryWindowSamples int
 	// Predict overrides predictor options (order, bins, naive).
 	Predict predict.Config
 	// DisableValidation turns off the effectiveness validation (for the
@@ -279,6 +289,8 @@ func Run(sc Scenario) (Result, error) {
 		FilterK:           sc.FilterK,
 		FilterW:           sc.FilterW,
 		TrainAtS:          sc.TrainAtS,
+		RetrainIntervalS:  sc.RetrainIntervalS,
+		RetrainMode:       sc.RetrainMode,
 		Policy:            sc.Policy,
 		Predict:           sc.Predict,
 		MonitorSeed:       sc.Seed + 1000,
@@ -286,6 +298,8 @@ func Run(sc Scenario) (Result, error) {
 		Unsupervised:      sc.Unsupervised,
 		Telemetry:         reg,
 		MonitorResilience: sc.monitorResilience(),
+
+		HistoryWindowSamples: sc.HistoryWindowSamples,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment: %w", err)

@@ -44,6 +44,12 @@ type Predictor interface {
 	PredictSeries(maxSteps int) [][]float64
 	// NumStates returns the number of discretized states.
 	NumStates() int
+	// Observations returns how many observations the chain has absorbed
+	// in total. Derived from the transition counts (plus the warm-up
+	// states), so it survives snapshot round-trips — incremental training
+	// uses it to assert that streamed and batch-fit chains saw the same
+	// data.
+	Observations() int
 }
 
 // ErrBadState is returned when an observation is outside [0, states).
@@ -85,6 +91,21 @@ func NewSimpleChain(states int) (*SimpleChain, error) {
 
 // NumStates implements Predictor.
 func (c *SimpleChain) NumStates() int { return c.states }
+
+// Observations implements Predictor: the recorded transitions plus the
+// initial warm-up observation.
+func (c *SimpleChain) Observations() int {
+	total := 0
+	for _, row := range c.counts {
+		for _, n := range row {
+			total += int(n)
+		}
+	}
+	if c.seen {
+		total++
+	}
+	return total
+}
 
 // Observe implements Predictor.
 func (c *SimpleChain) Observe(bin int) error {
@@ -256,6 +277,18 @@ func NewTwoDepChain(states int) (*TwoDepChain, error) {
 
 // NumStates implements Predictor.
 func (c *TwoDepChain) NumStates() int { return c.states }
+
+// Observations implements Predictor: the recorded transitions plus the
+// two warm-up observations that seed the combined state.
+func (c *TwoDepChain) Observations() int {
+	total := 0
+	for _, row := range c.counts {
+		for _, n := range row {
+			total += int(n)
+		}
+	}
+	return total + c.nSeen
+}
 
 // Observe implements Predictor.
 func (c *TwoDepChain) Observe(bin int) error {

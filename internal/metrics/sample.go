@@ -54,57 +54,101 @@ type Sample struct {
 }
 
 // Series is an append-only labeled time series of samples for one VM.
-// The zero value is an empty series ready to use.
+// The zero value is an empty unbounded series ready to use. A series
+// built with NewBoundedSeries instead retains only the most recent
+// samples in a fixed ring, bounding memory for long-running monitoring;
+// every accessor works in logical (oldest-first) order either way.
 type Series struct {
 	samples []Sample
+	head    int // ring index of the oldest sample (always 0 when unbounded)
+	count   int // live samples
+	limit   int // ring capacity; 0 = unbounded
 }
 
-// NewSeries returns an empty series with capacity for n samples.
+// NewSeries returns an empty unbounded series with capacity for n
+// samples.
 func NewSeries(n int) *Series {
 	return &Series{samples: make([]Sample, 0, n)}
 }
 
-// Append adds a sample to the end of the series. Samples are expected in
-// non-decreasing time order; Append returns an error otherwise so callers
-// catch wiring mistakes early.
+// NewBoundedSeries returns an empty series that retains only the limit
+// most recent samples: once full, each Append evicts the oldest. limit
+// must be positive.
+func NewBoundedSeries(limit int) (*Series, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("metrics: series limit %d must be >= 1", limit)
+	}
+	return &Series{samples: make([]Sample, 0, limit), limit: limit}, nil
+}
+
+// idx maps a logical (oldest-first) position to a storage index.
+func (s *Series) idx(i int) int {
+	j := s.head + i
+	if j >= len(s.samples) && len(s.samples) > 0 {
+		j -= len(s.samples)
+	}
+	return j
+}
+
+// Append adds a sample to the end of the series, evicting the oldest
+// when a bounded series is full. Samples are expected in non-decreasing
+// time order; Append returns an error otherwise so callers catch wiring
+// mistakes early.
 func (s *Series) Append(sm Sample) error {
-	if n := len(s.samples); n > 0 && sm.Time.Before(s.samples[n-1].Time) {
-		return fmt.Errorf("metrics: sample at %v appended after %v", sm.Time, s.samples[n-1].Time)
+	if s.count > 0 {
+		if last := s.samples[s.idx(s.count-1)]; sm.Time.Before(last.Time) {
+			return fmt.Errorf("metrics: sample at %v appended after %v", sm.Time, last.Time)
+		}
+	}
+	if s.limit > 0 && s.count == s.limit {
+		s.samples[s.head] = sm
+		s.head++
+		if s.head == s.limit {
+			s.head = 0
+		}
+		return nil
 	}
 	s.samples = append(s.samples, sm)
+	s.count++
 	return nil
 }
 
 // Len returns the number of samples in the series.
-func (s *Series) Len() int { return len(s.samples) }
+func (s *Series) Len() int { return s.count }
 
-// At returns the i-th sample (0-based).
-func (s *Series) At(i int) Sample { return s.samples[i] }
+// Limit returns the ring capacity (0 for an unbounded series).
+func (s *Series) Limit() int { return s.limit }
+
+// At returns the i-th retained sample (0-based, oldest first).
+func (s *Series) At(i int) Sample { return s.samples[s.idx(i)] }
 
 // Last returns the most recent sample. The boolean is false when the
 // series is empty.
 func (s *Series) Last() (Sample, bool) {
-	if len(s.samples) == 0 {
+	if s.count == 0 {
 		return Sample{}, false
 	}
-	return s.samples[len(s.samples)-1], true
+	return s.samples[s.idx(s.count-1)], true
 }
 
 // Recent returns up to the last n samples, oldest first. The returned
 // slice is a copy so callers cannot mutate the series.
 func (s *Series) Recent(n int) []Sample {
-	if n > len(s.samples) {
-		n = len(s.samples)
+	if n > s.count {
+		n = s.count
 	}
 	out := make([]Sample, n)
-	copy(out, s.samples[len(s.samples)-n:])
+	for i := 0; i < n; i++ {
+		out[i] = s.samples[s.idx(s.count-n+i)]
+	}
 	return out
 }
 
-// Window returns a copy of the samples with from <= t < to.
+// Window returns a copy of the retained samples with from <= t < to.
 func (s *Series) Window(from, to simclock.Time) []Sample {
 	var out []Sample
-	for _, sm := range s.samples {
+	for i := 0; i < s.count; i++ {
+		sm := s.samples[s.idx(i)]
 		if !sm.Time.Before(from) && sm.Time.Before(to) {
 			out = append(out, sm)
 		}
@@ -112,18 +156,21 @@ func (s *Series) Window(from, to simclock.Time) []Sample {
 	return out
 }
 
-// All returns a copy of every sample in the series, oldest first.
+// All returns a copy of every retained sample, oldest first.
 func (s *Series) All() []Sample {
-	out := make([]Sample, len(s.samples))
-	copy(out, s.samples)
+	out := make([]Sample, s.count)
+	for i := range out {
+		out[i] = s.samples[s.idx(i)]
+	}
 	return out
 }
 
-// Column extracts the values of a single attribute across all samples.
+// Column extracts the values of a single attribute across all retained
+// samples.
 func (s *Series) Column(a Attribute) []float64 {
-	out := make([]float64, len(s.samples))
-	for i, sm := range s.samples {
-		out[i] = sm.Values.Get(a)
+	out := make([]float64, s.count)
+	for i := range out {
+		out[i] = s.samples[s.idx(i)].Values.Get(a)
 	}
 	return out
 }

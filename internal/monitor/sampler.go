@@ -112,6 +112,12 @@ type Config struct {
 	// Resilience tunes carry-forward, sanitization, and stuck-sensor
 	// accounting.
 	Resilience Resilience
+	// WindowSamples bounds each VM's training series to a ring of the
+	// most recent samples, capping memory for long-running monitoring.
+	// Zero keeps the full history (the default; incremental training
+	// does not need old samples, but batch retraining refits from
+	// whatever the ring still holds).
+	WindowSamples int
 }
 
 // NewSampler monitors the given VMs over the metric source.
@@ -154,7 +160,15 @@ func NewSampler(source substrate.MetricSource, vmIDs []substrate.VMID, cfg Confi
 		droppedStale: cfg.Telemetry.Counter("monitor.samples.dropped_stale"),
 	}
 	for _, id := range ids {
-		s.series[id] = metrics.NewSeries(512)
+		if cfg.WindowSamples > 0 {
+			sr, err := metrics.NewBoundedSeries(cfg.WindowSamples)
+			if err != nil {
+				return nil, fmt.Errorf("monitor: %w", err)
+			}
+			s.series[id] = sr
+		} else {
+			s.series[id] = metrics.NewSeries(512)
+		}
 	}
 	return s, nil
 }
@@ -259,6 +273,15 @@ func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[substrate
 // sample has been synthesized or judged sensor-stuck (0 for a healthy
 // source).
 func (s *Sampler) StaleTicks(id substrate.VMID) int { return s.staleRun[id] }
+
+// Recording reports whether the VM's samples are currently inside the
+// staleness budget and thus being appended to its training series. The
+// control loop's incremental trainer mirrors this gate: samples the
+// series refuses are fed to the classifier statistics as unlabeled, so
+// a frozen sensor cannot teach the model a flat line.
+func (s *Sampler) Recording(id substrate.VMID) bool {
+	return s.staleRun[id] <= s.res.MaxStaleTicks
+}
 
 func (s *Sampler) noisy(value float64) float64 {
 	if s.noiseStd < 0 {

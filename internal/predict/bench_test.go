@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -85,5 +86,95 @@ func TestPredictWindowAllocBudget(t *testing.T) {
 	})
 	if allocs > budget {
 		t.Errorf("PredictWindow allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
+
+// incrementalAtHistory trains a predictor on the first 600 rows of a
+// hist-row trace and streams the remainder through Update, leaving it
+// ready for a Retrain whose cost the caller measures.
+func incrementalAtHistory(tb testing.TB, hist int) *Predictor {
+	tb.Helper()
+	rows, labels := benchTrace(hist, 1)
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := p.TrainIncremental(rows[:600], labels[:600], 24); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 600; i < hist; i++ {
+		if err := p.Update(rows[i], labels[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p
+}
+
+// benchHistories are the trace lengths the retrain benchmarks sweep: a
+// 10x spread so the O(history) batch refit and the O(attrs²·bins²)
+// incremental rebuild separate unmistakably.
+var benchHistories = []int{1000, 10000}
+
+// BenchmarkRetrainIncremental measures one periodic model update on the
+// incremental path: rebuild the Chow-Liu tree and CPTs from the
+// accumulated count table. The cost must not grow with history length —
+// compare hist=1000 against hist=10000 (the CI bench gate pins the
+// ns/op of each).
+func BenchmarkRetrainIncremental(b *testing.B) {
+	for _, hist := range benchHistories {
+		b.Run(fmt.Sprintf("hist=%d", hist), func(b *testing.B) {
+			p := incrementalAtHistory(b, hist)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Retrain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetrainBatch measures what the control loop used to do at
+// every retrain deadline: relabel the full history and refit the
+// predictor from scratch — O(history) per retrain, O(history²)
+// cumulative over a run.
+func BenchmarkRetrainBatch(b *testing.B) {
+	for _, hist := range benchHistories {
+		b.Run(fmt.Sprintf("hist=%d", hist), func(b *testing.B) {
+			rows, labels := benchTrace(hist, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lbl := append([]metrics.Label(nil), labels...)
+				p, err := New(Config{}, AttributeNames())
+				if err != nil {
+					b.Fatal(err)
+				}
+				RelabelForTraining(rows, lbl, 24)
+				if err := p.Train(rows, lbl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRetrainCostIndependentOfHistory asserts the tentpole complexity
+// claim inside the regular test run, using allocations as the
+// deterministic proxy for work: a Retrain after 10x the streamed
+// history must cost the same, not 10x.
+func TestRetrainCostIndependentOfHistory(t *testing.T) {
+	measure := func(hist int) float64 {
+		p := incrementalAtHistory(t, hist)
+		return testing.AllocsPerRun(20, func() {
+			if err := p.Retrain(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(1000), measure(10000)
+	if long > 2*short {
+		t.Errorf("Retrain at 10x history allocates %.0f vs %.0f — not history-independent", long, short)
 	}
 }

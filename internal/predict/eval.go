@@ -113,14 +113,15 @@ func EvaluateTrace(cfg Config, names []string,
 
 // RowsFromSamples converts a VM's sample series into the predictor's row
 // format (13 columns in metrics attribute order) plus the label slice.
+// All rows share one backing array (3 allocations total instead of
+// 2+len(samples)), so callers must treat the rows as a unit.
 func RowsFromSamples(samples []metrics.Sample) ([][]float64, []metrics.Label) {
 	rows := make([][]float64, len(samples))
 	labels := make([]metrics.Label, len(samples))
+	backing := make([]float64, len(samples)*metrics.NumAttributes)
 	for i, sm := range samples {
-		row := make([]float64, metrics.NumAttributes)
-		for j := 0; j < metrics.NumAttributes; j++ {
-			row[j] = sm.Values[j]
-		}
+		row := backing[i*metrics.NumAttributes : (i+1)*metrics.NumAttributes : (i+1)*metrics.NumAttributes]
+		copy(row, sm.Values[:])
 		rows[i] = row
 		labels[i] = sm.Label
 	}

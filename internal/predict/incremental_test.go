@@ -1,0 +1,294 @@
+package predict
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"prepare/internal/bayes"
+	"prepare/internal/metrics"
+	"prepare/internal/simclock"
+)
+
+// frozenBatchModel rebuilds the classifier the way a batch refit over
+// the full history would, holding the discretizers and the relabel
+// baseline frozen at their initial-training state — which is exactly
+// the equivalence incremental training promises: same gate, same
+// backward extension, same minimum-support fold, same counts, same
+// Chow-Liu tree and CPTs.
+func frozenBatchModel(t *testing.T, p *Predictor, rows [][]float64, rawLabels []metrics.Label, lookback int) *bayes.Model {
+	t.Helper()
+	labels := append([]metrics.Label(nil), rawLabels...)
+	if p.inc.base != nil {
+		deviating := make([]bool, len(rows))
+		for i, row := range rows {
+			deviating[i] = p.inc.base.deviating(row)
+		}
+		gateAndExtend(labels, deviating, lookback)
+		applyMinSupport(labels)
+	}
+	binsPerAttr := make([]int, len(p.names))
+	for j := range binsPerAttr {
+		binsPerAttr[j] = p.cfg.Bins
+	}
+	ct, err := bayes.NewCountTable(binsPerAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned := make([]int, len(p.names))
+	for i, row := range rows {
+		if labels[i] == metrics.LabelUnknown {
+			continue
+		}
+		for j, v := range row {
+			binned[j] = p.disc[j].Bin(v)
+		}
+		if err := ct.Add(binned, labels[i] == metrics.LabelAbnormal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := bayes.TrainFromCounts(ct, bayes.Options{Naive: p.cfg.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// TestTrainIncrementalMatchesBatchTrain: the initial incremental fit
+// must be bit-identical to a plain batch Train on the same window — the
+// sufficient statistics ride along without changing the model.
+func TestTrainIncrementalMatchesBatchTrain(t *testing.T) {
+	rows, labels := benchTrace(600, 3)
+	const lookback = 24
+
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainIncremental(rows, labels, lookback); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Incremental() {
+		t.Fatal("TrainIncremental left no incremental state")
+	}
+
+	q, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchLabels := append([]metrics.Label(nil), labels...)
+	batchRows := make([][]float64, len(rows))
+	copy(batchRows, rows)
+	RelabelForTraining(batchRows, batchLabels, lookback)
+	if err := q.Train(batchRows, batchLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(p.model.Snapshot(), q.model.Snapshot()) {
+		t.Fatal("initial incremental model differs from batch model")
+	}
+	// Chains and discretizers must match too: identically trained
+	// predictors produce identical window verdicts.
+	pv, err := p.PredictWindow(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := q.PredictWindow(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pv, qv) {
+		t.Fatalf("verdicts differ after identical training: %+v vs %+v", pv, qv)
+	}
+}
+
+// TestRetrainMatchesFrozenBatch is the tentpole equivalence property:
+// stream samples one Update at a time, Retrain at several checkpoints,
+// and at every checkpoint the rebuilt classifier must equal — exactly,
+// not approximately — what a batch refit over the full history with
+// frozen discretizers/baseline would produce. Unknown labels, the
+// deviation gate, onset backward extension, and the minimum-support
+// fold are all exercised by the synthetic trace.
+func TestRetrainMatchesFrozenBatch(t *testing.T) {
+	rows, raw := benchTrace(1200, 42)
+	// Punch unknown labels into the stream so the unlabeled path (chains
+	// advance, classifier counts skip) is exercised.
+	for i := 0; i < len(raw); i += 97 {
+		raw[i] = metrics.LabelUnknown
+	}
+	const prefix, lookback = 400, 24
+
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainIncremental(rows[:prefix], raw[:prefix], lookback); err != nil {
+		t.Fatal(err)
+	}
+
+	checkpoints := map[int]bool{500: true, 700: true, 900: true, 1200: true}
+	for i := prefix; i < len(rows); i++ {
+		if err := p.Update(rows[i], raw[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !checkpoints[i+1] {
+			continue
+		}
+		if err := p.Retrain(); err != nil {
+			t.Fatal(err)
+		}
+		want := frozenBatchModel(t, p, rows[:i+1], raw[:i+1], lookback)
+		if !reflect.DeepEqual(p.model.Snapshot(), want.Snapshot()) {
+			t.Fatalf("checkpoint %d: incremental model differs from frozen batch refit", i+1)
+		}
+	}
+	if got := p.IncrementalUpdates(); got != uint64(len(rows)-prefix) {
+		t.Errorf("IncrementalUpdates = %d, want %d", got, len(rows)-prefix)
+	}
+}
+
+// TestIncrementalSaveLoadResumesIdentically: snapshotting an
+// incrementally trained predictor mid-stream and restoring it must
+// resume exactly — same verdicts on every subsequent tick, same model
+// after the next retrain.
+func TestIncrementalSaveLoadResumesIdentically(t *testing.T) {
+	rows, raw := benchTrace(1000, 7)
+	const prefix, lookback = 400, 24
+
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainIncremental(rows[:prefix], raw[:prefix], lookback); err != nil {
+		t.Fatal(err)
+	}
+	for i := prefix; i < 700; i++ {
+		if err := p.Update(rows[i], raw[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Incremental() {
+		t.Fatal("restored predictor lost its incremental state")
+	}
+	if q.IncrementalUpdates() != p.IncrementalUpdates() {
+		t.Fatalf("restored updates = %d, want %d", q.IncrementalUpdates(), p.IncrementalUpdates())
+	}
+
+	for i := 700; i < len(rows); i++ {
+		if err := p.Update(rows[i], raw[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Update(rows[i], raw[i]); err != nil {
+			t.Fatal(err)
+		}
+		pv, err := p.PredictWindow(120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qv, err := q.PredictWindow(120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pv, qv) {
+			t.Fatalf("step %d: restored predictor diverged: %+v vs %+v", i, pv, qv)
+		}
+		if i == 850 {
+			if err := p.Retrain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Retrain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(p.model.Snapshot(), q.model.Snapshot()) {
+		t.Fatal("models diverged after resume")
+	}
+}
+
+// TestUpdateRequiresIncrementalState: batch-trained predictors must
+// reject the incremental entry points loudly rather than silently
+// training nothing.
+func TestUpdateRequiresIncrementalState(t *testing.T) {
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, labels := benchTrace(300, 9)
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(rows[0], labels[0]); err != ErrNotIncremental {
+		t.Errorf("Update on batch predictor = %v, want ErrNotIncremental", err)
+	}
+	if err := p.Retrain(); err != ErrNotIncremental {
+		t.Errorf("Retrain on batch predictor = %v, want ErrNotIncremental", err)
+	}
+	// A fresh batch Train over an incremental predictor discards the
+	// statistics (they describe a window the new fit never saw).
+	if err := p.TrainIncremental(rows, labels, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	if p.Incremental() {
+		t.Error("batch retrain kept stale incremental state")
+	}
+}
+
+// TestUpdateAllocBudget pins the O(1) per-sample cost in allocations:
+// after warm-up, folding one sample into the statistics must not
+// allocate at all (ring slots and scratch buffers are recycled).
+func TestUpdateAllocBudget(t *testing.T) {
+	rows, raw := benchTrace(800, 13)
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainIncremental(rows[:400], raw[:400], 24); err != nil {
+		t.Fatal(err)
+	}
+	i := 400
+	allocs := testing.AllocsPerRun(300, func() {
+		if err := p.Update(rows[i%len(rows)], raw[i%len(rows)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("Update allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRowsFromSamplesAllocBudget pins the shared-backing-array layout:
+// converting a series must cost three allocations (row headers, labels,
+// one backing array), not two plus one per sample.
+func TestRowsFromSamplesAllocBudget(t *testing.T) {
+	samples := make([]metrics.Sample, 1000)
+	for i := range samples {
+		samples[i].Time = simclock.Time(i)
+		samples[i].Label = metrics.LabelNormal
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		rows, labels := RowsFromSamples(samples)
+		if len(rows) != len(samples) || len(labels) != len(samples) {
+			t.Fatal("shape mismatch")
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("RowsFromSamples allocates %.1f/op, budget 3", allocs)
+	}
+}

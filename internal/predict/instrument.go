@@ -19,6 +19,9 @@ type Instruments struct {
 	WindowLatency *telemetry.Histogram
 	// TrainLatency records per-predictor training time.
 	TrainLatency *telemetry.Histogram
+	// IncrementalUpdates counts samples folded into the sufficient
+	// statistics by Predictor.Update.
+	IncrementalUpdates *telemetry.Counter
 }
 
 // windowStart begins timing one PredictWindow pass; returns the zero

@@ -18,6 +18,28 @@ type predictorSnapshot struct {
 	Discretizers []metrics.DiscretizerSnapshot `json:"discretizers"`
 	Chains       []markov.Snapshot             `json:"chains"`
 	Model        bayes.Snapshot                `json:"model"`
+	// Incremental carries the sufficient statistics of incremental
+	// training when present; batch-trained predictors omit it, and
+	// snapshots written before the field existed load as batch models.
+	Incremental *incrementalSnapshot `json:"incremental,omitempty"`
+}
+
+// incrementalSnapshot serializes incrementalState.
+type incrementalSnapshot struct {
+	Counts   bayes.CountSnapshot `json:"counts"`
+	Mean     []float64           `json:"mean,omitempty"` // nil when no baseline was fit
+	Std      []float64           `json:"std,omitempty"`
+	Lookback int                 `json:"lookback"`
+	Ring     []ringEntrySnapshot `json:"ring"` // oldest first
+	Prev     metrics.Label       `json:"prev"`
+	Updates  uint64              `json:"updates"`
+}
+
+type ringEntrySnapshot struct {
+	Bins      []int         `json:"bins"`
+	Applied   metrics.Label `json:"applied"`
+	Deviating bool          `json:"deviating"`
+	Counted   bool          `json:"counted"`
 }
 
 // snapshotVersion guards the wire format.
@@ -34,6 +56,28 @@ func (p *Predictor) Save(w io.Writer) error {
 		Names:   append([]string(nil), p.names...),
 		Config:  p.cfg,
 		Model:   p.model.Snapshot(),
+	}
+	if s := p.inc; s != nil {
+		is := &incrementalSnapshot{
+			Counts:   s.ct.Snapshot(),
+			Lookback: s.lookback,
+			Prev:     s.prev,
+			Updates:  s.updates,
+		}
+		if s.base != nil {
+			is.Mean = append([]float64(nil), s.base.mean...)
+			is.Std = append([]float64(nil), s.base.std...)
+		}
+		for k := s.n - 1; k >= 0; k-- { // oldest first
+			e := s.at(k)
+			is.Ring = append(is.Ring, ringEntrySnapshot{
+				Bins:      append([]int(nil), e.bins...),
+				Applied:   e.applied,
+				Deviating: e.deviating,
+				Counted:   e.counted,
+			})
+		}
+		snap.Incremental = is
 	}
 	for j := range p.names {
 		ew, ok := p.disc[j].(*metrics.EqualWidth)
@@ -103,5 +147,44 @@ func Load(r io.Reader) (*Predictor, error) {
 	}
 	p.model = model
 	p.trained = true
+	if is := snap.Incremental; is != nil {
+		ct, err := bayes.CountTableFromSnapshot(is.Counts)
+		if err != nil {
+			return nil, fmt.Errorf("predict: %w", err)
+		}
+		if ct.NumAttributes() != n {
+			return nil, fmt.Errorf("predict: snapshot count table has %d attributes, want %d",
+				ct.NumAttributes(), n)
+		}
+		if is.Lookback < 0 || len(is.Ring) > is.Lookback {
+			return nil, fmt.Errorf("predict: snapshot ring has %d entries, lookback %d",
+				len(is.Ring), is.Lookback)
+		}
+		inc := &incrementalState{
+			ct:         ct,
+			lookback:   is.Lookback,
+			ring:       make([]ringEntry, 0, is.Lookback),
+			prev:       is.Prev,
+			updates:    is.Updates,
+			binScratch: make([]int, n),
+		}
+		if is.Mean != nil {
+			if len(is.Mean) != n || len(is.Std) != n {
+				return nil, fmt.Errorf("predict: snapshot baseline has %d/%d columns, want %d",
+					len(is.Mean), len(is.Std), n)
+			}
+			inc.base = &baseline{
+				mean: append([]float64(nil), is.Mean...),
+				std:  append([]float64(nil), is.Std...),
+			}
+		}
+		for _, e := range is.Ring {
+			if len(e.Bins) != n {
+				return nil, fmt.Errorf("predict: snapshot ring entry has %d bins, want %d", len(e.Bins), n)
+			}
+			inc.push(e.Bins, e.Applied, e.Deviating, e.Counted)
+		}
+		p.inc = inc
+	}
 	return p, nil
 }

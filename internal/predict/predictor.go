@@ -106,6 +106,10 @@ type Predictor struct {
 	futureScratch    []int
 	scratch          bayes.Scratch
 
+	// inc holds the sufficient statistics of incremental training, set
+	// by TrainIncremental and nil on batch-trained predictors.
+	inc *incrementalState
+
 	// ins is the (possibly zero/disabled) telemetry wiring.
 	ins Instruments
 }
@@ -220,6 +224,9 @@ func (p *Predictor) Train(rows [][]float64, labels []metrics.Label) error {
 	p.chains = chains
 	p.model = model
 	p.trained = true
+	// A fresh batch fit discards any previous incremental statistics;
+	// TrainIncremental reinstalls them after delegating here.
+	p.inc = nil
 	return nil
 }
 

@@ -100,6 +100,9 @@ type (
 type (
 	// Scheme selects the anomaly management strategy.
 	Scheme = control.Scheme
+	// RetrainMode selects how periodic retraining refits the prediction
+	// models (see ControlConfig.RetrainIntervalS).
+	RetrainMode = control.RetrainMode
 	// Policy selects the prevention actuation strategy.
 	Policy = prevent.Policy
 	// FaultKind identifies a fault class.
@@ -164,6 +167,18 @@ const (
 	SchemeReactive = control.SchemeReactive
 	// SchemePREPARE prevents predicted anomalies before they happen.
 	SchemePREPARE = control.SchemePREPARE
+)
+
+// Retrain modes.
+const (
+	// RetrainAuto retrains incrementally from sufficient statistics when
+	// possible (supervised models with periodic retraining enabled) and
+	// falls back to batch refits otherwise.
+	RetrainAuto = control.RetrainAuto
+	// RetrainBatch forces full-history refits at every retrain deadline.
+	RetrainBatch = control.RetrainBatch
+	// RetrainIncremental forces sufficient-statistics training.
+	RetrainIncremental = control.RetrainIncremental
 )
 
 // Prevention policies.

@@ -11,7 +11,7 @@ set -euo pipefail
 
 BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
 HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
-PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos'}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain'}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
 
 if ! grep -Eq 'allocs/op' "$BASE"; then
