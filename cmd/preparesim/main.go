@@ -40,6 +40,18 @@
 //	preparesim -experiment run -app rubis -fault memleak -retrain 600
 //	preparesim -engine -tenants 4 -retrain 600 -retrain-mode batch -history-window 720
 //
+// The run and engine modes also accept -batch auto|on|off to pick the
+// control loop's columnar fleet hot path. Batch and scalar produce
+// byte-identical output; the flag exists for benchmarking the scalar
+// oracle against the batched sweep:
+//
+//	preparesim -experiment run -app systems -fault memleak -batch off
+//
+// Profiling: -cpuprofile FILE and -memprofile FILE write pprof
+// profiles covering the whole invocation:
+//
+//	preparesim -engine -tenants 8 -cpuprofile cpu.out -memprofile mem.out
+//
 // All multi-run experiments accept -parallel N to size the worker pool
 // (0, the default, uses GOMAXPROCS). Output is identical for any value.
 //
@@ -55,6 +67,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"prepare"
@@ -88,6 +102,9 @@ type options struct {
 	retrainS        int64
 	retrainMode     string
 	historyWindow   int
+	batch           string
+	cpuProfile      string
+	memProfile      string
 }
 
 // applyRetrain copies the retraining flags onto a scenario for the run
@@ -101,6 +118,11 @@ func (o options) applyRetrain(sc prepare.Scenario) (prepare.Scenario, error) {
 	sc.RetrainIntervalS = o.retrainS
 	sc.RetrainMode = mode
 	sc.HistoryWindowSamples = o.historyWindow
+	batch, ok := batchModeByName(o.batch)
+	if !ok {
+		return sc, fmt.Errorf("unknown batch mode %q (want auto, on or off)", o.batch)
+	}
+	sc.Batch = batch
 	return sc, nil
 }
 
@@ -150,8 +172,37 @@ func run(args []string) error {
 		"how periodic retraining refits models: auto, batch or incremental")
 	fs.IntVar(&opts.historyWindow, "history-window", 0,
 		"bound per-VM sample history to a ring of N samples (0 = unbounded)")
+	fs.StringVar(&opts.batch, "batch", "auto",
+		"control-loop hot path for the run and engine modes: auto, on (columnar batch) or off (per-VM scalar); output is identical either way")
+	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&opts.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if opts.memProfile != "" {
+		defer func() {
+			f, err := os.Create(opts.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "preparesim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "preparesim: memprofile:", err)
+			}
+		}()
 	}
 	prepare.SetParallelism(opts.parallel)
 	if opts.engine {
@@ -478,6 +529,19 @@ func retrainModeByName(name string) (prepare.RetrainMode, bool) {
 		return prepare.RetrainBatch, true
 	case "incremental":
 		return prepare.RetrainIncremental, true
+	default:
+		return 0, false
+	}
+}
+
+func batchModeByName(name string) (prepare.BatchMode, bool) {
+	switch name {
+	case "auto":
+		return prepare.BatchAuto, true
+	case "on":
+		return prepare.BatchOn, true
+	case "off":
+		return prepare.BatchOff, true
 	default:
 		return 0, false
 	}

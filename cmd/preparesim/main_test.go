@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -49,12 +50,24 @@ func TestNameLookups(t *testing.T) {
 	if _, ok := retrainModeByName("sometimes"); ok {
 		t.Error("unknown retrain mode resolved")
 	}
+	if m, ok := batchModeByName("auto"); !ok || m != prepare.BatchAuto {
+		t.Error("batchModeByName(auto) wrong")
+	}
+	if m, ok := batchModeByName("on"); !ok || m != prepare.BatchOn {
+		t.Error("batchModeByName(on) wrong")
+	}
+	if m, ok := batchModeByName("off"); !ok || m != prepare.BatchOff {
+		t.Error("batchModeByName(off) wrong")
+	}
+	if _, ok := batchModeByName("maybe"); ok {
+		t.Error("unknown batch mode resolved")
+	}
 }
 
 // TestApplyRetrainWiresScenario checks the CLI knobs land on the
 // scenario fields the control loop reads.
 func TestApplyRetrainWiresScenario(t *testing.T) {
-	o := options{retrainS: 600, retrainMode: "incremental", historyWindow: 720}
+	o := options{retrainS: 600, retrainMode: "incremental", historyWindow: 720, batch: "off"}
 	sc, err := o.applyRetrain(prepare.Scenario{App: prepare.RUBiS})
 	if err != nil {
 		t.Fatal(err)
@@ -62,8 +75,14 @@ func TestApplyRetrainWiresScenario(t *testing.T) {
 	if sc.RetrainIntervalS != 600 || sc.RetrainMode != prepare.RetrainIncremental || sc.HistoryWindowSamples != 720 {
 		t.Errorf("applyRetrain produced %+v", sc)
 	}
-	if _, err := (options{retrainMode: "nope"}).applyRetrain(prepare.Scenario{}); err == nil {
+	if sc.Batch != prepare.BatchOff {
+		t.Errorf("applyRetrain Batch = %v, want off", sc.Batch)
+	}
+	if _, err := (options{retrainMode: "nope", batch: "auto"}).applyRetrain(prepare.Scenario{}); err == nil {
 		t.Error("bad retrain mode should fail")
+	}
+	if _, err := (options{retrainMode: "auto", batch: "nope"}).applyRetrain(prepare.Scenario{}); err == nil {
+		t.Error("bad batch mode should fail")
 	}
 }
 
@@ -83,6 +102,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-experiment", "run", "-fault", "nope"},
 		{"-experiment", "run", "-scheme", "nope"},
 		{"-experiment", "run", "-retrain-mode", "nope"},
+		{"-experiment", "run", "-batch", "nope"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -99,6 +119,89 @@ func TestRunSingleScenario(t *testing.T) {
 		"-scheme", "reactive", "-seed", "3"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	fnErr := fn()
+	os.Stdout = saved
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnErr != nil {
+		t.Fatalf("run: %v", fnErr)
+	}
+	return string(out)
+}
+
+// TestBatchFlagOutputByteIdentical runs the same scenario through the
+// CLI with -batch on and -batch off and requires byte-identical
+// stdout: the columnar fleet hot path is a pure optimization, with the
+// per-VM pipeline kept as its oracle.
+func TestBatchFlagOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	runArgs := func(mode string) []string {
+		return []string{"-experiment", "run", "-app", "systems", "-fault", "memleak",
+			"-scheme", "prepare", "-seed", "7", "-chaos", "-chaos-rate", "0.02",
+			"-batch", mode}
+	}
+	on := captureStdout(t, func() error { return run(runArgs("on")) })
+	off := captureStdout(t, func() error { return run(runArgs("off")) })
+	if on != off {
+		t.Errorf("run-mode output diverged between -batch on and off:\n--- on ---\n%s\n--- off ---\n%s", on, off)
+	}
+	if !strings.Contains(on, "confirmed alerts") {
+		t.Errorf("run output looks wrong:\n%s", on)
+	}
+
+	engineArgs := func(mode string, shards string) []string {
+		return []string{"-engine", "-tenants", "3", "-shards", shards,
+			"-app", "rubis", "-fault", "cpuhog", "-seed", "11", "-batch", mode}
+	}
+	ref := captureStdout(t, func() error { return run(engineArgs("off", "1")) })
+	for _, variant := range [][2]string{{"on", "1"}, {"on", "4"}, {"off", "4"}} {
+		got := captureStdout(t, func() error { return run(engineArgs(variant[0], variant[1])) })
+		if got != ref {
+			t.Errorf("engine output diverged for -batch %s -shards %s:\n--- got ---\n%s\n--- ref ---\n%s",
+				variant[0], variant[1], got, ref)
+		}
+	}
+}
+
+// TestProfileFlagsWriteFiles checks -cpuprofile and -memprofile emit
+// non-empty pprof files.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	_ = captureStdout(t, func() error {
+		return run([]string{"-experiment", "run", "-app", "rubis", "-fault", "cpuhog",
+			"-scheme", "reactive", "-seed", "3", "-cpuprofile", cpu, "-memprofile", mem})
+	})
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+package bayes
+
+import "math"
+
+// LogRatios is a precomputed table of the per-attribute log likelihood
+// ratios log[P(a_i=v | a_pi=u, C=1) / P(a_i=v | a_pi=u, C=0)] plus the
+// class prior ratio — everything Equation (1) needs, with every
+// math.Log evaluated once at build time instead of once per scored
+// step. Scoring through the table is bit-identical to MarginalScore:
+// the logarithm of a given CPT ratio is the same float64 whether it is
+// computed eagerly or lazily, and the multiply/add order of the scoring
+// loop is unchanged.
+//
+// A LogRatios is immutable and tied to the exact Model it was built
+// from; rebuild it whenever the model is replaced (retraining builds a
+// new *Model, so pointer identity is a sufficient freshness check).
+type LogRatios struct {
+	model *Model
+	prior float64
+	// tab[i][u*bins[i]+v]; parent row u is 0 for root/naive attributes.
+	tab [][]float64
+}
+
+// LogRatios precomputes the Equation (1)/(2) log ratio table for the
+// model.
+func (m *Model) LogRatios() *LogRatios {
+	tab := make([][]float64, m.numAttrs)
+	for i := 0; i < m.numAttrs; i++ {
+		pb := 1
+		if m.parent[i] >= 0 {
+			pb = m.bins[m.parent[i]]
+		}
+		bi := m.bins[i]
+		row := make([]float64, pb*bi)
+		for u := 0; u < pb; u++ {
+			for v := 0; v < bi; v++ {
+				row[u*bi+v] = math.Log(m.cpt[i][1][u][v] / m.cpt[i][0][u][v])
+			}
+		}
+		tab[i] = row
+	}
+	return &LogRatios{model: m, prior: m.ClassPrior(), tab: tab}
+}
+
+// Model returns the model the table was built from (for freshness
+// checks by callers that cache a LogRatios next to a replaceable
+// model pointer).
+func (lr *LogRatios) Model() *Model { return lr.model }
+
+// MarginalScoreFast is MarginalScore evaluated through a precomputed
+// LogRatios table, skipping per-call shape validation — the batch
+// prediction path guarantees marginal shapes by construction (its arena
+// slices are sized from the same bin configuration the model was
+// trained with). The returned score is bit-identical to MarginalScore:
+// argmax selection, skip conditions, and the summation order of both
+// loops are unchanged; only the per-term math.Log calls are replaced by
+// table lookups of the same float64 values.
+func (m *Model) MarginalScoreFast(marginals [][]float64, lr *LogRatios, sc *Scratch) float64 {
+	start := scoreHook.Start()
+	defer scoreHook.Done(start)
+	argmax := sc.argmaxBuf(m.numAttrs)
+	for i, dist := range marginals {
+		best, bestIdx := -1.0, 0
+		for v, p := range dist {
+			if p > best {
+				best = p
+				bestIdx = v
+			}
+		}
+		argmax[i] = bestIdx
+	}
+	score := lr.prior
+	for i := 0; i < m.numAttrs; i++ {
+		u := 0
+		if p := m.parent[i]; p >= 0 {
+			u = argmax[p]
+		}
+		bi := m.bins[i]
+		row := lr.tab[i][u*bi : (u+1)*bi]
+		expL := 0.0
+		for v, pv := range marginals[i] {
+			if pv <= 0 {
+				continue
+			}
+			expL += pv * row[v]
+		}
+		score += expL
+	}
+	return score
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"prepare/internal/columnar"
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
@@ -105,6 +106,42 @@ func (m RetrainMode) String() string {
 	}
 }
 
+// BatchMode selects whether the PREPARE hot path runs the columnar
+// batch pipeline (struct-of-arrays collection, fleet-batched window
+// scoring) or the per-VM scalar pipeline. The two produce byte-identical
+// verdicts, alerts, and telemetry event streams; batch trades the
+// per-VM allocations and scattered traversals for contiguous sweeps.
+type BatchMode int
+
+const (
+	// BatchAuto (the default) uses the batch pipeline wherever it
+	// applies: the supervised PREPARE scheme. Other schemes (reactive,
+	// none, unsupervised) have no fleet-batched counterpart and always
+	// run scalar.
+	BatchAuto BatchMode = iota
+	// BatchOn behaves like BatchAuto today; it exists so configurations
+	// can pin the batch path explicitly and fail loudly if a future
+	// change narrows auto's coverage.
+	BatchOn
+	// BatchOff forces the per-VM scalar pipeline — the oracle the batch
+	// path is validated against.
+	BatchOff
+)
+
+// String returns the mode name as accepted by the CLI flags.
+func (m BatchMode) String() string {
+	switch m {
+	case BatchAuto:
+		return "auto"
+	case BatchOn:
+		return "on"
+	case BatchOff:
+		return "off"
+	default:
+		return fmt.Sprintf("batch-mode(%d)", int(m))
+	}
+}
+
 // Config tunes the control loop.
 type Config struct {
 	// SamplingIntervalS is the monitoring interval (default 5 s).
@@ -140,6 +177,10 @@ type Config struct {
 	// statistics retraining (default RetrainAuto: incremental where
 	// possible).
 	RetrainMode RetrainMode
+	// Batch selects the columnar fleet hot path (default BatchAuto). The
+	// batch and scalar pipelines produce byte-identical results; BatchOff
+	// keeps the per-VM oracle path.
+	Batch BatchMode
 	// TrainWorkers bounds how many per-VM model fits run concurrently
 	// during (re)training (0 = the pool default). Per-VM fits are
 	// independent and deterministically seeded, so results are identical
@@ -227,7 +268,13 @@ type Controller struct {
 	sub    substrate.Substrate
 	app    App
 
-	sampler       *monitor.Sampler
+	sampler *monitor.Sampler
+	// Columnar hot path (nil/unused when batchActive() is false): the
+	// struct-of-arrays sample store, the sampler-order index of each VM
+	// in it, and the fleet-batched window scorer.
+	store         *columnar.Store
+	storeIdx      map[substrate.VMID]int
+	fleet         *predict.Fleet
 	sloLog        *monitor.SLOLog
 	predictors    map[substrate.VMID]*predict.Predictor
 	unsPredictors map[substrate.VMID]*predict.UnsupervisedPredictor
@@ -312,7 +359,7 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
 	}
-	return &Controller{
+	c := &Controller{
 		scheme:        scheme,
 		cfg:           cfg,
 		sub:           sub,
@@ -333,7 +380,30 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 		workload:      wd,
 		lastMigration: make(map[substrate.VMID]simclock.Time, len(vms)),
 		tel:           newInstruments(cfg.Telemetry),
-	}, nil
+	}
+	if c.batchActive() {
+		// The store's VM order is the sampler's (app order); the
+		// controller iterates in sorted vmOrder, so keep an index map.
+		samplerIDs := sampler.VMIDs()
+		store, err := columnar.New(len(samplerIDs), 4)
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		idx := make(map[substrate.VMID]int, len(samplerIDs))
+		for i, id := range samplerIDs {
+			idx[id] = i
+		}
+		c.store, c.storeIdx, c.fleet = store, idx, predict.NewFleet()
+	}
+	return c, nil
+}
+
+// batchActive reports whether this controller runs the columnar batch
+// hot path. Only the supervised PREPARE scheme has a fleet-batched
+// pipeline; everything else runs the per-VM scalar path regardless of
+// the configured mode.
+func (c *Controller) batchActive() bool {
+	return c.scheme == SchemePREPARE && !c.cfg.Unsupervised && c.cfg.Batch != BatchOff
 }
 
 // Scheme returns the controller's scheme.
@@ -381,13 +451,32 @@ func (c *Controller) OnTick(now simclock.Time) error {
 	if violated {
 		label = metrics.LabelAbnormal
 	}
-	samples, err := c.sampler.Collect(now, label)
-	if err != nil {
-		return fmt.Errorf("control: %w", err)
+	// The batch path collects into the columnar store (no per-tick sample
+	// map); the scalar path keeps the map the reactive baseline and the
+	// unsupervised mode consume. Both run the identical per-VM sampling
+	// pipeline underneath, so downstream values match bit for bit.
+	batch := c.batchActive()
+	var samples map[substrate.VMID]metrics.Sample
+	if batch {
+		if err := c.sampler.CollectColumnar(now, label, c.store); err != nil {
+			return fmt.Errorf("control: %w", err)
+		}
+	} else {
+		var err error
+		samples, err = c.sampler.Collect(now, label)
+		if err != nil {
+			return fmt.Errorf("control: %w", err)
+		}
+	}
+	netIn := func(id substrate.VMID) float64 {
+		if batch {
+			return c.store.Latest(c.storeIdx[id], metrics.NetIn)
+		}
+		return samples[id].Values.Get(metrics.NetIn)
 	}
 	for _, id := range c.vmOrder {
 		// Track inbound traffic for workload-change inference.
-		if err := c.workload.Offer(now, id, samples[id].Values.Get(metrics.NetIn)); err != nil {
+		if err := c.workload.Offer(now, id, netIn(id)); err != nil {
 			return fmt.Errorf("control: %w", err)
 		}
 	}
@@ -415,11 +504,23 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		return nil
 	}
 
-	// Feed the new samples to the value predictors.
+	// Feed the new samples to the value predictors. The batch path reads
+	// each VM's row straight out of the columnar store (same values the
+	// map would have carried — every sample in a tick shares the tick's
+	// label) and scores the look-ahead window through the fleet scorer,
+	// materializing full verdicts only for filter-confirmed VMs.
 	confirmed := make(map[substrate.VMID]predict.Verdict)
 	for _, id := range c.vmOrder {
-		sm := samples[id]
-		row := c.rowOf(sm)
+		var row []float64
+		lbl := label
+		if batch {
+			c.store.RowInto(c.storeIdx[id], c.rowScratch)
+			row = c.rowScratch
+		} else {
+			sm := samples[id]
+			row = c.rowOf(sm)
+			lbl = sm.Label
+		}
 		if c.cfg.Unsupervised {
 			if err := c.stepUnsupervised(now, id, row, violated, confirmed); err != nil {
 				return err
@@ -434,7 +535,6 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			// (past the staleness budget) become unlabeled so a frozen
 			// sensor cannot teach the classifier a flat line, mirroring
 			// what batch refits from the series would have seen.
-			lbl := sm.Label
 			if !c.sampler.Recording(id) {
 				lbl = metrics.LabelUnknown
 			}
@@ -449,6 +549,25 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		}
 		switch c.scheme {
 		case SchemePREPARE:
+			if batch {
+				dec, err := c.fleet.ScoreWindow(p, c.cfg.LookaheadS)
+				if err != nil {
+					return fmt.Errorf("control: predict %s: %w", id, err)
+				}
+				raw := dec.Score > c.cfg.AlertScoreMargin
+				conf := c.filters[id].Offer(raw)
+				if raw {
+					c.tel.onRawAlert(now.Seconds(), string(id), dec.Score, conf)
+				}
+				if conf {
+					verdict, err := c.fleet.Materialize(p)
+					if err != nil {
+						return fmt.Errorf("control: predict %s: %w", id, err)
+					}
+					confirmed[id] = verdict
+				}
+				continue
+			}
 			verdict, err := p.PredictWindow(c.cfg.LookaheadS)
 			if err != nil {
 				return fmt.Errorf("control: predict %s: %w", id, err)

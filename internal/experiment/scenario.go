@@ -91,6 +91,10 @@ type Scenario struct {
 	// HistoryWindowSamples bounds each VM's retained training series to
 	// the most recent samples (0 keeps full history).
 	HistoryWindowSamples int
+	// Batch selects the control loop's columnar fleet hot path (default
+	// BatchAuto). Batch and scalar produce byte-identical results;
+	// BatchOff forces the per-VM oracle pipeline.
+	Batch control.BatchMode
 	// Predict overrides predictor options (order, bins, naive).
 	Predict predict.Config
 	// DisableValidation turns off the effectiveness validation (for the
@@ -291,6 +295,7 @@ func Run(sc Scenario) (Result, error) {
 		TrainAtS:          sc.TrainAtS,
 		RetrainIntervalS:  sc.RetrainIntervalS,
 		RetrainMode:       sc.RetrainMode,
+		Batch:             sc.Batch,
 		Policy:            sc.Policy,
 		Predict:           sc.Predict,
 		MonitorSeed:       sc.Seed + 1000,

@@ -1,0 +1,276 @@
+package markov
+
+// Batch (fleet) prediction path.
+//
+// PredictSeries allocates its result series on every call — fine for a
+// handful of VMs, but at fleet scale those per-VM allocations dominate
+// the sampling tick (N VMs × attrs chains × steps × states float64s of
+// garbage per tick). The batch path extends the seriesSlices
+// single-backing-array trick across the whole fleet: one arena holds
+// every chain's series storage and PredictSeriesInto propagates into it
+// without allocating.
+//
+// The propagation kernel is also restructured for speed while staying
+// bit-identical to the scalar loop in PredictSeries:
+//
+//   - Rows are refreshed eagerly (refreshRows) instead of lazily per
+//     combined state (rowAt), and only the columns dirtied by Observe
+//     since the last refresh are recomputed: an observation of combined
+//     state (prev, cur) increments counts[prev*S+cur], which can change
+//     only row (prev, cur) itself and the backoff rows aggregating over
+//     column cur. Rows in untouched columns keep their exact previous
+//     float64 values, so revalidating them without recomputation yields
+//     bit-identical results (rowInto is deterministic).
+//   - The states==8 kernel (the production bin count) keeps each output
+//     column's eight accumulators in registers and fuses the marginal
+//     pass into the propagation sweep. Per accumulator the additions
+//     happen in the same ascending-index order as the scalar loop, no
+//     fused multiply-add is emitted (Go only fuses within a single
+//     expression), and skipped zero-probability terms contribute exact
+//     +0.0 products either way, so every float64 matches the scalar
+//     path bit for bit.
+type BatchArena struct {
+	flat   []float64
+	steps  [][]float64
+	series [][][]float64
+}
+
+// Series returns chain i's series views from the most recent
+// PredictSeriesBatch call through this arena (valid until the next
+// call).
+func (a *BatchArena) Series(i int) [][]float64 { return a.series[i] }
+
+// PredictSeriesBatch propagates every chain maxSteps ahead through one
+// shared scratch arena: result[c][k] is chain c's distribution k+1
+// steps ahead. All series share a single backing array owned by the
+// arena, so the views are valid only until the next call with the same
+// arena; steady-state calls allocate nothing. Results are bit-identical
+// to calling PredictSeries on each chain.
+func PredictSeriesBatch(chains []Predictor, maxSteps int, a *BatchArena) [][][]float64 {
+	if maxSteps < 1 {
+		maxSteps = 1
+	}
+	total := 0
+	for _, ch := range chains {
+		total += maxSteps * ch.NumStates()
+	}
+	if cap(a.flat) < total {
+		a.flat = make([]float64, total)
+	}
+	flat := a.flat[:total]
+	if n := len(chains) * maxSteps; cap(a.steps) < n {
+		a.steps = make([][]float64, n)
+	}
+	if cap(a.series) < len(chains) {
+		a.series = make([][][]float64, len(chains))
+	}
+	series := a.series[:len(chains)]
+	off := 0
+	for ci, ch := range chains {
+		st := ch.NumStates()
+		view := a.steps[ci*maxSteps : (ci+1)*maxSteps]
+		for s := range view {
+			view[s] = flat[off : off+st : off+st]
+			off += st
+		}
+		ch.PredictSeriesInto(view)
+		series[ci] = view
+	}
+	return series
+}
+
+// PredictSeriesInto implements Predictor. See PredictSeries for the
+// propagation semantics; this variant writes into out and allocates
+// nothing.
+func (c *SimpleChain) PredictSeriesInto(out [][]float64) {
+	start := predictSeriesHook.Start()
+	defer predictSeriesHook.Done(start)
+	if len(out) == 0 {
+		return
+	}
+	if !c.seen {
+		for s := range out {
+			uniform(out[s])
+		}
+		return
+	}
+	c.ensureScratch()
+	if c.states == 8 {
+		c.seriesInto8(out)
+		return
+	}
+	dist, next := c.distA, c.distB
+	clear(dist)
+	dist[c.cur] = 1
+	for s := range out {
+		clear(next)
+		for i, p := range dist {
+			if p == 0 {
+				continue
+			}
+			for j, q := range c.rows[i] {
+				next[j] += p * q
+			}
+		}
+		dist, next = next, dist
+		copy(out[s], dist)
+	}
+}
+
+// seriesInto8 is the 8-state SimpleChain kernel: register accumulators,
+// no per-step clears, bit-identical to the generic loop.
+func (c *SimpleChain) seriesInto8(out [][]float64) {
+	dist, next := c.distA, c.distB
+	clear(dist)
+	dist[c.cur] = 1
+	for s := range out {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float64
+		for i := 0; i < 8; i++ {
+			d := dist[i]
+			if d == 0 {
+				continue
+			}
+			r := (*[8]float64)(c.rows[i])
+			a0 += d * r[0]
+			a1 += d * r[1]
+			a2 += d * r[2]
+			a3 += d * r[3]
+			a4 += d * r[4]
+			a5 += d * r[5]
+			a6 += d * r[6]
+			a7 += d * r[7]
+		}
+		nb := (*[8]float64)(next)
+		nb[0], nb[1], nb[2], nb[3] = a0, a1, a2, a3
+		nb[4], nb[5], nb[6], nb[7] = a4, a5, a6, a7
+		ob := (*[8]float64)(out[s])
+		ob[0], ob[1], ob[2], ob[3] = a0, a1, a2, a3
+		ob[4], ob[5], ob[6], ob[7] = a4, a5, a6, a7
+		dist, next = next, dist
+	}
+}
+
+// refreshRows makes every cached smoothed row valid for the current
+// version, recomputing only the columns dirtied by Observe since the
+// last refresh (see the package comment above for why that is exact).
+// After it returns the dense kernels may read any row without version
+// checks.
+func (c *TwoDepChain) refreshRows() {
+	c.ensureScratch()
+	if c.rowsFresh == c.version {
+		return
+	}
+	if c.rowsFresh == 0 || c.dirtyAll {
+		for idx := range c.rows {
+			c.rowInto(idx/c.states, idx%c.states, c.rows[idx])
+		}
+	} else {
+		for col := 0; col < c.states; col++ {
+			if c.dirtyCols&(1<<uint(col)) == 0 {
+				continue
+			}
+			for p := 0; p < c.states; p++ {
+				c.rowInto(p, col, c.rows[p*c.states+col])
+			}
+		}
+	}
+	for idx := range c.rowVersion {
+		c.rowVersion[idx] = c.version
+	}
+	c.dirtyCols, c.dirtyAll = 0, false
+	c.rowsFresh = c.version
+}
+
+// PredictSeriesInto implements Predictor. See PredictSeries for the
+// propagation semantics; this variant writes into out, allocates
+// nothing, and runs the dense batch kernel.
+func (c *TwoDepChain) PredictSeriesInto(out [][]float64) {
+	start := predictSeriesHook.Start()
+	defer predictSeriesHook.Done(start)
+	if len(out) == 0 {
+		return
+	}
+	if c.nSeen <= 1 {
+		for s := range out {
+			uniform(out[s])
+		}
+		return
+	}
+	c.refreshRows()
+	if c.states == 8 {
+		c.seriesInto8(out)
+		return
+	}
+	dist, next := c.distA, c.distB
+	clear(dist)
+	dist[c.prev*c.states+c.cur] = 1
+	for s := range out {
+		clear(next)
+		for idx, p := range dist {
+			if p == 0 {
+				continue
+			}
+			base := (idx % c.states) * c.states
+			for j, q := range c.rows[idx] {
+				next[base+j] += p * q
+			}
+		}
+		dist, next = next, dist
+		marg := out[s]
+		clear(marg)
+		for idx, p := range dist {
+			marg[idx%c.states] += p
+		}
+	}
+}
+
+// seriesInto8 is the 8-state TwoDepChain kernel. The combined-state
+// distribution is swept one output column at a time (new-prev = old
+// cur), with the eight next-bin accumulators held in registers; the
+// marginal over the new current bin is fused into the same sweep.
+// For a fixed target cell next[c*8+j] the scalar loop in PredictSeries
+// adds contributions in ascending source-prev order, exactly as the
+// p-loop below does, and the fused marginal accumulates column values
+// in the same ascending order as the scalar marginalization — so every
+// intermediate and final float64 is bit-identical to the scalar path.
+func (c *TwoDepChain) seriesInto8(out [][]float64) {
+	dist, next := c.distA, c.distB
+	clear(dist)
+	dist[c.prev*8+c.cur] = 1
+	for s := range out {
+		var m0, m1, m2, m3, m4, m5, m6, m7 float64
+		for col := 0; col < 8; col++ {
+			var a0, a1, a2, a3, a4, a5, a6, a7 float64
+			for p := 0; p < 8; p++ {
+				d := dist[p*8+col]
+				if d == 0 {
+					continue
+				}
+				r := (*[8]float64)(c.rows[p*8+col])
+				a0 += d * r[0]
+				a1 += d * r[1]
+				a2 += d * r[2]
+				a3 += d * r[3]
+				a4 += d * r[4]
+				a5 += d * r[5]
+				a6 += d * r[6]
+				a7 += d * r[7]
+			}
+			nb := (*[8]float64)(next[col*8:])
+			nb[0], nb[1], nb[2], nb[3] = a0, a1, a2, a3
+			nb[4], nb[5], nb[6], nb[7] = a4, a5, a6, a7
+			m0 += a0
+			m1 += a1
+			m2 += a2
+			m3 += a3
+			m4 += a4
+			m5 += a5
+			m6 += a6
+			m7 += a7
+		}
+		ob := (*[8]float64)(out[s])
+		ob[0], ob[1], ob[2], ob[3] = m0, m1, m2, m3
+		ob[4], ob[5], ob[6], ob[7] = m4, m5, m6, m7
+		dist, next = next, dist
+	}
+}

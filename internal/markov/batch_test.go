@@ -1,0 +1,218 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainPair builds a scalar/batch pair of identically trained chains.
+func chainPair(t *testing.T, order, states int, seq []int) (Predictor, Predictor) {
+	t.Helper()
+	build := func() Predictor {
+		var (
+			ch  Predictor
+			err error
+		)
+		if order == 1 {
+			ch, err = NewSimpleChain(states)
+		} else {
+			ch, err = NewTwoDepChain(states)
+		}
+		if err != nil {
+			t.Fatalf("new chain: %v", err)
+		}
+		for _, b := range seq {
+			if err := ch.Observe(b); err != nil {
+				t.Fatalf("observe: %v", err)
+			}
+		}
+		return ch
+	}
+	return build(), build()
+}
+
+// assertSeriesBitIdentical compares a scalar PredictSeries result with a
+// batch PredictSeriesInto result bit for bit.
+func assertSeriesBitIdentical(t *testing.T, scalar, batch [][]float64, label string) {
+	t.Helper()
+	if len(scalar) != len(batch) {
+		t.Fatalf("%s: step count %d vs %d", label, len(scalar), len(batch))
+	}
+	for s := range scalar {
+		for j := range scalar[s] {
+			a, b := scalar[s][j], batch[s][j]
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%s: step %d bin %d: scalar %v (%#x) vs batch %v (%#x)",
+					label, s, j, a, math.Float64bits(a), b, math.Float64bits(b))
+			}
+		}
+	}
+}
+
+// TestPredictSeriesIntoMatchesPredictSeries drives random observation
+// streams through scalar and batch chains, interleaving predictions with
+// further observations so the incremental row refresh is exercised, and
+// requires bit-identical series throughout.
+func TestPredictSeriesIntoMatchesPredictSeries(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		order, states int
+	}{
+		{"simple-8", 1, 8},
+		{"twodep-8", 2, 8},
+		{"simple-5", 1, 5},
+		{"twodep-5", 2, 5},
+		{"twodep-12", 2, 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			seq := make([]int, 200)
+			for i := range seq {
+				// A sticky walk concentrates mass on few combined states,
+				// leaving plenty of backoff rows to get right.
+				if i > 0 && rng.Float64() < 0.6 {
+					seq[i] = seq[i-1]
+				} else {
+					seq[i] = rng.Intn(tc.states)
+				}
+			}
+			scalar, batch := chainPair(t, tc.order, tc.states, seq)
+			out := seriesSlices(24, tc.states)
+			for round := 0; round < 30; round++ {
+				steps := 1 + rng.Intn(24)
+				batch.PredictSeriesInto(out[:steps])
+				assertSeriesBitIdentical(t, scalar.PredictSeries(steps), out[:steps], tc.name)
+				// Observe a few more bins on both chains between rounds so
+				// dirty-column tracking sees single-row invalidations.
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					b := rng.Intn(tc.states)
+					if err := scalar.Observe(b); err != nil {
+						t.Fatal(err)
+					}
+					if err := batch.Observe(b); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictSeriesIntoUntrained covers the uniform fallbacks.
+func TestPredictSeriesIntoUntrained(t *testing.T) {
+	sc, _ := NewSimpleChain(8)
+	td, _ := NewTwoDepChain(8)
+	tdOne, _ := NewTwoDepChain(8)
+	if err := tdOne.Observe(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []Predictor{sc, td, tdOne} {
+		out := seriesSlices(5, 8)
+		ch.PredictSeriesInto(out)
+		assertSeriesBitIdentical(t, ch.PredictSeries(5), out, "untrained")
+	}
+}
+
+// TestPredictSeriesBatchSharedArena runs a fleet of chains through one
+// arena and checks every chain against its scalar twin, including
+// steady-state allocation freedom.
+func TestPredictSeriesBatchSharedArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nChains, steps = 13, 24
+	scalars := make([]Predictor, nChains)
+	batches := make([]Predictor, nChains)
+	for i := range scalars {
+		seq := make([]int, 150)
+		for k := range seq {
+			seq[k] = rng.Intn(8)
+		}
+		scalars[i], batches[i] = chainPair(t, 2, 8, seq)
+	}
+	var arena BatchArena
+	series := PredictSeriesBatch(batches, steps, &arena)
+	for i := range scalars {
+		assertSeriesBitIdentical(t, scalars[i].PredictSeries(steps), series[i], "fleet")
+	}
+	// Steady state: repeated batch calls must not allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		PredictSeriesBatch(batches, steps, &arena)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictSeriesBatch steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRefreshRowsAfterSnapshotRestore makes sure a chain rebuilt from a
+// snapshot (counts copied in without Observe calls) still refreshes all
+// rows on its first batch prediction.
+func TestRefreshRowsAfterSnapshotRestore(t *testing.T) {
+	orig, _ := NewTwoDepChain(8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 120; i++ {
+		if err := orig.Observe(rng.Intn(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := FromSnapshot(orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := seriesSlices(10, 8)
+	restored.PredictSeriesInto(out)
+	assertSeriesBitIdentical(t, orig.PredictSeries(10), out, "restored")
+}
+
+func BenchmarkTwoDepChainPredictSeriesInto(b *testing.B) {
+	ch, _ := NewTwoDepChain(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 240; i++ {
+		if err := ch.Observe(rng.Intn(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := seriesSlices(24, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.PredictSeriesInto(out)
+	}
+}
+
+// BenchmarkTwoDepChainPredictSeriesIntoOnline interleaves one Observe
+// per prediction, matching the control loop's steady state where each
+// tick dirties one transition row before predicting.
+func BenchmarkTwoDepChainPredictSeriesIntoOnline(b *testing.B) {
+	ch, _ := NewTwoDepChain(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 240; i++ {
+		if err := ch.Observe(rng.Intn(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := seriesSlices(24, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.Observe(i & 7); err != nil {
+			b.Fatal(err)
+		}
+		ch.PredictSeriesInto(out)
+	}
+}
+
+func BenchmarkSimpleChainPredictSeriesInto(b *testing.B) {
+	ch, _ := NewSimpleChain(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 240; i++ {
+		if err := ch.Observe(rng.Intn(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := seriesSlices(24, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.PredictSeriesInto(out)
+	}
+}

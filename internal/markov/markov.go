@@ -42,6 +42,12 @@ type Predictor interface {
 	// 1..maxSteps in a single propagation pass (result[k] is the
 	// distribution k+1 steps ahead).
 	PredictSeries(maxSteps int) [][]float64
+	// PredictSeriesInto is PredictSeries writing into caller-owned
+	// storage: out[k] (len NumStates each) receives the distribution
+	// k+1 steps ahead. It allocates nothing, which makes it the
+	// building block of the fleet batch path (PredictSeriesBatch);
+	// results are bit-identical to PredictSeries.
+	PredictSeriesInto(out [][]float64)
 	// NumStates returns the number of discretized states.
 	NumStates() int
 	// Observations returns how many observations the chain has absorbed
@@ -259,6 +265,17 @@ type TwoDepChain struct {
 	rowVersion   []uint64
 	version      uint64
 	distA, distB []float64 // states*states propagation scratch
+
+	// Batch-path bookkeeping (batch.go): an observation of combined
+	// state (prev, cur) can only change the smoothed rows in column cur
+	// — the incremented row itself plus the backoff rows that aggregate
+	// over that column — so refreshRows revalidates just the columns
+	// touched since the last refresh instead of all states² rows.
+	// dirtyCols is a column bitmask (dirtyAll covers states > 64);
+	// rowsFresh is the version at which every row was last made valid.
+	dirtyCols uint64
+	dirtyAll  bool
+	rowsFresh uint64
 }
 
 var _ Predictor = (*TwoDepChain)(nil)
@@ -305,6 +322,11 @@ func (c *TwoDepChain) Observe(bin int) error {
 	default:
 		c.counts[c.prev*c.states+c.cur][bin]++
 		c.version++
+		if c.cur < 64 {
+			c.dirtyCols |= 1 << uint(c.cur)
+		} else {
+			c.dirtyAll = true
+		}
 		c.prev, c.cur = c.cur, bin
 	}
 	return nil

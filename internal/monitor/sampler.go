@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"prepare/internal/columnar"
 	"prepare/internal/metrics"
 	"prepare/internal/simclock"
 	"prepare/internal/substrate"
@@ -196,6 +197,65 @@ func (s *Sampler) Advance(now simclock.Time) {
 	s.source.Advance(now)
 }
 
+// sampleOne runs the full per-VM sampling pipeline — source read,
+// transient carry-forward, sanitization, stuck/staleness accounting,
+// measurement noise — and returns the noised vector plus whether the VM
+// is within its staleness budget (i.e. the sample should be recorded to
+// the training series). It is the shared body of Collect and
+// CollectColumnar; the two differ only in where the vectors land, so
+// factoring it here keeps the batch path byte-identical to the per-VM
+// path (including the sequential RNG draws noise consumes).
+func (s *Sampler) sampleOne(id substrate.VMID) (metrics.Vector, bool, error) {
+	clean, err := s.source.Sample(id)
+	synthesized := false
+	if err != nil {
+		if !substrate.IsTransient(err) {
+			return metrics.Vector{}, false, fmt.Errorf("monitor: collect %q: %w", id, err)
+		}
+		// Transient gap: carry the last known-good vector forward
+		// (zero vector before the first good sample — sanitization
+		// fallbacks have nothing better yet either).
+		clean = s.lastGood[id]
+		synthesized = true
+		s.carried.Inc()
+	}
+	clean, repaired := SanitizeVector(clean, s.lastGood[id])
+	if repaired > 0 {
+		s.sanitized.Add(int64(repaired))
+	}
+
+	// Staleness accounting: a synthesized sample is stale by
+	// definition; a successfully read one may still be stale if the
+	// sensor is frozen on one bitwise-identical vector.
+	stale := synthesized
+	if !synthesized && s.res.StuckThreshold > 0 {
+		if s.haveGood[id] && clean == s.lastGood[id] {
+			s.stuckRun[id]++
+		} else {
+			s.stuckRun[id] = 0
+		}
+		if s.stuckRun[id] >= s.res.StuckThreshold {
+			stale = true
+			s.stuckSamples.Inc()
+		}
+	}
+	if stale {
+		s.staleRun[id]++
+	} else {
+		s.staleRun[id] = 0
+	}
+	if !synthesized {
+		s.lastGood[id] = clean
+		s.haveGood[id] = true
+	}
+
+	var v metrics.Vector
+	for _, a := range noiseOrder {
+		v.Set(a, s.noisy(clean.Get(a)))
+	}
+	return v, s.staleRun[id] <= s.res.MaxStaleTicks, nil
+}
+
 // Collect samples every monitored VM at the given instant, labels the
 // samples with the current SLO state, and appends them to the per-VM
 // series. The labeled samples are returned keyed by VM — every
@@ -205,55 +265,12 @@ func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[substrate
 	out := make(map[substrate.VMID]metrics.Sample, len(s.vmIDs))
 	ingested := 0
 	for _, id := range s.vmIDs {
-		clean, err := s.source.Sample(id)
-		synthesized := false
+		v, record, err := s.sampleOne(id)
 		if err != nil {
-			if !substrate.IsTransient(err) {
-				return nil, fmt.Errorf("monitor: collect %q: %w", id, err)
-			}
-			// Transient gap: carry the last known-good vector forward
-			// (zero vector before the first good sample — sanitization
-			// fallbacks have nothing better yet either).
-			clean = s.lastGood[id]
-			synthesized = true
-			s.carried.Inc()
-		}
-		clean, repaired := SanitizeVector(clean, s.lastGood[id])
-		if repaired > 0 {
-			s.sanitized.Add(int64(repaired))
-		}
-
-		// Staleness accounting: a synthesized sample is stale by
-		// definition; a successfully read one may still be stale if the
-		// sensor is frozen on one bitwise-identical vector.
-		stale := synthesized
-		if !synthesized && s.res.StuckThreshold > 0 {
-			if s.haveGood[id] && clean == s.lastGood[id] {
-				s.stuckRun[id]++
-			} else {
-				s.stuckRun[id] = 0
-			}
-			if s.stuckRun[id] >= s.res.StuckThreshold {
-				stale = true
-				s.stuckSamples.Inc()
-			}
-		}
-		if stale {
-			s.staleRun[id]++
-		} else {
-			s.staleRun[id] = 0
-		}
-		if !synthesized {
-			s.lastGood[id] = clean
-			s.haveGood[id] = true
-		}
-
-		var v metrics.Vector
-		for _, a := range noiseOrder {
-			v.Set(a, s.noisy(clean.Get(a)))
+			return nil, err
 		}
 		sample := metrics.Sample{Time: now, Values: v, Label: label}
-		if s.staleRun[id] <= s.res.MaxStaleTicks {
+		if record {
 			if err := s.series[id].Append(sample); err != nil {
 				return nil, fmt.Errorf("monitor: append %q: %w", id, err)
 			}
@@ -267,6 +284,38 @@ func (s *Sampler) Collect(now simclock.Time, label metrics.Label) (map[substrate
 	}
 	s.ingested.Add(int64(ingested))
 	return out, nil
+}
+
+// CollectColumnar is Collect's struct-of-arrays counterpart: the same
+// per-VM sampling pipeline, in the same VM and RNG order, but the noised
+// vectors are staged into the columnar store (VM i of the store is
+// s.vmIDs[i]) and published as one committed tick instead of being
+// boxed into a per-tick map. Training-series appends, staleness
+// accounting, and telemetry are identical to Collect, so a seeded run
+// produces byte-identical state through either entry point.
+func (s *Sampler) CollectColumnar(now simclock.Time, label metrics.Label, st *columnar.Store) error {
+	if st.VMs() != len(s.vmIDs) {
+		return fmt.Errorf("monitor: columnar store holds %d VMs, sampler monitors %d", st.VMs(), len(s.vmIDs))
+	}
+	ingested := 0
+	for i, id := range s.vmIDs {
+		v, record, err := s.sampleOne(id)
+		if err != nil {
+			return err
+		}
+		st.StageRow(i, &v)
+		if record {
+			if err := s.series[id].Append(metrics.Sample{Time: now, Values: v, Label: label}); err != nil {
+				return fmt.Errorf("monitor: append %q: %w", id, err)
+			}
+			ingested++
+		} else {
+			s.droppedStale.Inc()
+		}
+	}
+	st.Commit(now, label)
+	s.ingested.Add(int64(ingested))
+	return nil
 }
 
 // StaleTicks returns how many consecutive sampling ticks the VM's

@@ -7,9 +7,14 @@ import "fmt"
 // receiving at least K alerts within the most recent W predictions. Real
 // anomaly symptoms persist, while most false alarms come from transient,
 // sporadic resource spikes. The paper sets K=3, W=4.
+// The window is a fixed ring sized at construction, so steady-state
+// Offer calls never allocate — the fleet batch path pins its per-tick
+// allocation budget on this.
 type AlarmFilter struct {
-	k, w   int
-	recent []bool
+	k, w int
+	ring []bool
+	n    int // live entries (≤ w)
+	next int // ring slot the next Offer writes
 }
 
 // DefaultAlarmK and DefaultAlarmW are the paper's filter settings.
@@ -26,18 +31,19 @@ func NewAlarmFilter(k, w int) (*AlarmFilter, error) {
 	if k < 1 || k > w {
 		return nil, fmt.Errorf("predict: threshold %d must be in [1, %d]", k, w)
 	}
-	return &AlarmFilter{k: k, w: w}, nil
+	return &AlarmFilter{k: k, w: w, ring: make([]bool, w)}, nil
 }
 
 // Offer records the latest raw prediction and reports whether the alarm
 // is confirmed (at least K of the last W raw predictions were alerts).
 func (f *AlarmFilter) Offer(alert bool) bool {
-	f.recent = append(f.recent, alert)
-	if len(f.recent) > f.w {
-		f.recent = f.recent[len(f.recent)-f.w:]
+	f.ring[f.next] = alert
+	f.next = (f.next + 1) % f.w
+	if f.n < f.w {
+		f.n++
 	}
 	count := 0
-	for _, a := range f.recent {
+	for _, a := range f.ring[:f.n] {
 		if a {
 			count++
 		}
@@ -48,7 +54,7 @@ func (f *AlarmFilter) Offer(alert bool) bool {
 // Reset clears the filter's history (used after a prevention action so
 // stale alerts do not immediately re-trigger).
 func (f *AlarmFilter) Reset() {
-	f.recent = f.recent[:0]
+	f.n, f.next = 0, 0
 }
 
 // K returns the confirmation threshold.

@@ -124,3 +124,21 @@ func TestPropertyLargerKNeverConfirmsMore(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAlarmFilterOfferAllocFree(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Offer(i%3 == 0)
+		i++
+		if i%17 == 0 {
+			f.Reset()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer/Reset allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"prepare/internal/bayes"
+	"prepare/internal/markov"
+)
+
+// WindowDecision is the allocation-free result of one batched window
+// scoring pass: the maximum Equation (1) score across the look-ahead
+// window and the step it occurred at. Score is bit-identical to the
+// Score field of the Verdict PredictWindow returns for the same
+// predictor state (PredictWindow's final verdict re-scores the best
+// step's marginals, which reproduces the same float64).
+type WindowDecision struct {
+	Score    float64
+	BestStep int
+}
+
+// Fleet batches the per-VM look-ahead window scoring of many predictors
+// through one shared scratch arena — PredictWindow's batched
+// counterpart. One Fleet serves any number of predictors; per VM it
+// runs the dense Markov batch kernels into the arena and scores every
+// step through the precomputed TAN log-ratio table, producing the same
+// decisions as PredictWindow without any per-VM allocation. Confirmed
+// decisions are materialized into full Verdicts on demand
+// (Materialize), so steady-state cost is independent of fleet size
+// while alerting VMs still get the complete strengths ranking.
+//
+// A Fleet reuses internal scratch across calls and must stay confined
+// to one goroutine, like the predictors themselves.
+type Fleet struct {
+	arena markov.BatchArena
+
+	// Materialize context: the predictor scored last, its series views
+	// into the arena, and the winning step. Arena views are overwritten
+	// by the next ScoreWindow call, so Materialize must be called before
+	// scoring the next predictor.
+	last      *Predictor
+	lastBest  int
+	lastValid bool
+}
+
+// NewFleet builds an empty fleet scorer.
+func NewFleet() *Fleet { return &Fleet{} }
+
+// ScoreWindow is the batched equivalent of PredictWindow's scoring
+// phase: it classifies the predicted state at every step of the
+// look-ahead window and returns the maximum score and its step, without
+// materializing a Verdict. The returned decision is bit-identical to
+// the verdict PredictWindow would return (same Score, same best step)
+// for the same predictor state.
+func (f *Fleet) ScoreWindow(p *Predictor, lookaheadS int64) (WindowDecision, error) {
+	f.lastValid = false
+	if !p.trained {
+		return WindowDecision{}, ErrNotTrained
+	}
+	tStart := p.ins.windowStart()
+	defer p.ins.windowDone(tStart)
+	maxSteps := p.StepsFor(lookaheadS)
+	series := markov.PredictSeriesBatch(p.chains, maxSteps, &f.arena)
+	marginals := p.marginalsBuf()
+	lr := p.logRatios()
+	bestStep, bestScore := 0, 0.0
+	for s := 0; s < maxSteps; s++ {
+		for j := range marginals {
+			marginals[j] = series[j][s]
+		}
+		var score float64
+		if lr != nil {
+			score = p.model.MarginalScoreFast(marginals, lr, &p.scratch)
+		} else {
+			// Argmax-scoring configurations have no expectation fast path;
+			// fall back to the scalar per-step scorer (still fed from the
+			// shared arena, so the propagation savings remain).
+			var err error
+			score, err = p.stepScore(marginals)
+			if err != nil {
+				return WindowDecision{}, fmt.Errorf("predict: classify future state: %w", err)
+			}
+		}
+		if s == 0 || score > bestScore {
+			bestStep, bestScore = s, score
+		}
+	}
+	f.last, f.lastBest, f.lastValid = p, bestStep, true
+	return WindowDecision{Score: bestScore, BestStep: bestStep}, nil
+}
+
+// Materialize builds the full Verdict (future bins, ranked strengths)
+// for the predictor's most recent ScoreWindow decision. It must be
+// called before the fleet scores another predictor — the decision's
+// marginals live in the shared arena. The Verdict is identical to what
+// PredictWindow would have returned.
+func (f *Fleet) Materialize(p *Predictor) (Verdict, error) {
+	if !f.lastValid || f.last != p {
+		return Verdict{}, errors.New("predict: Materialize must directly follow ScoreWindow for the same predictor")
+	}
+	marginals := p.marginalsBuf()
+	for j := range marginals {
+		marginals[j] = f.arena.Series(j)[f.lastBest]
+	}
+	return p.score(marginals)
+}
+
+// logRatios returns the predictor's cached TAN log-ratio table,
+// rebuilding it when the model was replaced (retraining installs a new
+// *bayes.Model, so pointer identity detects staleness). Nil when the
+// configuration scores by argmax or the model is absent.
+func (p *Predictor) logRatios() *bayes.LogRatios {
+	if p.cfg.ArgmaxScore || p.model == nil {
+		return nil
+	}
+	if p.lr == nil || p.lr.Model() != p.model {
+		p.lr = p.model.LogRatios()
+	}
+	return p.lr
+}

@@ -1,0 +1,204 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prepare/internal/metrics"
+)
+
+// trainedPair builds two identically trained predictors over synthetic
+// labeled rows (one for the scalar oracle, one for the batch path).
+func trainedPair(t testing.TB, cfg Config, seed int64) (*Predictor, *Predictor) {
+	t.Helper()
+	names := AttributeNames()
+	build := func() *Predictor {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := New(cfg, names)
+		if err != nil {
+			t.Fatalf("new predictor: %v", err)
+		}
+		rows := make([][]float64, 160)
+		labels := make([]metrics.Label, len(rows))
+		for i := range rows {
+			row := make([]float64, len(names))
+			for j := range row {
+				row[j] = 10*math.Sin(float64(i)/7+float64(j)) + rng.Float64()
+			}
+			if i > 120 {
+				row[0] += float64(i-120) * 2 // drifting anomaly signal
+				labels[i] = metrics.LabelAbnormal
+			} else {
+				labels[i] = metrics.LabelNormal
+			}
+			rows[i] = row
+		}
+		if err := p.Train(rows, labels); err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		return p
+	}
+	return build(), build()
+}
+
+// TestFleetMatchesPredictWindow drives scalar and batch predictors
+// through interleaved observations and predictions and requires
+// bit-identical scores, best steps, and materialized verdicts.
+func TestFleetMatchesPredictWindow(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"twodep-tan", Config{}},
+		{"simple-markov", Config{Order: SimpleMarkov}},
+		{"naive", Config{Naive: true}},
+		{"argmax", Config{ArgmaxScore: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar, batch := trainedPair(t, tc.cfg, 5)
+			fleet := NewFleet()
+			rng := rand.New(rand.NewSource(99))
+			row := make([]float64, len(AttributeNames()))
+			for round := 0; round < 40; round++ {
+				for j := range row {
+					row[j] = 10*math.Sin(float64(round)/5+float64(j)) + rng.Float64()*3
+				}
+				if err := scalar.Observe(row); err != nil {
+					t.Fatal(err)
+				}
+				if err := batch.Observe(row); err != nil {
+					t.Fatal(err)
+				}
+				want, err := scalar.PredictWindow(120)
+				if err != nil {
+					t.Fatalf("PredictWindow: %v", err)
+				}
+				dec, err := fleet.ScoreWindow(batch, 120)
+				if err != nil {
+					t.Fatalf("ScoreWindow: %v", err)
+				}
+				if math.Float64bits(dec.Score) != math.Float64bits(want.Score) {
+					t.Fatalf("round %d: score %v vs %v", round, dec.Score, want.Score)
+				}
+				got, err := fleet.Materialize(batch)
+				if err != nil {
+					t.Fatalf("Materialize: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d: verdict mismatch\n got %+v\nwant %+v", round, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetUntrained mirrors PredictWindow's not-trained error.
+func TestFleetUntrained(t *testing.T) {
+	p, err := New(Config{}, AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFleet().ScoreWindow(p, 120); err != ErrNotTrained {
+		t.Fatalf("got %v, want ErrNotTrained", err)
+	}
+}
+
+// TestFleetMaterializeGuard rejects materializing a stale decision.
+func TestFleetMaterializeGuard(t *testing.T) {
+	a, b := trainedPair(t, Config{}, 5)
+	fleet := NewFleet()
+	if _, err := fleet.ScoreWindow(a, 120); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Materialize(b); err == nil {
+		t.Fatal("materializing a predictor that was not scored last must fail")
+	}
+	if _, err := fleet.Materialize(a); err != nil {
+		t.Fatalf("materializing the scored predictor: %v", err)
+	}
+}
+
+// TestFleetLogRatioCacheInvalidation retrains a predictor and checks
+// the cached log-ratio table follows the new model.
+func TestFleetLogRatioCacheInvalidation(t *testing.T) {
+	scalar, batch := trainedPair(t, Config{}, 5)
+	fleet := NewFleet()
+	if _, err := fleet.ScoreWindow(batch, 120); err != nil {
+		t.Fatal(err)
+	}
+	oldLR := batch.lr
+	if oldLR == nil {
+		t.Fatal("expected a cached log-ratio table")
+	}
+	// Retrain both on shifted data: the model pointer changes and the
+	// cache must rebuild.
+	rng := rand.New(rand.NewSource(31))
+	rows := make([][]float64, 120)
+	labels := make([]metrics.Label, len(rows))
+	for i := range rows {
+		row := make([]float64, len(AttributeNames()))
+		for j := range row {
+			row[j] = 40*math.Cos(float64(i)/9+float64(j)) + rng.Float64()
+		}
+		rows[i] = row
+		labels[i] = metrics.LabelNormal
+		if i%7 == 0 {
+			labels[i] = metrics.LabelAbnormal
+		}
+	}
+	if err := scalar.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	want, err := scalar.PredictWindow(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := fleet.ScoreWindow(batch, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.lr == oldLR {
+		t.Fatal("log-ratio cache was not rebuilt after retraining")
+	}
+	if math.Float64bits(dec.Score) != math.Float64bits(want.Score) {
+		t.Fatalf("post-retrain score %v vs %v", dec.Score, want.Score)
+	}
+}
+
+// TestFleetScoreWindowAllocFree pins the batch scoring path at zero
+// steady-state allocations per VM (the scalar PredictWindow pin is 33).
+func TestFleetScoreWindowAllocFree(t *testing.T) {
+	_, batch := trainedPair(t, Config{}, 5)
+	fleet := NewFleet()
+	if _, err := fleet.ScoreWindow(batch, 120); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := fleet.ScoreWindow(batch, 120); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ScoreWindow steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkFleetScoreWindow(b *testing.B) {
+	_, batch := trainedPair(b, Config{}, 5)
+	fleet := NewFleet()
+	if _, err := fleet.ScoreWindow(batch, 120); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.ScoreWindow(batch, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -110,6 +110,10 @@ type Predictor struct {
 	// by TrainIncremental and nil on batch-trained predictors.
 	inc *incrementalState
 
+	// lr caches the TAN log-ratio table for the fleet batch scorer,
+	// keyed by model pointer identity (see Predictor.logRatios).
+	lr *bayes.LogRatios
+
 	// ins is the (possibly zero/disabled) telemetry wiring.
 	ins Instruments
 }

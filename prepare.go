@@ -103,6 +103,10 @@ type (
 	// RetrainMode selects how periodic retraining refits the prediction
 	// models (see ControlConfig.RetrainIntervalS).
 	RetrainMode = control.RetrainMode
+	// BatchMode selects the control loop's columnar fleet hot path
+	// (see Scenario.Batch). Batch and scalar produce byte-identical
+	// results.
+	BatchMode = control.BatchMode
 	// Policy selects the prevention actuation strategy.
 	Policy = prevent.Policy
 	// FaultKind identifies a fault class.
@@ -179,6 +183,17 @@ const (
 	RetrainBatch = control.RetrainBatch
 	// RetrainIncremental forces sufficient-statistics training.
 	RetrainIncremental = control.RetrainIncremental
+)
+
+// Batch modes.
+const (
+	// BatchAuto uses the columnar batch hot path whenever the
+	// controller supports it (supervised PREPARE scheme).
+	BatchAuto = control.BatchAuto
+	// BatchOn forces the batch path.
+	BatchOn = control.BatchOn
+	// BatchOff forces the per-VM scalar oracle pipeline.
+	BatchOff = control.BatchOff
 )
 
 // Prevention policies.

@@ -4,14 +4,17 @@
 # Compares allocs/op between two `go test -bench -benchmem` outputs and
 # fails when any scratch-path benchmark (the allocation-sensitive hot
 # paths: Markov series prediction, predictor windows, TAN scratch
-# scoring) regressed by more than BENCH_GATE_THRESHOLD percent
-# (default 20). Benchmarks present only in HEAD are reported but never
-# fail the gate, so adding benchmarks in a PR is safe.
+# scoring, the engine fleet tick) regressed by more than
+# BENCH_GATE_THRESHOLD percent (default 20). Benchmarks that report a
+# vm-steps/sec throughput metric (BenchmarkEngineVMSteps) are also
+# gated on it: head throughput more than BENCH_GATE_THRESHOLD percent
+# below base fails. Benchmarks present only in HEAD are reported but
+# never fail the gate, so adding benchmarks in a PR is safe.
 set -euo pipefail
 
 BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
 HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
-PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain'}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow'}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
 
 if ! grep -Eq 'allocs/op' "$BASE"; then
@@ -26,10 +29,19 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
     sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
     if (name !~ pattern) next
     allocs = ""
-    for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    steps = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "allocs/op")    allocs = $(i - 1)
+      if ($i == "vm-steps/sec") steps = $(i - 1)
+    }
     if (allocs == "") next
-    if (fileno == 1) { bsum[name] += allocs; bcnt[name]++ }
-    else             { hsum[name] += allocs; hcnt[name]++ }
+    if (fileno == 1) {
+      bsum[name] += allocs; bcnt[name]++
+      if (steps != "") { bssum[name] += steps; bscnt[name]++ }
+    } else {
+      hsum[name] += allocs; hcnt[name]++
+      if (steps != "") { hssum[name] += steps; hscnt[name]++ }
+    }
   }
   END {
     status = 0
@@ -49,6 +61,18 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
         status = 1
       } else {
         printf "ok   %-45s allocs/op %.1f -> %.1f\n", name, base, head
+      }
+      # Throughput gate: vm-steps/sec is higher-is-better, so the fail
+      # direction flips relative to the allocation gate above.
+      if (name in hssum && name in bssum) {
+        hs = hssum[name] / hscnt[name]
+        bs = bssum[name] / bscnt[name]
+        if (hs < bs * (1 - threshold / 100)) {
+          printf "FAIL %-45s vm-steps/sec %.0f -> %.0f (>%d%% slowdown)\n", name, bs, hs, threshold
+          status = 1
+        } else {
+          printf "ok   %-45s vm-steps/sec %.0f -> %.0f\n", name, bs, hs
+        }
       }
     }
     if (n == 0) print "no scratch-path benchmarks matched pattern " pattern

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# record_bench.sh N [extra go test args...]
+#
+# Runs the repo's performance benchmark suite and writes BENCH_PR<N>.json
+# mapping each benchmark (GOMAXPROCS suffix stripped, averaged across
+# -count repeats) to its ns/op, allocs/op and — where the benchmark
+# reports one — vm-steps/sec. The JSON is committed alongside the PR
+# that changed the hot path so later sessions can diff fleet throughput
+# without re-running the full sweep.
+#
+# Two passes keep wall-clock sane: the allocation micro-benchmarks run
+# at a fixed iteration count for stable allocs/op, while the engine
+# fleet benchmarks (whole-fleet ticks at 1k/10k/100k VMs, tens of
+# seconds of setup each) run -benchtime 1x. Tune with:
+#
+#   BENCH_PATTERN        micro-bench regexp  (default: the CI gate set)
+#   BENCH_COUNT          micro-bench -count  (default 3)
+#   ENGINE_BENCH_PATTERN engine regexp       (default EngineVMSteps, all fleets)
+#   ENGINE_BENCHTIME     engine -benchtime   (default 1x)
+#   SKIP_ENGINE=1        skip the engine pass (quick micro-only record)
+#
+# Usage:
+#   ./scripts/record_bench.sh 6            # writes BENCH_PR6.json
+#   SKIP_ENGINE=1 ./scripts/record_bench.sh 6 -short
+set -euo pipefail
+
+PR=${1:?usage: record_bench.sh <pr-number> [extra go test args...]}
+shift || true
+OUT="BENCH_PR${PR}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+MICRO_PATTERN=${BENCH_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledInstruments|DisabledChaos|RetrainIncremental|FleetScoreWindow'}
+MICRO_PKGS=(./internal/markov ./internal/bayes ./internal/predict ./internal/telemetry ./internal/chaos)
+
+echo ">> micro benchmarks (${MICRO_PATTERN})" >&2
+go test -run '^$' -bench "$MICRO_PATTERN" -benchmem \
+  -benchtime "${BENCH_TIME:-1000x}" -count "${BENCH_COUNT:-3}" \
+  "$@" "${MICRO_PKGS[@]}" | tee -a "$RAW" >&2
+
+if [ "${SKIP_ENGINE:-0}" != "1" ]; then
+  echo ">> engine fleet benchmarks (this is the slow part)" >&2
+  go test -run '^$' -bench "${ENGINE_BENCH_PATTERN:-EngineVMSteps}" -benchmem \
+    -benchtime "${ENGINE_BENCHTIME:-1x}" -timeout 60m \
+    "$@" ./internal/control | tee -a "$RAW" >&2
+fi
+
+# Fold the raw `go test -bench` lines into {name: {metrics}} JSON.
+# A bench line reads: BenchmarkX-8  <iters>  <v> ns/op [<v> vm-steps/sec]
+# [<v> B/op  <v> allocs/op] — value/unit pairs starting at field 3.
+awk '
+  $1 ~ /^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i < NF; i++) {
+      if ($(i + 1) == "ns/op")        { ns[name] += $i; nscnt[name]++ }
+      if ($(i + 1) == "allocs/op")    { al[name] += $i; alcnt[name]++ }
+      if ($(i + 1) == "vm-steps/sec") { vs[name] += $i; vscnt[name]++ }
+    }
+  }
+  END {
+    n = 0
+    for (name in ns) names[n++] = name
+    # insertion sort for stable, dependency-free key ordering
+    for (i = 1; i < n; i++) {
+      key = names[i]
+      for (j = i - 1; j >= 0 && names[j] > key; j--) names[j + 1] = names[j]
+      names[j + 1] = key
+    }
+    printf "{\n"
+    for (i = 0; i < n; i++) {
+      name = names[i]
+      printf "  \"%s\": {\"ns_per_op\": %.1f", name, ns[name] / nscnt[name]
+      if (alcnt[name]) printf ", \"allocs_per_op\": %.1f", al[name] / alcnt[name]
+      if (vscnt[name]) printf ", \"vm_steps_per_sec\": %.1f", vs[name] / vscnt[name]
+      printf "}%s\n", (i < n - 1) ? "," : ""
+    }
+    printf "}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo ">> wrote $OUT" >&2
+cat "$OUT"
