@@ -14,6 +14,16 @@
 //	preparesim -experiment all
 //	preparesim -experiment run -app rubis -fault memleak -scheme prepare
 //	preparesim -engine -tenants 8 [-shards 4] [-app systems] [-fault memleak]
+//	preparesim -serve -addr 127.0.0.1:8080 [-tenants 4 -vms 4] [-chaos]
+//	preparesim -loadgen -profile short [-rate 20000]
+//
+// The -serve mode hosts the controller service: the sharded engine
+// behind an asynchronous ingest→predict→actuate pipeline with an
+// HTTP/JSON API (POST /v1/samples, GET /v1/alerts, /v1/audit,
+// /v1/tenants/{id}/model, /v1/checkpoint, /healthz, /readyz) until
+// SIGINT/SIGTERM. The -loadgen mode drives a deterministic open-loop
+// load profile through an in-process service and prints a flat JSON
+// report (scripts/check_slo.sh gates it in CI).
 //
 // The -engine mode runs N independent tenants (one world and control
 // loop each) on the sharded multi-tenant engine; output is identical
@@ -93,6 +103,12 @@ type options struct {
 	engine          bool
 	tenants         int
 	shards          int
+	serve           bool
+	addr            string
+	vms             int
+	loadgen         bool
+	profile         string
+	rate            float64
 	telemetry       bool
 	telemetryFormat string
 	telemetryAddr   string
@@ -154,6 +170,15 @@ func run(args []string) error {
 	fs.IntVar(&opts.tenants, "tenants", 4, "tenant count for the engine mode")
 	fs.IntVar(&opts.shards, "shards", 0,
 		"engine shard count (0 = worker-pool default; results are identical for any value)")
+	fs.BoolVar(&opts.serve, "serve", false,
+		"run the controller service: async ingest→predict→actuate pipeline with an HTTP API on -addr")
+	fs.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address for -serve")
+	fs.IntVar(&opts.vms, "vms", 4, "VMs per tenant for the serve mode's synthetic topology")
+	fs.BoolVar(&opts.loadgen, "loadgen", false,
+		"drive a load profile through an in-process controller service and print the JSON report")
+	fs.StringVar(&opts.profile, "profile", "short", "load profile for -loadgen: short, ingest or full")
+	fs.Float64Var(&opts.rate, "rate", -1,
+		"override the -loadgen profile's open-loop rate in samples/sec (0 = unpaced, -1 = profile default)")
 	fs.BoolVar(&opts.telemetry, "telemetry", false,
 		"collect control-loop telemetry and print an end-of-run report to stderr")
 	fs.StringVar(&opts.telemetryFormat, "telemetry-format", "text",
@@ -227,6 +252,13 @@ func run(args []string) error {
 		go srv.Serve(ln) //nolint:errcheck // shut down via Close below
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "preparesim: telemetry at http://%s/metrics and /trace\n", ln.Addr())
+	}
+
+	if opts.serve {
+		return runServe(opts)
+	}
+	if opts.loadgen {
+		return runLoadgen(opts)
 	}
 
 	switch opts.experiment {

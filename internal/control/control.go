@@ -429,6 +429,41 @@ func (c *Controller) Alerts() []AlertEvent {
 	return out
 }
 
+// StepCount returns the number of executed prevention steps so far.
+func (c *Controller) StepCount() int { return len(c.steps) }
+
+// StepsSince returns a copy of the executed steps from index from on;
+// incremental consumers (the ingest server's publish stage) drain new
+// steps without copying the whole history. Out-of-range indexes clamp.
+func (c *Controller) StepsSince(from int) []prevent.Step {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(c.steps) {
+		return nil
+	}
+	out := make([]prevent.Step, len(c.steps)-from)
+	copy(out, c.steps[from:])
+	return out
+}
+
+// AlertCount returns the number of confirmed alerts so far.
+func (c *Controller) AlertCount() int { return len(c.alerts) }
+
+// AlertsSince returns a copy of the confirmed alerts from index from
+// on. Out-of-range indexes clamp.
+func (c *Controller) AlertsSince(from int) []AlertEvent {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(c.alerts) {
+		return nil
+	}
+	out := make([]AlertEvent, len(c.alerts)-from)
+	copy(out, c.alerts[from:])
+	return out
+}
+
 // Trained reports whether the per-VM models have been trained.
 func (c *Controller) Trained() bool { return c.trained }
 

@@ -116,6 +116,20 @@ func (e *Engine) Tenants() []string {
 	return out
 }
 
+// NumShards returns the engine's shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardTenants lists the tenant IDs of one shard in sorted order; a
+// wrapper that drives shards itself (internal/server) uses it to mirror
+// the engine's stable hash placement.
+func (e *Engine) ShardTenants(i int) []string {
+	out := make([]string, len(e.shards[i]))
+	for j, t := range e.shards[i] {
+		out[j] = t.ID
+	}
+	return out
+}
+
 // Controller returns the named tenant's controller, or nil.
 func (e *Engine) Controller(id string) *Controller {
 	for _, t := range e.tenants {

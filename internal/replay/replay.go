@@ -48,6 +48,12 @@ type Config struct {
 	MigrationSecondsFn func(memMB float64) int64
 }
 
+// ErrNoSample is returned (wrapping the transient sentinel) when an
+// appendable substrate is read before its first sample arrives. The
+// monitor carries forward over it like any other transient gap;
+// watermark-gated callers such as internal/server never trigger it.
+var ErrNoSample = fmt.Errorf("replay: no sample ingested yet: %w", substrate.ErrUnavailable)
+
 // Substrate replays per-VM metric series through the substrate
 // contract.
 type Substrate struct {
@@ -61,6 +67,13 @@ type Substrate struct {
 
 	migSeconds func(memMB float64) int64
 	actions    []Action
+
+	// appendable substrates receive samples via Append instead of a
+	// trace fixed at construction; consumed prefixes are trimmed so a
+	// long-running ingest server holds O(pending), not O(history).
+	appendable bool
+	advanced   bool
+	lastTime   map[substrate.VMID]simclock.Time
 }
 
 var _ substrate.Substrate = (*Substrate)(nil)
@@ -115,6 +128,90 @@ func New(traces map[substrate.VMID][]metrics.Sample, cfg Config) (*Substrate, er
 	}, nil
 }
 
+// NewAppendable builds a replay substrate over the VM set with empty
+// series: samples arrive later through Append (a push-style source for
+// the ingest server). Reads before the first Append return ErrNoSample,
+// which the monitor treats as a transient gap.
+func NewAppendable(vmIDs []substrate.VMID, cfg Config) (*Substrate, error) {
+	if len(vmIDs) == 0 {
+		return nil, errors.New("replay: at least one VM is required")
+	}
+	ids := make([]substrate.VMID, 0, len(vmIDs))
+	seen := make(map[substrate.VMID]bool, len(vmIDs))
+	for _, id := range vmIDs {
+		if seen[id] {
+			return nil, fmt.Errorf("replay: duplicate VM %q", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	allocs := make(map[substrate.VMID]substrate.Allocation, len(ids))
+	traces := make(map[substrate.VMID][]metrics.Sample, len(ids))
+	last := make(map[substrate.VMID]simclock.Time, len(ids))
+	for _, id := range ids {
+		a, ok := cfg.Allocations[id]
+		if !ok {
+			a = DefaultAllocation
+		}
+		allocs[id] = a
+		traces[id] = nil
+		last[id] = -1
+	}
+	migSeconds := cfg.MigrationSecondsFn
+	if migSeconds == nil {
+		migSeconds = func(memMB float64) int64 { return int64(7 + memMB/330) }
+	}
+	return &Substrate{
+		vmIDs:      ids,
+		traces:     traces,
+		cursor:     make(map[substrate.VMID]int, len(ids)),
+		allocs:     allocs,
+		migrating:  make(map[substrate.VMID]simclock.Time),
+		migSeconds: migSeconds,
+		appendable: true,
+		lastTime:   last,
+	}, nil
+}
+
+// Append ingests one sample for an appendable substrate's VM. Samples
+// must arrive in non-decreasing time order per VM and may not be
+// appended at or before the already-advanced instant (the cursor only
+// moves forward).
+func (s *Substrate) Append(id substrate.VMID, sample metrics.Sample) error {
+	if !s.appendable {
+		return errors.New("replay: substrate is not appendable (use NewAppendable)")
+	}
+	last, ok := s.lastTime[id]
+	if !ok {
+		return substrate.ErrNoSuchVM
+	}
+	if sample.Time.Before(last) {
+		return fmt.Errorf("replay: VM %q: sample at %v arrived after %v", id, sample.Time, last)
+	}
+	if s.advanced && !sample.Time.After(s.now) {
+		// The cursor already read this instant: a late sample here
+		// would be skipped (or re-read inconsistently), breaking the
+		// replay's determinism contract.
+		return fmt.Errorf("replay: VM %q: sample at %v is not after the cursor (now=%v)", id, sample.Time, s.now)
+	}
+	s.traces[id] = append(s.traces[id], sample)
+	s.lastTime[id] = sample.Time
+	return nil
+}
+
+// LastTime returns the time of the VM's most recently appended sample,
+// or (-1, true) when nothing has been appended yet. The second result
+// is false for unknown VMs.
+func (s *Substrate) LastTime(id substrate.VMID) (simclock.Time, bool) {
+	t, ok := s.lastTime[id]
+	if !ok {
+		return -1, false
+	}
+	return t, true
+}
+
 // FromCSV builds a replay substrate by parsing one WriteSamplesCSV
 // stream per VM.
 func FromCSV(sources map[substrate.VMID]io.Reader, cfg Config) (*Substrate, error) {
@@ -140,13 +237,24 @@ func (s *Substrate) VMs() []substrate.VMID {
 // before now and expires completed migrations.
 func (s *Substrate) Advance(now simclock.Time) {
 	s.now = now
+	s.advanced = true
 	for _, id := range s.vmIDs {
 		series := s.traces[id]
+		if len(series) == 0 {
+			continue
+		}
 		i := s.cursor[id]
 		for i+1 < len(series) && !now.Before(series[i+1].Time) {
 			i++
 		}
 		s.cursor[id] = i
+		if s.appendable && i > 64 {
+			// Drop the consumed prefix (keeping the current sample) so
+			// a long-running ingest server holds O(pending) memory. A
+			// fresh backing array releases the trimmed samples.
+			s.traces[id] = append([]metrics.Sample(nil), series[i:]...)
+			s.cursor[id] = 0
+		}
 	}
 	for id, end := range s.migrating {
 		if !now.Before(end) {
@@ -163,6 +271,9 @@ func (s *Substrate) Sample(id substrate.VMID) (metrics.Vector, error) {
 	if !ok {
 		return metrics.Vector{}, substrate.ErrNoSuchVM
 	}
+	if len(series) == 0 {
+		return metrics.Vector{}, ErrNoSample
+	}
 	return series[s.cursor[id]].Values, nil
 }
 
@@ -172,6 +283,9 @@ func (s *Substrate) Label(id substrate.VMID) (metrics.Label, error) {
 	if !ok {
 		return metrics.LabelUnknown, substrate.ErrNoSuchVM
 	}
+	if len(series) == 0 {
+		return metrics.LabelUnknown, ErrNoSample
+	}
 	return series[s.cursor[id]].Label, nil
 }
 
@@ -179,6 +293,9 @@ func (s *Substrate) Label(id substrate.VMID) (metrics.Label, error) {
 func (s *Substrate) End() simclock.Time {
 	var end simclock.Time
 	for _, series := range s.traces {
+		if len(series) == 0 {
+			continue
+		}
 		if last := series[len(series)-1].Time; end.Before(last) {
 			end = last
 		}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"prepare/internal/telemetry"
+)
+
+// ingestRequest is the POST /v1/samples body.
+type ingestRequest struct {
+	Batches []Batch `json:"batches"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// alertsResponse is the GET /v1/alerts body: alerts with sequence
+// numbers strictly greater than the since cursor, plus the cursor to
+// pass next. Truncated means the ring evicted records between the
+// cursor and FirstSeq — the client fell too far behind.
+type alertsResponse struct {
+	Alerts    []Alert `json:"alerts"`
+	Next      uint64  `json:"next"`
+	FirstSeq  uint64  `json:"first_seq"`
+	Truncated bool    `json:"truncated"`
+}
+
+type auditResponse struct {
+	Actions   []AuditEntry `json:"actions"`
+	Next      uint64       `json:"next"`
+	FirstSeq  uint64       `json:"first_seq"`
+	Truncated bool         `json:"truncated"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/samples            — batched sample ingest (429 + Retry-After on backpressure)
+//	GET  /v1/alerts?since=&limit= — confirmed alerts after the cursor
+//	GET  /v1/audit?since=&limit=  — actuation audit log after the cursor
+//	GET  /v1/tenants/{id}/model — the tenant's current model snapshot
+//	GET  /v1/checkpoint         — a fresh warm-failover checkpoint
+//	GET  /v1/stats              — pipeline counters
+//	GET  /healthz, /readyz      — liveness / readiness
+//	GET  /metrics, /trace       — telemetry (when enabled)
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/samples", s.handleIngest)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/tenants/{id}/model", s.handleModel)
+	mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.Telemetry != nil {
+		th := telemetry.Handler(func() *telemetry.Registry { return s.cfg.Telemetry })
+		mux.Handle("GET /metrics", th)
+		mux.Handle("GET /trace", th)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	res, err := s.Ingest(req.Batches)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", strconv.Itoa(res.RetryAfterS))
+		writeJSON(w, http.StatusTooManyRequests, res)
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, ErrNotRunning):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// cursorParams parses ?since= and ?limit=.
+func cursorParams(r *http.Request) (since uint64, limit int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("since"); v != "" {
+		since, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad since cursor %q", v)
+		}
+	}
+	limit = 1000
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return since, limit, nil
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	since, limit, err := cursorParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items, next, first, truncated := s.alerts.since(since, limit)
+	if items == nil {
+		items = []Alert{}
+	}
+	writeJSON(w, http.StatusOK, alertsResponse{Alerts: items, Next: next, FirstSeq: first, Truncated: truncated})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	since, limit, err := cursorParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items, next, first, truncated := s.audit.since(since, limit)
+	if items == nil {
+		items = []AuditEntry{}
+	}
+	writeJSON(w, http.StatusOK, auditResponse{Actions: items, Next: next, FirstSeq: first, Truncated: truncated})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	data, err := s.TenantModel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotRunning):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		// Typically: models not trained yet.
+		writeError(w, http.StatusConflict, err)
+	}
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		if errors.Is(err, ErrNotRunning) {
+			writeError(w, http.StatusServiceUnavailable, err)
+		} else {
+			writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	s.lastCkpt.Store(buf.Bytes())
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Failure(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("pipeline failed: %w", err))
+		return
+	}
+	if !s.running() {
+		writeError(w, http.StatusServiceUnavailable, ErrNotRunning)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"prepare/internal/simclock"
+	"prepare/internal/telemetry"
+)
+
+// checkpointVersion guards the server checkpoint wire format.
+const checkpointVersion = 1
+
+// checkpointSnapshot is the JSON wire format of a warm-failover
+// checkpoint: every tenant's last executed tick plus the engine model
+// snapshot (control's SaveModels format, verbatim). Restored into a
+// fresh server over the same topology and fed the post-checkpoint
+// samples, the replica produces a byte-identical subsequent alert
+// stream.
+type checkpointSnapshot struct {
+	Version int              `json:"version"`
+	Ticks   map[string]int64 `json:"ticks"`
+	Models  json.RawMessage  `json:"models"`
+}
+
+type modelReply struct {
+	data []byte
+	err  error
+}
+
+// snapshotModels serializes one tenant's models; it runs on the shard
+// worker between ticks, where the models are quiescent.
+func snapshotModels(t *tenant) modelReply {
+	var buf bytes.Buffer
+	if err := t.ctl.SaveModels(&buf); err != nil {
+		return modelReply{err: err}
+	}
+	return modelReply{data: buf.Bytes()}
+}
+
+// TenantModel returns the tenant's current model snapshot (control's
+// SaveModels JSON). The request is routed through the tenant's shard
+// queue so it serializes with ticking; it shares the ingest queue and
+// therefore the same backpressure.
+func (s *Server) TenantModel(id string) ([]byte, error) {
+	t := s.tenants[id]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	s.mu.RLock()
+	if s.state != stateRunning {
+		s.mu.RUnlock()
+		return nil, ErrNotRunning
+	}
+	reply := make(chan modelReply, 1)
+	s.shards[t.shardIdx].queue <- item{kind: itemModel, tenant: t, reply: reply}
+	s.mu.RUnlock()
+	r := <-reply
+	return r.data, r.err
+}
+
+// Checkpoint quiesces every shard behind a barrier, captures each
+// tenant's tick position and the full engine model snapshot, and
+// releases the pipeline. Checkpoints require every tenant to be
+// trained (control's SaveModels contract). Serialized: concurrent
+// checkpoints run one at a time.
+func (s *Server) Checkpoint(w io.Writer) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Hold the read lock across the barrier sends so Close cannot
+	// close a queue mid-checkpoint.
+	s.mu.RLock()
+	if s.state != stateRunning {
+		s.mu.RUnlock()
+		return ErrNotRunning
+	}
+	acks := make(chan struct{}, len(s.shards))
+	gate := make(chan struct{})
+	for _, sh := range s.shards {
+		sh.queue <- item{kind: itemBarrier, ack: acks, gate: gate}
+	}
+	s.mu.RUnlock()
+	for range s.shards {
+		<-acks
+	}
+	// Every worker is paused at the gate: tick state and models are
+	// quiescent and safe to read from here.
+	err := s.capture(w)
+	close(gate)
+	if err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	s.tel.checkpoints.Inc()
+	if s.tel.reg != nil {
+		s.tel.reg.Emit(s.maxTick(), "", telemetry.StageServer, telemetry.KindCheckpoint, "checkpoint")
+	}
+	return nil
+}
+
+// capture writes the checkpoint while the pipeline is paused.
+func (s *Server) capture(w io.Writer) error {
+	snap := checkpointSnapshot{
+		Version: checkpointVersion,
+		Ticks:   make(map[string]int64, len(s.tenants)),
+	}
+	for _, sh := range s.shards {
+		for _, t := range sh.tenants {
+			snap.Ticks[t.id] = sh.lastTick.Seconds()
+		}
+	}
+	var models bytes.Buffer
+	if err := s.engine.SaveModels(&models); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	snap.Models = json.RawMessage(bytes.TrimSpace(models.Bytes()))
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("server: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// maxTick is the furthest tick any shard has executed (only used to
+// stamp telemetry events; shards are paused when it is read).
+func (s *Server) maxTick() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		if t := sh.lastTick.Seconds(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Restore loads a checkpoint into a server that has not started yet:
+// models are installed through the engine's RestoreModels and each
+// tenant resumes after its checkpointed tick — ticks at or before it
+// are skipped, so feeding the replica the post-checkpoint samples
+// reproduces the primary's subsequent alert stream exactly.
+func (s *Server) Restore(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateNew {
+		return errors.New("server: restore requires a server that has not started")
+	}
+	var snap checkpointSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("server: decode checkpoint: %w", err)
+	}
+	if snap.Version != checkpointVersion {
+		return fmt.Errorf("server: unsupported checkpoint version %d", snap.Version)
+	}
+	for id := range s.tenants {
+		if _, ok := snap.Ticks[id]; !ok {
+			return fmt.Errorf("server: checkpoint has no tick for tenant %q", id)
+		}
+	}
+	if err := s.engine.RestoreModels(bytes.NewReader(snap.Models)); err != nil {
+		return err
+	}
+	for id, tick := range snap.Ticks {
+		if t := s.tenants[id]; t != nil {
+			t.resumeFrom = simclock.Time(tick)
+		}
+	}
+	// Skip the replayed-history range instead of iterating over it.
+	for _, sh := range s.shards {
+		min := simclock.Time(0)
+		for i, t := range sh.tenants {
+			if i == 0 || t.resumeFrom.Before(min) {
+				min = t.resumeFrom
+			}
+		}
+		sh.lastTick = min
+	}
+	return nil
+}
+
+// LastCheckpoint returns the most recent checkpoint captured by the
+// periodic checkpointer or GET /v1/checkpoint, or nil.
+func (s *Server) LastCheckpoint() []byte {
+	if b, ok := s.lastCkpt.Load().([]byte); ok {
+		return b
+	}
+	return nil
+}
+
+// runCheckpointer captures a checkpoint every CheckpointInterval.
+// Failures (typically: a tenant not trained yet) are skipped quietly;
+// the next interval retries.
+func (s *Server) runCheckpointer() {
+	ticker := time.NewTicker(s.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCkpt:
+			return
+		case <-ticker.C:
+			var buf bytes.Buffer
+			if err := s.Checkpoint(&buf); err == nil {
+				s.lastCkpt.Store(buf.Bytes())
+			}
+		}
+	}
+}

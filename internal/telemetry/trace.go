@@ -10,6 +10,7 @@ const (
 	StagePrevent    = "prevent"
 	StageControl    = "control"
 	StageExperiment = "experiment"
+	StageServer     = "server"
 )
 
 // Canonical event kinds emitted by the instrumented control loop.
@@ -37,6 +38,12 @@ const (
 	// KindRetryScheduled: a transient actuator failure was absorbed and
 	// the prevention attempt was rescheduled after a sim-clock backoff.
 	KindRetryScheduled = "retry-scheduled"
+	// KindBackpressure: the ingest server rejected a batch because a
+	// shard queue was full (HTTP 429 + Retry-After).
+	KindBackpressure = "backpressure"
+	// KindCheckpoint: the ingest server captured a model-snapshot
+	// checkpoint for warm failover.
+	KindCheckpoint = "checkpoint"
 )
 
 // Field is one numeric key/value annotation on an event.

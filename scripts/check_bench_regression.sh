@@ -46,11 +46,21 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
   END {
     status = 0
     n = 0
+    # Benchmarks that exist at the merge base but not in head: notice,
+    # never fail — renames and removals land with the PR that makes
+    # them.
+    for (name in bsum) {
+      if (!(name in hsum))
+        printf "gone %-45s (present at merge base, absent from head; skipping)\n", name
+    }
     for (name in hsum) {
       n++
       head = hsum[name] / hcnt[name]
+      # A benchmark absent from the base branch is skipped with a
+      # notice, never failed: a PR can introduce a benchmark and its
+      # gate together, and the next PR gets merge-base data to compare.
       if (!(name in bsum)) {
-        printf "new  %-45s %.1f allocs/op (no merge-base data)\n", name, head
+        printf "new  %-45s %.1f allocs/op (absent from merge base; skipping gate)\n", name, head
         continue
       }
       base = bsum[name] / bcnt[name]
@@ -63,7 +73,12 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
         printf "ok   %-45s allocs/op %.1f -> %.1f\n", name, base, head
       }
       # Throughput gate: vm-steps/sec is higher-is-better, so the fail
-      # direction flips relative to the allocation gate above.
+      # direction flips relative to the allocation gate above. A
+      # throughput metric only one side reports is skipped with a
+      # notice (newly added or retired gauge), like a new benchmark.
+      if (name in hssum && !(name in bssum)) {
+        printf "new  %-45s vm-steps/sec %.0f (absent from merge base; skipping gate)\n", name, hssum[name] / hscnt[name]
+      }
       if (name in hssum && name in bssum) {
         hs = hssum[name] / hscnt[name]
         bs = bssum[name] / bscnt[name]

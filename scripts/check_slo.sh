@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# check_slo.sh report.json
+#
+# Gates a loadgen JSON report (preparesim -loadgen) against SLO
+# budgets, with headroom over observed numbers like the bench gate so
+# runner noise does not flake the job:
+#
+#   SLO_MAX_P99_INGEST_S     p99 ingest latency budget, seconds    (default 2.0)
+#   SLO_MAX_P99_ALERT_S      p99 alert publish latency budget      (default 2.0)
+#   SLO_MAX_P99_ACTUATION_S  p99 alert-to-actuation latency budget (default 2.0)
+#   SLO_MIN_THROUGHPUT_SPS   accepted samples/sec floor            (default 0 = off)
+#
+# Unconditional invariants: zero rejected samples (the run is sized
+# below the backpressure threshold), every sent sample applied, no
+# append errors, and — when the profile verifies — a byte-identical
+# alert stream against the synchronous controller.
+set -euo pipefail
+
+REPORT=${1:?usage: check_slo.sh report.json}
+[ -r "$REPORT" ] || { echo "check_slo: cannot read $REPORT" >&2; exit 2; }
+
+MAX_P99_INGEST=${SLO_MAX_P99_INGEST_S:-2.0}
+MAX_P99_ALERT=${SLO_MAX_P99_ALERT_S:-2.0}
+MAX_P99_ACTUATION=${SLO_MAX_P99_ACTUATION_S:-2.0}
+MIN_THROUGHPUT=${SLO_MIN_THROUGHPUT_SPS:-0}
+
+awk -v max_ingest="$MAX_P99_INGEST" -v max_alert="$MAX_P99_ALERT" \
+    -v max_act="$MAX_P99_ACTUATION" -v min_tput="$MIN_THROUGHPUT" '
+  # The report is one flat JSON object, one "key": value per line.
+  {
+    gsub(/[",]/, "")
+    if ($1 ~ /:$/) { sub(/:$/, "", $1); kv[$1] = $2 }
+  }
+  function num(k) { return kv[k] + 0 }
+  function gate_max(k, budget, label,   v) {
+    v = num(k)
+    if (v > budget) {
+      printf "FAIL %-22s %g s > budget %g s\n", label, v, budget
+      status = 1
+    } else {
+      printf "ok   %-22s %g s (budget %g s)\n", label, v, budget
+    }
+  }
+  END {
+    status = 0
+    if (!("samples_sent" in kv)) { print "FAIL report has no samples_sent field"; exit 1 }
+    printf "profile %s: %s samples, %.0f samples/sec\n", kv["profile"], kv["samples_sent"], num("throughput_sps")
+
+    if (num("samples_rejected") != 0) {
+      printf "FAIL %d samples rejected below the backpressure threshold\n", num("samples_rejected")
+      status = 1
+    } else {
+      print "ok   zero rejected samples"
+    }
+    if (num("samples_applied") != num("samples_sent")) {
+      printf "FAIL sample loss: sent %d, applied %d\n", num("samples_sent"), num("samples_applied")
+      status = 1
+    } else {
+      print "ok   every sent sample applied"
+    }
+    if (num("append_errors") != 0) {
+      printf "FAIL %d append errors\n", num("append_errors")
+      status = 1
+    }
+    # verify_error is omitted from the report unless verification ran
+    # and failed; profiles that do not verify (ingest) report
+    # verified=false with no error and are noted, not failed.
+    if (kv["verified"] == "true") {
+      print "ok   alert stream verified against the synchronous controller"
+    } else if ("verify_error" in kv) {
+      print "FAIL alert stream diverged (see verify_error in the report)"
+      status = 1
+    } else {
+      print "note profile does not verify the alert stream"
+    }
+
+    gate_max("p99_ingest_s", max_ingest, "p99 ingest")
+    gate_max("p99_alert_s", max_alert, "p99 alert publish")
+    gate_max("p99_actuation_s", max_act, "p99 alert-to-actuation")
+
+    if (min_tput + 0 > 0) {
+      if (num("throughput_sps") < min_tput) {
+        printf "FAIL throughput %.0f samples/sec < floor %.0f\n", num("throughput_sps"), min_tput
+        status = 1
+      } else {
+        printf "ok   throughput %.0f samples/sec (floor %.0f)\n", num("throughput_sps"), min_tput
+      }
+    }
+    exit status
+  }
+' "$REPORT"

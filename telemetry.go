@@ -49,3 +49,8 @@ func Telemetry() *TelemetrySnapshot {
 // JSON snapshot. All endpoints report empty data while telemetry is
 // disabled.
 func TelemetryHandler() http.Handler { return telemetry.Handler(telemetry.Default) }
+
+// TelemetryRegistry returns the live process-wide registry enabled by
+// EnableTelemetry (nil while disabled) — wire it into ServerConfig so
+// the controller service's /metrics and /trace share it.
+func TelemetryRegistry() *telemetry.Registry { return telemetry.Default() }
