@@ -15,6 +15,44 @@ import (
 // the simulator. The simulator is one substrate implementation among
 // others (replay is the second); only composition roots — experiment,
 // the facade, commands — may import it.
+// TestDetectorPackageImportsStayMinimal enforces the detector layer's
+// dependency contract: internal/detector is the interface every scorer
+// implements, so it may import only the row vocabulary
+// (internal/metrics) and the counters (internal/telemetry) beyond the
+// standard library. Model-backed adapters live with their models in
+// internal/predict, never here — otherwise every detector user would
+// drag in the full prediction stack.
+func TestDetectorPackageImportsStayMinimal(t *testing.T) {
+	allowed := map[string]bool{
+		"prepare/internal/metrics":   true,
+		"prepare/internal/telemetry": true,
+	}
+	fset := token.NewFileSet()
+	dir := filepath.Join("internal", "detector")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if strings.HasPrefix(p, "prepare/") && !allowed[p] {
+				t.Errorf("%s imports %s; internal/detector may import only internal/metrics and internal/telemetry",
+					path, p)
+			}
+		}
+	}
+}
+
 func TestControlLoopPackagesDoNotImportCloudsim(t *testing.T) {
 	const forbidden = "prepare/internal/cloudsim"
 	fset := token.NewFileSet()

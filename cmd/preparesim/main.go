@@ -13,6 +13,7 @@
 //	preparesim -experiment fig13
 //	preparesim -experiment all
 //	preparesim -experiment run -app rubis -fault memleak -scheme prepare
+//	preparesim -experiment detectors [-app systems] [-detector tan,ewma,ensemble:tan+ewma@1]
 //	preparesim -engine -tenants 8 [-shards 4] [-app systems] [-fault memleak]
 //	preparesim -serve -addr 127.0.0.1:8080 [-tenants 4 -vms 4] [-chaos]
 //	preparesim -loadgen -profile short [-rate 20000]
@@ -56,6 +57,17 @@
 // oracle against the batched sweep:
 //
 //	preparesim -experiment run -app systems -fault memleak -batch off
+//
+// The run and engine modes accept -detector to swap the anomaly
+// detector driving the control loop: tan (the paper's supervised
+// Markov+TAN pipeline, the default), kmeans/zscore (unsupervised),
+// ewma (Holt forecast-error), zrobust (threshold-free z-score), or a
+// voting ensemble like ensemble:tan+ewma@1. The detectors experiment
+// runs every fault class under a comma-separated list of detector
+// specs and prints a NAB-style window-scored comparison table:
+//
+//	preparesim -experiment run -app rubis -fault memleak -detector ensemble:tan+ewma@1
+//	preparesim -experiment detectors -app systems -detector tan,ewma,ensemble:tan+ewma@1
 //
 // Profiling: -cpuprofile FILE and -memprofile FILE write pprof
 // profiles covering the whole invocation:
@@ -119,6 +131,7 @@ type options struct {
 	retrainMode     string
 	historyWindow   int
 	batch           string
+	detector        string
 	cpuProfile      string
 	memProfile      string
 }
@@ -139,6 +152,11 @@ func (o options) applyRetrain(sc prepare.Scenario) (prepare.Scenario, error) {
 		return sc, fmt.Errorf("unknown batch mode %q (want auto, on or off)", o.batch)
 	}
 	sc.Batch = batch
+	spec, err := prepare.ParseDetectorSpec(o.detector)
+	if err != nil {
+		return sc, err
+	}
+	sc.Detector = spec
 	return sc, nil
 }
 
@@ -155,7 +173,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("preparesim", flag.ContinueOnError)
 	opts := options{}
 	fs.StringVar(&opts.experiment, "experiment", "fig6",
-		"which experiment to run: fig6..fig13, table1, unseen, report, run, or all")
+		"which experiment to run: fig6..fig13, table1, unseen, detectors, report, run, or all")
 	fs.StringVar(&opts.app, "app", "systems", "application: systems or rubis")
 	fs.StringVar(&opts.fault, "fault", "memleak", "fault: memleak, cpuhog or bottleneck")
 	fs.StringVar(&opts.scheme, "scheme", "prepare",
@@ -199,6 +217,8 @@ func run(args []string) error {
 		"bound per-VM sample history to a ring of N samples (0 = unbounded)")
 	fs.StringVar(&opts.batch, "batch", "auto",
 		"control-loop hot path for the run and engine modes: auto, on (columnar batch) or off (per-VM scalar); output is identical either way")
+	fs.StringVar(&opts.detector, "detector", "",
+		"anomaly detector for the run, engine and detectors modes: tan (default), kmeans, zscore, ewma, zrobust, or an ensemble spec like ensemble:tan+ewma@1")
 	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&opts.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -421,6 +441,28 @@ func dispatch(opts options) error {
 			fmt.Printf("%-24s violation %4ds, actions %d\n",
 				variant.name, res.EvalViolationSeconds, len(res.Steps))
 		}
+	case "detectors":
+		list := opts.detector
+		if list == "" {
+			list = "tan,ewma,ensemble:tan+ewma@1,ensemble:tan+ewma"
+		}
+		var specs []prepare.DetectorSpec
+		for _, s := range strings.Split(list, ",") {
+			spec, err := prepare.ParseDetectorSpec(s)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+		runs, err := prepare.CompareDetectors(
+			prepare.Scenario{App: app, Seed: opts.seed},
+			[]prepare.FaultKind{prepare.MemoryLeak, prepare.CPUHog, prepare.Bottleneck},
+			specs, prepare.NABOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Detector comparison, NAB-style window scoring: %s (seed %d)\n", opts.app, opts.seed)
+		fmt.Print(prepare.FormatDetectorTable(runs))
 	case "run":
 		scheme, ok := schemeByName(opts.scheme)
 		if !ok {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"prepare/internal/columnar"
+	"prepare/internal/detector"
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
@@ -193,12 +194,21 @@ type Config struct {
 	// ring still holds — keep the window larger than the training prefix
 	// (TrainAtS/SamplingIntervalS) and the validation look-back.
 	HistoryWindowSamples int
+	// Detector selects the anomaly detector driving the loop (default
+	// the paper's supervised Markov+TAN pipeline). Any detector.Spec
+	// kind works: tan, kmeans, zscore, ewma, zrobust, or an ensemble of
+	// them — the loop drives one code path for all of them. Parse CLI
+	// syntax with detector.ParseSpec.
+	Detector detector.Spec
 	// Unsupervised replaces the supervised TAN classifier with an
 	// unsupervised outlier detector (the paper's Section V extension):
 	// the models train on unlabeled data, so PREPARE can prevent even the
-	// FIRST occurrence of an anomaly class it has never seen.
+	// FIRST occurrence of an anomaly class it has never seen. Legacy
+	// switch: when Detector is unset it maps onto the kmeans/zscore
+	// spec; an explicit Detector spec wins.
 	Unsupervised bool
-	// UnsupervisedDetector selects the detector (default KMeans).
+	// UnsupervisedDetector selects the legacy unsupervised detector
+	// (default KMeans); see Unsupervised.
 	UnsupervisedDetector predict.UnsupervisedKind
 	// Predict configures the per-VM predictors.
 	Predict predict.Config
@@ -239,6 +249,16 @@ func (c Config) withDefaults() Config {
 	if c.Policy == 0 {
 		c.Policy = prevent.ScalingFirst
 	}
+	if c.Detector.IsZero() {
+		switch {
+		case c.Unsupervised && c.UnsupervisedDetector == predict.ZScoreDetector:
+			c.Detector = detector.Spec{Kind: detector.KindZScore}
+		case c.Unsupervised:
+			c.Detector = detector.Spec{Kind: detector.KindKMeans}
+		default:
+			c.Detector = detector.Spec{Kind: detector.KindTAN}
+		}
+	}
 	c.Predict.SamplingIntervalS = c.SamplingIntervalS
 	return c
 }
@@ -272,15 +292,19 @@ type Controller struct {
 	// Columnar hot path (nil/unused when batchActive() is false): the
 	// struct-of-arrays sample store, the sampler-order index of each VM
 	// in it, and the fleet-batched window scorer.
-	store         *columnar.Store
-	storeIdx      map[substrate.VMID]int
-	fleet         *predict.Fleet
-	sloLog        *monitor.SLOLog
-	predictors    map[substrate.VMID]*predict.Predictor
-	unsPredictors map[substrate.VMID]*predict.UnsupervisedPredictor
-	filters       map[substrate.VMID]*predict.AlarmFilter
-	planner       *prevent.Planner
-	validator     prevent.Validator
+	store    *columnar.Store
+	storeIdx map[substrate.VMID]int
+	fleet    *predict.Fleet
+	sloLog   *monitor.SLOLog
+	// detectors holds the per-VM anomaly detectors — TAN, unsupervised,
+	// forecast-error, or ensembles — all driven through one code path.
+	detectors map[substrate.VMID]detector.Detector
+	filters   map[substrate.VMID]*predict.AlarmFilter
+	// attrNames is the canonical column-name list shared by every
+	// detector build.
+	attrNames []string
+	planner   *prevent.Planner
+	validator prevent.Validator
 
 	trained bool
 	// nextRetrainAt is the deadline of the next periodic retrain. A
@@ -339,6 +363,9 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 		return nil, fmt.Errorf("control: unsupported scheme %d", scheme)
 	}
 	cfg = cfg.withDefaults()
+	if err := cfg.Detector.Validate(); err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
 	sampler, err := monitor.NewSampler(sub, app.VMIDs(), monitor.Config{
 		NoiseStd:      cfg.MonitorNoiseStd,
 		Seed:          cfg.MonitorSeed,
@@ -366,9 +393,9 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 		app:           app,
 		sampler:       sampler,
 		sloLog:        &monitor.SLOLog{},
-		predictors:    make(map[substrate.VMID]*predict.Predictor, len(vms)),
-		unsPredictors: make(map[substrate.VMID]*predict.UnsupervisedPredictor, len(vms)),
+		detectors:     make(map[substrate.VMID]detector.Detector, len(vms)),
 		filters:       make(map[substrate.VMID]*predict.AlarmFilter, len(vms)),
+		attrNames:     predict.AttributeNames(),
 		planner:       planner,
 		fitAt:         make(map[substrate.VMID]simclock.Time, len(vms)),
 		rowScratch:    make([]float64, metrics.NumAttributes),
@@ -399,15 +426,19 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 }
 
 // batchActive reports whether this controller runs the columnar batch
-// hot path. Only the supervised PREPARE scheme has a fleet-batched
-// pipeline; everything else runs the per-VM scalar path regardless of
-// the configured mode.
+// hot path. Only the pure supervised-TAN PREPARE configuration has a
+// fleet-batched pipeline; every other scheme or detector runs the
+// per-VM scalar path regardless of the configured mode.
 func (c *Controller) batchActive() bool {
-	return c.scheme == SchemePREPARE && !c.cfg.Unsupervised && c.cfg.Batch != BatchOff
+	return c.scheme == SchemePREPARE && c.cfg.Detector.Kind == detector.KindTAN && c.cfg.Batch != BatchOff
 }
 
 // Scheme returns the controller's scheme.
 func (c *Controller) Scheme() Scheme { return c.scheme }
+
+// DetectorSpec returns the resolved detector specification driving the
+// loop (after legacy Unsupervised mapping and defaulting).
+func (c *Controller) DetectorSpec() detector.Spec { return c.cfg.Detector }
 
 // SLOLog returns the recorded SLO state log.
 func (c *Controller) SLOLog() *monitor.SLOLog { return c.sloLog }
@@ -487,9 +518,10 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		label = metrics.LabelAbnormal
 	}
 	// The batch path collects into the columnar store (no per-tick sample
-	// map); the scalar path keeps the map the reactive baseline and the
-	// unsupervised mode consume. Both run the identical per-VM sampling
-	// pipeline underneath, so downstream values match bit for bit.
+	// map); the scalar path keeps the map the reactive baseline's
+	// busiest-VM fallback consumes. Both run the identical per-VM
+	// sampling pipeline underneath, so downstream values match bit for
+	// bit.
 	batch := c.batchActive()
 	var samples map[substrate.VMID]metrics.Sample
 	if batch {
@@ -539,12 +571,14 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		return nil
 	}
 
-	// Feed the new samples to the value predictors. The batch path reads
-	// each VM's row straight out of the columnar store (same values the
-	// map would have carried — every sample in a tick shares the tick's
-	// label) and scores the look-ahead window through the fleet scorer,
-	// materializing full verdicts only for filter-confirmed VMs.
-	confirmed := make(map[substrate.VMID]predict.Verdict)
+	// Feed the new samples to the per-VM detectors and collect the
+	// filter-confirmed verdicts. One code path serves every detector
+	// kind: the TAN adapter routes window scoring through the fleet
+	// batch scorer when the columnar path is active (materializing full
+	// verdicts only for confirmed VMs) and scores scalar otherwise;
+	// unsupervised, forecast-error, and ensemble detectors always score
+	// scalar.
+	confirmed := make(map[substrate.VMID]detector.Verdict)
 	for _, id := range c.vmOrder {
 		var row []float64
 		lbl := label
@@ -556,14 +590,8 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			row = c.rowOf(sm)
 			lbl = sm.Label
 		}
-		if c.cfg.Unsupervised {
-			if err := c.stepUnsupervised(now, id, row, violated, confirmed); err != nil {
-				return err
-			}
-			continue
-		}
-		p := c.predictors[id]
-		if p.Incremental() && c.fitAt[id] != now {
+		d := c.detectors[id]
+		if d.Incremental() && c.fitAt[id] != now {
 			// Incremental training: one Update advances the value-
 			// prediction chains AND folds the labeled row into the TAN
 			// sufficient statistics. Samples the sampler refused to record
@@ -573,10 +601,10 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			if !c.sampler.Recording(id) {
 				lbl = metrics.LabelUnknown
 			}
-			if err := p.Update(row, lbl); err != nil {
+			if err := d.Update(row, lbl); err != nil {
 				return fmt.Errorf("control: update %s: %w", id, err)
 			}
-		} else if err := p.Observe(row); err != nil {
+		} else if err := d.Observe(row); err != nil {
 			// A model (re)fit this tick already counted the current row
 			// from the series; it only observes, exactly like batch
 			// training has always done.
@@ -584,44 +612,28 @@ func (c *Controller) OnTick(now simclock.Time) error {
 		}
 		switch c.scheme {
 		case SchemePREPARE:
-			if batch {
-				dec, err := c.fleet.ScoreWindow(p, c.cfg.LookaheadS)
-				if err != nil {
-					return fmt.Errorf("control: predict %s: %w", id, err)
-				}
-				raw := dec.Score > c.cfg.AlertScoreMargin
-				conf := c.filters[id].Offer(raw)
-				if raw {
-					c.tel.onRawAlert(now.Seconds(), string(id), dec.Score, conf)
-				}
-				if conf {
-					verdict, err := c.fleet.Materialize(p)
-					if err != nil {
-						return fmt.Errorf("control: predict %s: %w", id, err)
-					}
-					confirmed[id] = verdict
-				}
-				continue
-			}
-			verdict, err := p.PredictWindow(c.cfg.LookaheadS)
+			dec, err := d.Score(c.cfg.LookaheadS)
 			if err != nil {
 				return fmt.Errorf("control: predict %s: %w", id, err)
 			}
-			raw := verdict.Score > c.cfg.AlertScoreMargin
-			conf := c.filters[id].Offer(raw)
-			if raw {
-				c.tel.onRawAlert(now.Seconds(), string(id), verdict.Score, conf)
+			conf := c.filters[id].Offer(dec.Abnormal)
+			if dec.Abnormal {
+				c.tel.onRawAlert(now.Seconds(), string(id), dec.Score, conf)
 			}
 			if conf {
+				verdict, err := d.Verdict()
+				if err != nil {
+					return fmt.Errorf("control: predict %s: %w", id, err)
+				}
 				confirmed[id] = verdict
 			}
 		case SchemeReactive:
 			// Reactive: only act once the SLO violation is observed; the
-			// per-VM classifiers locate the faulty VM. The same k-of-W
+			// per-VM detectors locate the faulty VM. The same k-of-W
 			// false alarm filter applies (the baseline shares PREPARE's
 			// cause inference modules), so a single bad sample does not
 			// trigger an intervention.
-			verdict, err := p.Evaluate(row)
+			verdict, err := d.Current(row)
 			if err != nil {
 				return fmt.Errorf("control: evaluate %s: %w", id, err)
 			}
@@ -710,7 +722,7 @@ func (c *Controller) OnTick(now simclock.Time) error {
 // sampling interval of the earliest onset (downstream victims alert later
 // than the faulty VM, so they are filtered out; near-simultaneous onsets
 // are all acted upon, as in the paper's two-VM example).
-func (c *Controller) targets(now simclock.Time, confirmed map[substrate.VMID]predict.Verdict) []substrate.VMID {
+func (c *Controller) targets(now simclock.Time, confirmed map[substrate.VMID]detector.Verdict) []substrate.VMID {
 	gap := 2 * c.cfg.SamplingIntervalS
 	for _, id := range c.vmOrder {
 		if _, ok := confirmed[id]; !ok {
@@ -752,59 +764,11 @@ func (c *Controller) targets(now simclock.Time, confirmed map[substrate.VMID]pre
 	return out
 }
 
-// stepUnsupervised advances one VM's unsupervised predictor and feeds
-// the alert filter: in PREPARE mode the predicted window is scored by
-// the outlier detector; the reactive mode scores the current state. The
-// confirmed verdict carries the detector's per-attribute contributions
-// as the attribution strengths, so diagnosis and actuation work
-// unchanged.
-func (c *Controller) stepUnsupervised(now simclock.Time, id substrate.VMID, row []float64, violated bool, confirmed map[substrate.VMID]predict.Verdict) error {
-	up := c.unsPredictors[id]
-	if err := up.Observe(row); err != nil {
-		return fmt.Errorf("control: observe %s: %w", id, err)
-	}
-	var (
-		abnormal bool
-		score    float64
-	)
-	switch c.scheme {
-	case SchemePREPARE:
-		v, err := up.PredictWindow(c.cfg.LookaheadS)
-		if err != nil {
-			return fmt.Errorf("control: predict %s: %w", id, err)
-		}
-		abnormal, score = v.Abnormal, v.Score
-	case SchemeReactive:
-		v, err := up.Predict(1)
-		if err != nil {
-			return fmt.Errorf("control: evaluate %s: %w", id, err)
-		}
-		abnormal, score = violated && v.Abnormal, v.Score
-	default:
-		return nil
-	}
-	conf := c.filters[id].Offer(abnormal)
-	if abnormal {
-		c.tel.onRawAlert(now.Seconds(), string(id), score, conf)
-	}
-	if !conf {
-		return nil
-	}
-	strengths, err := up.Attribution(row)
-	if err != nil {
-		return fmt.Errorf("control: attribution %s: %w", id, err)
-	}
-	confirmed[id] = predict.Verdict{
-		Abnormal:  true,
-		Score:     score,
-		Strengths: strengths,
-	}
-	return nil
-}
-
 // busiestVM builds a fallback diagnosis for the reactive baseline when no
-// classifier fired: pick the VM with the highest CPU utilization sample.
-func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (substrate.VMID, predict.Verdict, bool) {
+// detector fired: pick the VM with the highest CPU utilization sample and
+// classify its current row. All detector kinds answer through the same
+// Current call, so this no longer branches on the configured scheme.
+func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (substrate.VMID, detector.Verdict, bool) {
 	var bestID substrate.VMID
 	best := -1.0
 	for _, id := range c.vmOrder {
@@ -814,18 +778,11 @@ func (c *Controller) busiestVM(samples map[substrate.VMID]metrics.Sample) (subst
 		}
 	}
 	if best < 0 {
-		return "", predict.Verdict{}, false
+		return "", detector.Verdict{}, false
 	}
-	if c.cfg.Unsupervised {
-		strengths, err := c.unsPredictors[bestID].Attribution(c.rowOf(samples[bestID]))
-		if err != nil {
-			return "", predict.Verdict{}, false
-		}
-		return bestID, predict.Verdict{Abnormal: true, Strengths: strengths}, true
-	}
-	verdict, err := c.predictors[bestID].Evaluate(c.rowOf(samples[bestID]))
+	verdict, err := c.detectors[bestID].Current(c.rowOf(samples[bestID]))
 	if err != nil {
-		return "", predict.Verdict{}, false
+		return "", detector.Verdict{}, false
 	}
 	return bestID, verdict, true
 }
@@ -842,7 +799,7 @@ func (c *Controller) degrade(now simclock.Time, id substrate.VMID, op string, er
 }
 
 // actuate executes the next prevention step for one confirmed faulty VM.
-func (c *Controller) actuate(now simclock.Time, target substrate.VMID, verdict predict.Verdict) error {
+func (c *Controller) actuate(now simclock.Time, target substrate.VMID, verdict detector.Verdict) error {
 	migrating, err := c.sub.Migrating(target)
 	if err != nil {
 		// An inventory lookup failing — transiently or otherwise — must
@@ -1004,32 +961,25 @@ func (c *Controller) rollbackEvent(now simclock.Time, p *pendingValidation) {
 // violation windows — including VMs whose metrics carry no fault signal —
 // and then raise persistent false alarms on recurring workload patterns.
 func (c *Controller) train(now simclock.Time) error {
-	names := predict.AttributeNames()
-	sup := make([]*predict.Predictor, len(c.vmOrder))
-	uns := make([]*predict.UnsupervisedPredictor, len(c.vmOrder))
+	dets := make([]detector.Detector, len(c.vmOrder))
 	// Per-VM fits are independent and deterministically seeded, so they
 	// fan out across the worker pool; each goroutine writes only its own
 	// slot and the results are installed in canonical VM order below.
 	runner := pool.Runner{Workers: c.cfg.TrainWorkers}
 	err := runner.ForEach(context.Background(), len(c.vmOrder), func(_ context.Context, i int) error {
 		id := c.vmOrder[i]
-		p, up, err := c.fitVM(id, names)
+		d, err := c.fitVM(id)
 		if err != nil {
 			return err
 		}
-		sup[i], uns[i] = p, up
+		dets[i] = d
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	for i, id := range c.vmOrder {
-		if uns[i] != nil {
-			c.unsPredictors[id] = uns[i]
-		}
-		if sup[i] != nil {
-			c.predictors[id] = sup[i]
-		}
+		c.detectors[id] = dets[i]
 		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
 		if err != nil {
 			return err
@@ -1043,54 +993,52 @@ func (c *Controller) train(now simclock.Time) error {
 	return nil
 }
 
-// fitVM fits one VM's model from its retained series: an unsupervised
-// detector, an incremental (sufficient-statistics) supervised predictor,
-// or a plain batch one, per the configured mode.
-func (c *Controller) fitVM(id substrate.VMID, names []string) (*predict.Predictor, *predict.UnsupervisedPredictor, error) {
+// detectorOptions assembles the per-VM adapter options from the
+// controller's configuration. The fleet is nil unless the columnar
+// batch path is active, which pins it to the pure-TAN configuration.
+func (c *Controller) detectorOptions(id substrate.VMID) predict.DetectorOptions {
+	return predict.DetectorOptions{
+		Names:           c.attrNames,
+		Config:          c.cfg.Predict,
+		Margin:          c.cfg.AlertScoreMargin,
+		LookbackSamples: int(c.cfg.LookaheadS / c.cfg.SamplingIntervalS),
+		Incremental:     c.incrementalTraining(),
+		Seed:            c.cfg.MonitorSeed,
+		Fleet:           c.fleet,
+		Instruments:     c.tel.predict,
+		Telemetry:       c.cfg.Telemetry,
+		TelemetryScope:  string(id),
+	}
+}
+
+// fitVM fits one VM's detector from its retained series. The detector
+// adapter applies the kind-appropriate training protocol: anomaly-onset
+// relabeling plus a batch TAN fit, incremental sufficient statistics,
+// or an unlabeled outlier/forecast fit.
+func (c *Controller) fitVM(id substrate.VMID) (detector.Detector, error) {
 	series, err := c.sampler.Series(id)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	rows, labels := predict.RowsFromSamples(series.All())
-	if c.cfg.Unsupervised {
-		// Unsupervised mode ignores the labels entirely: the detector
-		// learns the normal operating modes from the raw data.
-		up, err := predict.NewUnsupervised(c.cfg.Predict, names)
-		if err != nil {
-			return nil, nil, err
-		}
-		up.SetInstruments(c.tel.predict)
-		if err := up.Train(rows, c.cfg.UnsupervisedDetector, c.cfg.MonitorSeed); err != nil {
-			return nil, nil, fmt.Errorf("train %s: %w", id, err)
-		}
-		return nil, up, nil
-	}
-	p, err := predict.New(c.cfg.Predict, names)
+	d, err := predict.NewDetector(c.cfg.Detector, c.detectorOptions(id))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	p.SetInstruments(c.tel.predict)
-	lookback := int(c.cfg.LookaheadS / c.cfg.SamplingIntervalS)
-	if c.incrementalTraining() {
-		if err := p.TrainIncremental(rows, labels, lookback); err != nil {
-			return nil, nil, fmt.Errorf("train %s: %w", id, err)
-		}
-		return p, nil, nil
+	if err := d.Train(rows, labels); err != nil {
+		return nil, fmt.Errorf("train %s: %w", id, err)
 	}
-	predict.RelabelForTraining(rows, labels, lookback)
-	if err := p.Train(rows, labels); err != nil {
-		return nil, nil, fmt.Errorf("train %s: %w", id, err)
-	}
-	return p, nil, nil
+	return d, nil
 }
 
 // incrementalTraining reports whether this configuration maintains
-// per-VM sufficient statistics and retrains from them. Unsupervised
-// detectors have no count-table form and always refit batch; RetrainAuto
+// per-VM sufficient statistics and retrains from them. Only the pure
+// supervised TAN detector has a count-table form; everything else
+// (unsupervised, forecast-error, ensembles) refits batch. RetrainAuto
 // goes incremental only when periodic retraining is actually enabled
 // (without it the statistics would never be consumed).
 func (c *Controller) incrementalTraining() bool {
-	if c.cfg.Unsupervised {
+	if c.cfg.Detector.Kind != detector.KindTAN {
 		return false
 	}
 	switch c.cfg.RetrainMode {
@@ -1116,22 +1064,21 @@ func (c *Controller) retrain(now simclock.Time) error {
 		return c.train(now)
 	}
 	defer c.tel.retrainIncremental.ObserveSince(time.Now())
-	names := predict.AttributeNames()
-	healed := make([]*predict.Predictor, len(c.vmOrder))
+	healed := make([]detector.Detector, len(c.vmOrder))
 	runner := pool.Runner{Workers: c.cfg.TrainWorkers}
 	err := runner.ForEach(context.Background(), len(c.vmOrder), func(_ context.Context, i int) error {
 		id := c.vmOrder[i]
-		if p := c.predictors[id]; p != nil && p.Incremental() {
-			if err := p.Retrain(); err != nil {
+		if d := c.detectors[id]; d != nil && d.Incremental() {
+			if err := d.Retrain(); err != nil {
 				return fmt.Errorf("retrain %s: %w", id, err)
 			}
 			return nil
 		}
-		p, _, err := c.fitVM(id, names)
+		d, err := c.fitVM(id)
 		if err != nil {
 			return err
 		}
-		healed[i] = p
+		healed[i] = d
 		return nil
 	})
 	if err != nil {
@@ -1139,7 +1086,7 @@ func (c *Controller) retrain(now simclock.Time) error {
 	}
 	for i, id := range c.vmOrder {
 		if healed[i] != nil {
-			c.predictors[id] = healed[i]
+			c.detectors[id] = healed[i]
 			c.fitAt[id] = now
 		}
 		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)

@@ -4,9 +4,12 @@ import (
 	"testing"
 
 	"prepare/internal/cloudsim"
+	"prepare/internal/detector"
+	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/predict"
 	"prepare/internal/simclock"
+	"prepare/internal/substrate"
 	"prepare/internal/workload"
 )
 
@@ -461,5 +464,118 @@ func TestUnsupervisedReactiveMode(t *testing.T) {
 	}
 	if ctl.Steps()[0].Time.Seconds() < 300 {
 		t.Errorf("reactive acted at %v — before any violation", ctl.Steps()[0].Time)
+	}
+}
+
+// TestTargetsOrderingAndPropagationFilter pins the unified-verdict
+// targeting semantics: confirmed VMs are returned in canonical vmOrder
+// (never map-iteration order), downstream victims whose alert episode
+// started later than the faulty VM are filtered out, and a persistent
+// real violation disables the onset filter so every alerting VM gets
+// relief.
+func TestTargetsOrderingAndPropagationFilter(t *testing.T) {
+	vms := []substrate.VMID{"vm1", "vm2", "vm3"}
+	wd, err := infer.NewWorkloadDetector(vms, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Controller{
+		cfg:          Config{SamplingIntervalS: 5}.withDefaults(),
+		vmOrder:      vms,
+		lastAlert:    make(map[substrate.VMID]simclock.Time),
+		episodeOnset: make(map[substrate.VMID]simclock.Time),
+		workload:     wd,
+	}
+	confirmed := func(ids ...substrate.VMID) map[substrate.VMID]detector.Verdict {
+		m := make(map[substrate.VMID]detector.Verdict, len(ids))
+		for _, id := range ids {
+			m[id] = detector.Verdict{Abnormal: true, Score: 3}
+		}
+		return m
+	}
+	equal := func(got, want []substrate.VMID) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("targets %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("targets %v, want %v", got, want)
+			}
+		}
+	}
+
+	// t=100: vm2's episode starts.
+	equal(c.targets(100, confirmed("vm2")), []substrate.VMID{"vm2"})
+	// t=105: vm3 joins within one sampling interval of the earliest
+	// onset — both act, in canonical order regardless of map order.
+	equal(c.targets(105, confirmed("vm3", "vm2")), []substrate.VMID{"vm2", "vm3"})
+	// t=110: vm1's onset is 10s after the earliest — a downstream
+	// victim, filtered out.
+	equal(c.targets(110, confirmed("vm1", "vm2", "vm3")), []substrate.VMID{"vm2", "vm3"})
+	// A persistent real violation disables the onset filter.
+	c.violatedStreak = c.cfg.FilterK
+	equal(c.targets(115, confirmed("vm1", "vm2", "vm3")), []substrate.VMID{"vm1", "vm2", "vm3"})
+	c.violatedStreak = 0
+	// After a quiet gap the next alert starts a fresh episode.
+	equal(c.targets(200, confirmed("vm3")), []substrate.VMID{"vm3"})
+}
+
+// TestBusiestVMUnifiedVerdict pins the reactive fallback's unified
+// detector path: the busiest VM is picked by CPU sample and classified
+// through the same Detector.Current call every scheme uses.
+func TestBusiestVMUnifiedVerdict(t *testing.T) {
+	names := predict.AttributeNames()
+	vms := []substrate.VMID{"vm1", "vm2"}
+	dets := make(map[substrate.VMID]detector.Detector, len(vms))
+	for _, id := range vms {
+		e := detector.NewEWMA(len(names), detector.EWMAOptions{})
+		rows := make([][]float64, 40)
+		for i := range rows {
+			rows[i] = make([]float64, len(names))
+			for j := range rows[i] {
+				rows[i][j] = 10 + float64(i%5)
+			}
+		}
+		if err := e.Train(rows, nil); err != nil {
+			t.Fatal(err)
+		}
+		dets[id] = e
+	}
+	c := &Controller{
+		cfg:        Config{}.withDefaults(),
+		vmOrder:    vms,
+		detectors:  dets,
+		attrNames:  names,
+		rowScratch: make([]float64, len(names)),
+	}
+
+	samples := make(map[substrate.VMID]metrics.Sample)
+	for i, id := range vms {
+		var sm metrics.Sample
+		for j := range sm.Values {
+			sm.Values[j] = 10
+		}
+		sm.Values.Set(metrics.CPUTotal, float64(13+i)) // vm2 busiest, both in-range
+		samples[id] = sm
+	}
+	id, verdict, ok := c.busiestVM(samples)
+	if !ok || id != "vm2" {
+		t.Fatalf("busiestVM = %v ok=%v, want vm2", id, ok)
+	}
+	if verdict.Abnormal {
+		t.Fatalf("near-baseline sample classified abnormal: %+v", verdict)
+	}
+
+	// A wildly deviant busiest VM yields an abnormal unified verdict
+	// with attribution strengths.
+	var sm metrics.Sample
+	for j := range sm.Values {
+		sm.Values[j] = 500
+	}
+	sm.Values.Set(metrics.CPUTotal, 99)
+	samples["vm2"] = sm
+	if _, verdict, ok = c.busiestVM(samples); !ok || !verdict.Abnormal || len(verdict.Strengths) == 0 {
+		t.Fatalf("deviant sample verdict %+v ok=%v, want abnormal with strengths", verdict, ok)
 	}
 }

@@ -7,45 +7,64 @@ import (
 	"fmt"
 	"io"
 
+	"prepare/internal/detector"
 	"prepare/internal/predict"
 	"prepare/internal/substrate"
 )
 
 // modelsVersion guards the controller model snapshot wire format.
-const modelsVersion = 1
+// Version 2 wraps each VM's payload in a {kind, data} envelope so every
+// detector kind — TAN, unsupervised, forecast-error, ensembles — round-
+// trips; version 1 snapshots (raw supervised predictor payloads) are
+// still read and installed as TAN detectors.
+const modelsVersion = 2
+
+// vmModelSnapshot is one VM's detector snapshot: the detector kind that
+// wrote it plus the kind-specific payload.
+type vmModelSnapshot struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
 
 // modelsSnapshot is the JSON wire format of a controller's trained
-// per-VM predictors. Each VM entry is one predict snapshot, which
-// carries the full online state of the Markov chains and the TAN model,
-// so a restored controller scores subsequent samples exactly as the
-// saved one would have.
+// per-VM detectors. Each payload carries the detector's full online
+// state, so a restored controller scores subsequent samples exactly as
+// the saved one would have.
 type modelsSnapshot struct {
+	Version int                        `json:"version"`
+	VMs     map[string]vmModelSnapshot `json:"vms"`
+}
+
+// legacyModelsSnapshot is the version-1 format: bare supervised
+// predictor payloads keyed by VM.
+type legacyModelsSnapshot struct {
 	Version int                        `json:"version"`
 	VMs     map[string]json.RawMessage `json:"vms"`
 }
 
-// SaveModels writes the controller's trained per-VM models as JSON.
+// SaveModels writes the controller's trained per-VM detectors as JSON.
 // The snapshot is self-contained: restored into a fresh controller over
 // the same VM set (RestoreModels), it reproduces the saved controller's
-// subsequent predictions exactly. Unsupervised detectors do not support
-// snapshots.
+// subsequent predictions exactly. Every detector kind snapshots,
+// including unsupervised detectors and ensembles.
 func (c *Controller) SaveModels(w io.Writer) error {
 	if !c.trained {
 		return errors.New("control: models are not trained")
 	}
-	if c.cfg.Unsupervised {
-		return errors.New("control: unsupervised models do not support snapshots")
-	}
 	snap := modelsSnapshot{
 		Version: modelsVersion,
-		VMs:     make(map[string]json.RawMessage, len(c.vmOrder)),
+		VMs:     make(map[string]vmModelSnapshot, len(c.vmOrder)),
 	}
 	for _, id := range c.vmOrder {
+		d := c.detectors[id]
 		var buf bytes.Buffer
-		if err := c.predictors[id].Save(&buf); err != nil {
+		if err := d.Save(&buf); err != nil {
 			return fmt.Errorf("control: save models for %s: %w", id, err)
 		}
-		snap.VMs[string(id)] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		snap.VMs[string(id)] = vmModelSnapshot{
+			Kind: d.Kind(),
+			Data: json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		}
 	}
 	if err := json.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("control: encode models: %w", err)
@@ -55,43 +74,65 @@ func (c *Controller) SaveModels(w io.Writer) error {
 
 // RestoreModels loads a SaveModels snapshot into the controller,
 // marking it trained. The snapshot must provide a model for every VM
-// the controller manages.
+// the controller manages. Version-1 snapshots (bare supervised
+// payloads) install as TAN detectors.
 func (c *Controller) RestoreModels(r io.Reader) error {
-	var snap modelsSnapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("control: read models: %w", err)
+	}
+	var head struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
 		return fmt.Errorf("control: decode models: %w", err)
 	}
-	if snap.Version != modelsVersion {
-		return fmt.Errorf("control: unsupported model snapshot version %d", snap.Version)
-	}
-	models := make(map[substrate.VMID]*predict.Predictor, len(snap.VMs))
-	for id, raw := range snap.VMs {
-		p, err := predict.Load(bytes.NewReader(raw))
-		if err != nil {
-			return fmt.Errorf("control: restore models for %s: %w", id, err)
+	models := make(map[substrate.VMID]detector.Detector)
+	switch head.Version {
+	case 1:
+		var snap legacyModelsSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("control: decode models: %w", err)
 		}
-		models[substrate.VMID(id)] = p
+		for id, payload := range snap.VMs {
+			vm := substrate.VMID(id)
+			d, err := predict.LoadDetector(detector.KindTAN, bytes.NewReader(payload), c.detectorOptions(vm))
+			if err != nil {
+				return fmt.Errorf("control: restore models for %s: %w", id, err)
+			}
+			models[vm] = d
+		}
+	case modelsVersion:
+		var snap modelsSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("control: decode models: %w", err)
+		}
+		for id, entry := range snap.VMs {
+			vm := substrate.VMID(id)
+			d, err := predict.LoadDetector(entry.Kind, bytes.NewReader(entry.Data), c.detectorOptions(vm))
+			if err != nil {
+				return fmt.Errorf("control: restore models for %s: %w", id, err)
+			}
+			models[vm] = d
+		}
+	default:
+		return fmt.Errorf("control: unsupported model snapshot version %d", head.Version)
 	}
-	return c.InstallModels(models)
+	return c.InstallDetectors(models)
 }
 
-// InstallModels installs pre-trained predictors — one per managed VM —
+// InstallDetectors installs pre-trained detectors — one per managed VM —
 // and marks the controller trained, so it starts predicting without an
 // online training pass. Fresh alarm filters are created alongside, as
 // train does.
-func (c *Controller) InstallModels(models map[substrate.VMID]*predict.Predictor) error {
-	if c.cfg.Unsupervised {
-		return errors.New("control: unsupervised controllers do not accept supervised models")
-	}
+func (c *Controller) InstallDetectors(models map[substrate.VMID]detector.Detector) error {
 	for _, id := range c.vmOrder {
 		if models[id] == nil {
 			return fmt.Errorf("control: no model for VM %s", id)
 		}
 	}
 	for _, id := range c.vmOrder {
-		p := models[id]
-		p.SetInstruments(c.tel.predict)
-		c.predictors[id] = p
+		c.detectors[id] = models[id]
 		f, err := predict.NewAlarmFilter(c.cfg.FilterK, c.cfg.FilterW)
 		if err != nil {
 			return err
@@ -100,6 +141,24 @@ func (c *Controller) InstallModels(models map[substrate.VMID]*predict.Predictor)
 	}
 	c.trained = true
 	return nil
+}
+
+// InstallModels installs pre-trained supervised predictors, wrapping
+// each in the TAN detector adapter. It remains as the typed entry point
+// for callers that train predictors out-of-band; the controller must be
+// configured for the TAN detector.
+func (c *Controller) InstallModels(models map[substrate.VMID]*predict.Predictor) error {
+	if c.cfg.Detector.Kind != detector.KindTAN {
+		return fmt.Errorf("control: cannot install supervised predictors into a %s controller", c.cfg.Detector)
+	}
+	wrapped := make(map[substrate.VMID]detector.Detector, len(models))
+	for id, p := range models {
+		if p == nil {
+			continue
+		}
+		wrapped[id] = predict.InstalledTAN(p, c.detectorOptions(id))
+	}
+	return c.InstallDetectors(wrapped)
 }
 
 // engineSnapshot is the JSON wire format of every tenant's models.
@@ -134,7 +193,7 @@ func (e *Engine) RestoreModels(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("control: decode engine models: %w", err)
 	}
-	if snap.Version != modelsVersion {
+	if snap.Version != 1 && snap.Version != modelsVersion {
 		return fmt.Errorf("control: unsupported engine snapshot version %d", snap.Version)
 	}
 	for _, t := range e.tenants {

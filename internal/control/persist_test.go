@@ -1,0 +1,185 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"prepare/internal/detector"
+	"prepare/internal/metrics"
+	"prepare/internal/predict"
+	"prepare/internal/substrate"
+)
+
+// persistController builds a bare controller with just enough state for
+// the model persistence paths: config, VM order, and empty detector and
+// filter maps for InstallDetectors to fill.
+func persistController(spec detector.Spec, vms ...substrate.VMID) *Controller {
+	cfg := Config{SamplingIntervalS: 5, Detector: spec}.withDefaults()
+	return &Controller{
+		cfg:       cfg,
+		vmOrder:   vms,
+		detectors: make(map[substrate.VMID]detector.Detector, len(vms)),
+		filters:   make(map[substrate.VMID]*predict.AlarmFilter, len(vms)),
+		attrNames: predict.AttributeNames(),
+	}
+}
+
+func trainingRows(dims, n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dims)
+		for j := range rows[i] {
+			rows[i][j] = 20 + float64((i+2*j)%5)
+		}
+	}
+	return rows
+}
+
+// TestSaveModelsV2RoundTripsNonTANKinds checks the version-2 envelope:
+// a controller running a forecast-error detector snapshots and restores
+// with the detector kind intact, the restored detectors score the same
+// stream identically, and re-saving reproduces the snapshot
+// byte-for-byte.
+func TestSaveModelsV2RoundTripsNonTANKinds(t *testing.T) {
+	vms := []substrate.VMID{"vm-a", "vm-b"}
+	spec := detector.Spec{Kind: detector.KindEWMA}
+	dims := len(predict.AttributeNames())
+
+	c1 := persistController(spec, vms...)
+	models := make(map[substrate.VMID]detector.Detector, len(vms))
+	for _, id := range vms {
+		d := detector.NewEWMA(dims, detector.EWMAOptions{SamplingIntervalS: 5})
+		if err := d.Train(trainingRows(dims, 50), nil); err != nil {
+			t.Fatal(err)
+		}
+		models[id] = d
+	}
+	if err := c1.InstallDetectors(models); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := c1.SaveModels(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var wire modelsSnapshot
+	if err := json.Unmarshal(snap.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version != modelsVersion {
+		t.Fatalf("snapshot version %d, want %d", wire.Version, modelsVersion)
+	}
+	for id, entry := range wire.VMs {
+		if entry.Kind != detector.KindEWMA {
+			t.Fatalf("VM %s snapshotted as %q, want ewma", id, entry.Kind)
+		}
+	}
+
+	c2 := persistController(spec, vms...)
+	if err := c2.RestoreModels(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.trained {
+		t.Fatal("restored controller not marked trained")
+	}
+
+	// Determinism: re-saving the freshly restored controller reproduces
+	// the exact bytes (JSON object keys are sorted, payloads are state).
+	var again bytes.Buffer
+	if err := c2.SaveModels(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), again.Bytes()) {
+		t.Fatal("re-saved snapshot differs from the original bytes")
+	}
+
+	// The restored detectors must resume the score stream exactly.
+	row := make([]float64, dims)
+	for i := 0; i < 25; i++ {
+		for j := range row {
+			row[j] = 20 + float64((i+j)%5)
+		}
+		if i > 10 {
+			row[3] = 20 + float64(i-10)*6 // drift one attribute
+		}
+		for _, id := range vms {
+			a, b := c1.detectors[id], c2.detectors[id]
+			if err := a.Observe(row); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Observe(row); err != nil {
+				t.Fatal(err)
+			}
+			da, err := a.Score(c1.cfg.LookaheadS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := b.Score(c2.cfg.LookaheadS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da != db {
+				t.Fatalf("step %d VM %s: saved %+v vs restored %+v", i, id, da, db)
+			}
+		}
+	}
+}
+
+// TestRestoreModelsReadsLegacyV1 checks backward compatibility: a
+// version-1 snapshot (bare supervised predictor payloads) installs as
+// TAN detectors.
+func TestRestoreModelsReadsLegacyV1(t *testing.T) {
+	dims := len(predict.AttributeNames())
+	p, err := predict.New(predict.Config{}, predict.AttributeNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := trainingRows(dims, 60)
+	labels := make([]metrics.Label, len(rows))
+	for i := range labels {
+		labels[i] = metrics.LabelNormal
+		if i%7 == 0 {
+			labels[i] = metrics.LabelAbnormal
+		}
+	}
+	if err := p.Train(rows, labels); err != nil {
+		t.Fatal(err)
+	}
+	var payload bytes.Buffer
+	if err := p.Save(&payload); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := json.Marshal(legacyModelsSnapshot{
+		Version: 1,
+		VMs:     map[string]json.RawMessage{"vm-a": json.RawMessage(payload.Bytes())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := persistController(detector.Spec{}, "vm-a")
+	if err := c.RestoreModels(bytes.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.trained {
+		t.Fatal("legacy restore did not mark controller trained")
+	}
+	if got := c.detectors["vm-a"].Kind(); got != detector.KindTAN {
+		t.Fatalf("legacy payload installed as %q, want tan", got)
+	}
+
+	// A snapshot missing a managed VM must be rejected whole.
+	c2 := persistController(detector.Spec{}, "vm-a", "vm-b")
+	err = c2.RestoreModels(bytes.NewReader(legacy))
+	if err == nil || !strings.Contains(err.Error(), "vm-b") {
+		t.Fatalf("restore with missing VM: %v, want no-model error for vm-b", err)
+	}
+
+	// Unknown future versions fail loudly instead of misparsing.
+	if err := c.RestoreModels(strings.NewReader(`{"version":99,"vms":{}}`)); err == nil {
+		t.Fatal("version 99 snapshot accepted")
+	}
+}

@@ -105,6 +105,7 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			Predict:           sc.Predict,
 			MonitorSeed:       sc.Seed + 1000,
 			DisableValidation: sc.DisableValidation,
+			Detector:          sc.Detector,
 			Unsupervised:      sc.Unsupervised,
 			Telemetry:         regs[i],
 			MonitorResilience: sc.monitorResilience(),

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prepare/internal/control"
+	"prepare/internal/detector"
+	"prepare/internal/faults"
+	"prepare/internal/simclock"
+)
+
+// NAB-style time-window-aware detector scoring. Instead of counting raw
+// true/false positives per tick, detections are judged against
+// ground-truth anomaly windows derived from the scenario's
+// fault-injection intervals: the first confirmed alert inside a window
+// earns credit that decays the later in the window it lands (early
+// detection is the whole point of a predictive system), every alert
+// outside all windows costs a false-alarm penalty, and every window
+// with no alert at all costs a miss penalty. The shape follows the
+// Numenta Anomaly Benchmark's standard profile; the positional credit
+// is linear rather than sigmoidal to keep scores exactly reproducible
+// and easy to reason about.
+
+// AnomalyWindow is one ground-truth anomaly interval [Start, End).
+type AnomalyWindow struct {
+	Start, End simclock.Time
+}
+
+// NABOptions parameterizes window scoring. The zero value gets the
+// standard-profile defaults from withDefaults.
+type NABOptions struct {
+	// TPWeight is the credit for a detection at a window's start; the
+	// credit decays linearly to TPWeight/2 at the window's end
+	// (default 1.0).
+	TPWeight float64
+	// FPWeight is the penalty per confirmed alert outside every window
+	// (default 0.11, the NAB standard profile's false-alarm cost).
+	FPWeight float64
+	// FNWeight is the penalty per missed window (default 1.0).
+	FNWeight float64
+	// LeadCreditS extends each window backward: a predictive alert up
+	// to this many seconds before the fault manifests is an early
+	// detection with full credit, not a false alarm (default: the
+	// scenario lookahead when scoring via CompareDetectors, else 0).
+	LeadCreditS int64
+	// EvalStartS drops alerts before the instant models are trained;
+	// alerts the detector could not have produced deliberately are not
+	// scored (default: the scenario's TrainAtS when scoring via
+	// CompareDetectors, else 0).
+	EvalStartS int64
+}
+
+func (o NABOptions) withDefaults() NABOptions {
+	if o.TPWeight == 0 {
+		o.TPWeight = 1.0
+	}
+	if o.FPWeight == 0 {
+		o.FPWeight = 0.11
+	}
+	if o.FNWeight == 0 {
+		o.FNWeight = 1.0
+	}
+	return o
+}
+
+// NABScore is the outcome of scoring one alert stream against one set
+// of anomaly windows.
+type NABScore struct {
+	// Windows / Detected / Missed count ground-truth windows and how
+	// many had at least one in-window alert.
+	Windows  int
+	Detected int
+	Missed   int
+	// FalseAlarms counts confirmed alerts outside every (lead-extended)
+	// window.
+	FalseAlarms int
+	// MeanLeadS is the mean detection margin in seconds, averaged over
+	// detected windows: window end minus first-alert time (larger =
+	// earlier detection; 0 when nothing was detected).
+	MeanLeadS float64
+	// Raw is sum(positional credit) - FNWeight*Missed -
+	// FPWeight*FalseAlarms.
+	Raw float64
+	// Normalized maps Raw onto [.., 100]: 100 is every window detected
+	// at its start with zero false alarms; 0 is the score of detecting
+	// nothing at all; negative means worse than silence.
+	Normalized float64
+}
+
+// ScoreAlerts scores a confirmed-alert stream against ground-truth
+// anomaly windows. Only the first alert inside each window earns
+// credit; duplicate in-window alerts are neither credited nor
+// penalized (the alarm filter confirms repeatedly while an anomaly
+// persists, and re-reporting a caught anomaly is not a false alarm).
+func ScoreAlerts(alerts []control.AlertEvent, windows []AnomalyWindow, opts NABOptions) NABScore {
+	opts = opts.withDefaults()
+	s := NABScore{Windows: len(windows)}
+
+	firstHit := make([]simclock.Time, len(windows))
+	hit := make([]bool, len(windows))
+	var leadSum float64
+	for _, a := range alerts {
+		if int64(a.Time) < opts.EvalStartS {
+			continue
+		}
+		inWindow := false
+		for i, w := range windows {
+			if int64(a.Time) >= int64(w.Start)-opts.LeadCreditS && a.Time < w.End {
+				inWindow = true
+				if !hit[i] || a.Time < firstHit[i] {
+					hit[i], firstHit[i] = true, a.Time
+				}
+			}
+		}
+		if !inWindow {
+			s.FalseAlarms++
+		}
+	}
+
+	for i, w := range windows {
+		if !hit[i] {
+			s.Missed++
+			s.Raw -= opts.FNWeight
+			continue
+		}
+		s.Detected++
+		leadSum += float64(int64(w.End) - int64(firstHit[i]))
+		// Positional credit: full TPWeight at (or before) the window
+		// start, decaying linearly to TPWeight/2 at the window end.
+		span := float64(int64(w.End) - int64(w.Start))
+		frac := 0.0
+		if span > 0 && firstHit[i] > w.Start {
+			frac = float64(int64(firstHit[i])-int64(w.Start)) / span
+		}
+		s.Raw += opts.TPWeight * (1 - 0.5*frac)
+	}
+	if s.Detected > 0 {
+		s.MeanLeadS = leadSum / float64(s.Detected)
+	}
+	s.Raw -= opts.FPWeight * float64(s.FalseAlarms)
+
+	// Normalize so silence scores 0 and perfection scores 100.
+	perfect := opts.TPWeight * float64(len(windows))
+	silence := -opts.FNWeight * float64(len(windows))
+	if perfect > silence {
+		s.Normalized = 100 * (s.Raw - silence) / (perfect - silence)
+	}
+	return s
+}
+
+// AnomalyWindows derives the scenario's ground-truth anomaly windows:
+// every fault-injection interval that a model trained at TrainAtS could
+// catch (ends after training, starts inside the run).
+func (s Scenario) AnomalyWindows() []AnomalyWindow {
+	s = s.withDefaults()
+	var out []AnomalyWindow
+	for _, in := range [][2]int64{s.Inject1, s.Inject2} {
+		if in[1] > s.TrainAtS && in[0] < s.DurationS {
+			out = append(out, AnomalyWindow{Start: simclock.Time(in[0]), End: simclock.Time(in[1])})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// DetectorRun is one cell of a detector comparison: a (fault, detector)
+// pair's windowed score plus the run's headline outcomes.
+type DetectorRun struct {
+	Fault    faults.Kind
+	Detector detector.Spec
+	Score    NABScore
+	// EvalViolationSeconds / Alerts / Steps summarize the run itself.
+	EvalViolationSeconds int64
+	Alerts               int
+	Steps                int
+}
+
+// CompareDetectors runs the base scenario once per (fault, detector)
+// combination under SchemePREPARE on the shared worker pool and scores
+// each run's confirmed alerts against that fault's anomaly windows.
+// Every run is independently seeded from the base scenario, so the
+// result — and the formatted table — is byte-identical for any worker
+// count. A zero opts scores with the NAB standard profile, the base
+// scenario's lookahead as early-detection credit, and alerts before
+// TrainAtS excluded.
+func CompareDetectors(base Scenario, faultKinds []faults.Kind, specs []detector.Spec, opts NABOptions) ([]DetectorRun, error) {
+	base = base.withDefaults()
+	base.Scheme = control.SchemePREPARE
+	if opts.LeadCreditS == 0 {
+		opts.LeadCreditS = base.LookaheadS
+	}
+	if opts.EvalStartS == 0 {
+		opts.EvalStartS = base.TrainAtS
+	}
+	opts = opts.withDefaults()
+
+	scenarios := make([]Scenario, 0, len(faultKinds)*len(specs))
+	for _, f := range faultKinds {
+		for _, spec := range specs {
+			sc := base
+			sc.Fault = f
+			sc.Detector = spec
+			scenarios = append(scenarios, sc)
+		}
+	}
+	results, err := RunAll(scenarios, BatchOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: detector comparison: %w", err)
+	}
+
+	runs := make([]DetectorRun, len(results))
+	for i, res := range results {
+		runs[i] = DetectorRun{
+			Fault:                res.Scenario.Fault,
+			Detector:             res.Scenario.Detector,
+			Score:                ScoreAlerts(res.Alerts, res.Scenario.AnomalyWindows(), opts),
+			EvalViolationSeconds: res.EvalViolationSeconds,
+			Alerts:               len(res.Alerts),
+			Steps:                len(res.Steps),
+		}
+	}
+	return runs, nil
+}
+
+// FormatDetectorTable renders a detector comparison as a fixed-width
+// table, rows in input order. The output is deterministic: identical
+// runs format byte-for-byte identically.
+func FormatDetectorTable(runs []DetectorRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-22s %8s %9s %6s %9s %8s %7s %6s\n",
+		"fault", "detector", "nab", "detected", "fp", "lead(s)", "viol(s)", "alerts", "steps")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%-12v %-22s %8.1f %6d/%-2d %6d %9.1f %8d %7d %6d\n",
+			r.Fault, r.Detector.String(), r.Score.Normalized,
+			r.Score.Detected, r.Score.Windows, r.Score.FalseAlarms,
+			r.Score.MeanLeadS, r.EvalViolationSeconds, r.Alerts, r.Steps)
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 	"prepare/internal/chaos"
 	"prepare/internal/cloudsim"
 	"prepare/internal/control"
+	"prepare/internal/detector"
 	"prepare/internal/faults"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
@@ -100,9 +101,15 @@ type Scenario struct {
 	// DisableValidation turns off the effectiveness validation (for the
 	// ablation study).
 	DisableValidation bool
+	// Detector selects the anomaly detector driving the control loop
+	// (zero = the paper's supervised Markov+TAN pipeline): tan, kmeans,
+	// zscore, ewma, zrobust, or an ensemble spec. Parse CLI syntax with
+	// detector.ParseSpec.
+	Detector detector.Spec
 	// Unsupervised replaces the supervised classifier with an outlier
 	// detector (the Section V extension); combined with
 	// SkipFirstInjection it demonstrates first-occurrence prevention.
+	// Legacy switch — an explicit Detector spec wins.
 	Unsupervised bool
 	// SkipFirstInjection drops the training-time fault injection: the
 	// models train on clean data only and the (single) injection in the
@@ -300,6 +307,7 @@ func Run(sc Scenario) (Result, error) {
 		Predict:           sc.Predict,
 		MonitorSeed:       sc.Seed + 1000,
 		DisableValidation: sc.DisableValidation,
+		Detector:          sc.Detector,
 		Unsupervised:      sc.Unsupervised,
 		Telemetry:         reg,
 		MonitorResilience: sc.monitorResilience(),

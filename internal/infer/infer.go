@@ -13,9 +13,8 @@ import (
 	"math"
 	"sort"
 
-	"prepare/internal/bayes"
+	"prepare/internal/detector"
 	"prepare/internal/metrics"
-	"prepare/internal/predict"
 	"prepare/internal/simclock"
 	"prepare/internal/substrate"
 )
@@ -29,8 +28,8 @@ type Diagnosis struct {
 	// "abnormal") are included.
 	Ranked []metrics.Attribute
 	// Strengths carries the full strength list for diagnostics.
-	Strengths []bayes.Strength
-	// Score is the TAN decision value of the alerting prediction.
+	Strengths []detector.Strength
+	// Score is the detector's decision value of the alerting prediction.
 	Score float64
 }
 
@@ -45,8 +44,8 @@ func (d Diagnosis) TopAttribute() (metrics.Attribute, bool) {
 
 // Diagnose converts a per-VM alerting verdict into a diagnosis. The
 // verdict's strength indices must refer to the 13 metrics attributes in
-// canonical order (as produced by per-VM predictors).
-func Diagnose(vm substrate.VMID, verdict predict.Verdict) (Diagnosis, error) {
+// canonical order (as produced by per-VM detectors).
+func Diagnose(vm substrate.VMID, verdict detector.Verdict) (Diagnosis, error) {
 	d := Diagnosis{VM: vm, Score: verdict.Score}
 	d.Strengths = append(d.Strengths, verdict.Strengths...)
 	for _, s := range verdict.Strengths {

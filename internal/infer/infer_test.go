@@ -4,17 +4,16 @@ import (
 	"math/rand"
 	"testing"
 
-	"prepare/internal/bayes"
 	"prepare/internal/cloudsim"
+	"prepare/internal/detector"
 	"prepare/internal/metrics"
-	"prepare/internal/predict"
 	"prepare/internal/simclock"
 )
 
 func TestDiagnoseRanksPositiveStrengths(t *testing.T) {
-	verdict := predict.Verdict{
+	verdict := detector.Verdict{
 		Score: 2.5,
-		Strengths: []bayes.Strength{
+		Strengths: []detector.Strength{
 			{Attribute: metrics.FreeMem.Index(), L: 3.1},
 			{Attribute: metrics.Load1.Index(), L: 2.0},
 			{Attribute: metrics.NetIn.Index(), L: 0.4},
@@ -45,8 +44,8 @@ func TestDiagnoseRanksPositiveStrengths(t *testing.T) {
 }
 
 func TestDiagnoseNoPositiveStrengths(t *testing.T) {
-	verdict := predict.Verdict{
-		Strengths: []bayes.Strength{{Attribute: 0, L: -1}},
+	verdict := detector.Verdict{
+		Strengths: []detector.Strength{{Attribute: 0, L: -1}},
 	}
 	d, err := Diagnose("vm1", verdict)
 	if err != nil {
@@ -58,8 +57,8 @@ func TestDiagnoseNoPositiveStrengths(t *testing.T) {
 }
 
 func TestDiagnoseBadIndex(t *testing.T) {
-	verdict := predict.Verdict{
-		Strengths: []bayes.Strength{{Attribute: 99, L: 1}},
+	verdict := detector.Verdict{
+		Strengths: []detector.Strength{{Attribute: 99, L: 1}},
 	}
 	if _, err := Diagnose("vm1", verdict); err == nil {
 		t.Error("out-of-range attribute index should fail")

@@ -142,3 +142,78 @@ func TestAlarmFilterOfferAllocFree(t *testing.T) {
 		t.Fatalf("Offer/Reset allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestFilterWraparoundEviction pins the ring semantics at exactly W
+// offers and one past it: the W+1th offer must evict the oldest vote,
+// not stack on top of it.
+func TestFilterWraparoundEviction(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offers 1-3: T,T,T — confirmed from the 3rd (k reached before the
+	// window is even full).
+	for i, want := range []bool{false, false, true} {
+		if got := f.Offer(true); got != want {
+			t.Fatalf("offer %d = %v, want %v", i+1, got, want)
+		}
+	}
+	// Offer 4 fills the window: T,T,T,F still holds 3 votes.
+	if !f.Offer(false) {
+		t.Fatal("offer 4: window T,T,T,F should stay confirmed")
+	}
+	// Offer 5 wraps: the first T is evicted, window T,T,F,F = 2 < k.
+	if f.Offer(false) {
+		t.Fatal("offer 5: eviction should drop the count below k")
+	}
+	// Offer 6 evicts another T: T,F,F,T = 2 < k.
+	if f.Offer(true) {
+		t.Fatal("offer 6: still only 2 of last 4")
+	}
+}
+
+// TestFilterDuplicateTickOffers documents the contract that the filter
+// has no notion of time: two Offer calls are two independent votes, so
+// the caller must offer exactly once per sampling tick or k-of-w
+// becomes k-of-(w/duplicates).
+func TestFilterDuplicateTickOffers(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single tick's alert offered three times confirms immediately —
+	// exactly the transient-suppression bypass the per-tick contract
+	// exists to prevent.
+	f.Offer(true)
+	f.Offer(true)
+	if !f.Offer(true) {
+		t.Fatal("three duplicate offers should count as three votes")
+	}
+}
+
+// TestFilterResetDropsStaleSlots guards the Reset implementation
+// detail: Reset rewinds n and next but leaves ring contents in place,
+// so the count must only ever scan the live prefix ring[:n]. A stale
+// slot beyond n leaking into the vote would re-confirm instantly after
+// a prevention action.
+func TestFilterResetDropsStaleSlots(t *testing.T) {
+	f, err := NewAlarmFilter(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		f.Offer(true) // saturate the ring with alert votes
+	}
+	f.Reset()
+	// Post-reset, two fresh alerts must NOT confirm even though the
+	// ring's stale slots still physically hold true values.
+	if f.Offer(true) {
+		t.Fatal("first post-reset offer confirmed: stale ring slot counted")
+	}
+	if f.Offer(true) {
+		t.Fatal("second post-reset offer confirmed: stale ring slot counted")
+	}
+	if !f.Offer(true) {
+		t.Fatal("third post-reset alert should confirm (k=3 fresh votes)")
+	}
+}

@@ -114,6 +114,10 @@ type Predictor struct {
 	// keyed by model pointer identity (see Predictor.logRatios).
 	lr *bayes.LogRatios
 
+	// lastBestStep records the winning window step of the most recent
+	// PredictWindow call (0-based), for lead-time reporting.
+	lastBestStep int
+
 	// ins is the (possibly zero/disabled) telemetry wiring.
 	ins Instruments
 }
@@ -333,6 +337,7 @@ func (p *Predictor) PredictWindow(lookaheadS int64) (Verdict, error) {
 			bestStep, bestScore = s, score
 		}
 	}
+	p.lastBestStep = bestStep
 	for j := range p.names {
 		marginals[j] = series[j][bestStep]
 	}

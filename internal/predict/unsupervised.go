@@ -23,6 +23,7 @@ type UnsupervisedPredictor struct {
 	disc     []metrics.Discretizer
 	chains   []markov.Predictor
 	detector unsupervised.Detector
+	kind     UnsupervisedKind
 	lastRow  []float64
 	trained  bool
 
@@ -129,9 +130,16 @@ func (p *UnsupervisedPredictor) Train(rows [][]float64, kind UnsupervisedKind, s
 	p.disc = disc
 	p.chains = chains
 	p.detector = det
+	if kind == 0 {
+		kind = KMeansDetector
+	}
+	p.kind = kind
 	p.trained = true
 	return nil
 }
+
+// Kind returns the detector kind Train was called with.
+func (p *UnsupervisedPredictor) Kind() UnsupervisedKind { return p.kind }
 
 // Observe feeds a new runtime row to the value predictors.
 func (p *UnsupervisedPredictor) Observe(row []float64) error {

@@ -1,0 +1,121 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prepare/internal/markov"
+	"prepare/internal/metrics"
+	"prepare/internal/unsupervised"
+)
+
+// unsupervisedSnapshot is the JSON wire format of a trained
+// unsupervised predictor: the same discretizer/chain state as the
+// supervised snapshot plus the outlier detector and the last observed
+// row (part of the scoring state — PredictWindow takes the max with the
+// current observation), so a restored predictor resumes an identical
+// score stream.
+type unsupervisedSnapshot struct {
+	Version      int                           `json:"version"`
+	Names        []string                      `json:"names"`
+	Config       Config                        `json:"config"`
+	Kind         UnsupervisedKind              `json:"kind"`
+	Discretizers []metrics.DiscretizerSnapshot `json:"discretizers"`
+	Chains       []markov.Snapshot             `json:"chains"`
+	Detector     unsupervised.Snapshot         `json:"detector"`
+	LastRow      []float64                     `json:"last_row,omitempty"`
+}
+
+// Save writes the trained unsupervised predictor as JSON.
+func (p *UnsupervisedPredictor) Save(w io.Writer) error {
+	if !p.trained {
+		return ErrNotTrained
+	}
+	snap := unsupervisedSnapshot{
+		Version: snapshotVersion,
+		Names:   append([]string(nil), p.names...),
+		Config:  p.cfg,
+		Kind:    p.kind,
+		LastRow: append([]float64(nil), p.lastRow...),
+	}
+	switch det := p.detector.(type) {
+	case *unsupervised.KMeans:
+		snap.Detector = det.Snapshot()
+	case *unsupervised.ZScore:
+		snap.Detector = det.Snapshot()
+	default:
+		return fmt.Errorf("predict: unsupported unsupervised detector type %T", p.detector)
+	}
+	for j := range p.names {
+		ew, ok := p.disc[j].(*metrics.EqualWidth)
+		if !ok {
+			return fmt.Errorf("predict: unsupported discretizer type for %s", p.names[j])
+		}
+		snap.Discretizers = append(snap.Discretizers, ew.Snapshot())
+		switch ch := p.chains[j].(type) {
+		case *markov.SimpleChain:
+			snap.Chains = append(snap.Chains, ch.Snapshot())
+		case *markov.TwoDepChain:
+			snap.Chains = append(snap.Chains, ch.Snapshot())
+		default:
+			return fmt.Errorf("predict: unsupported chain type for %s", p.names[j])
+		}
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("predict: encode unsupervised snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadUnsupervised reconstructs a trained unsupervised predictor saved
+// with Save.
+func LoadUnsupervised(r io.Reader) (*UnsupervisedPredictor, error) {
+	var snap unsupervisedSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("predict: decode unsupervised snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("predict: unsupported unsupervised snapshot version %d", snap.Version)
+	}
+	n := len(snap.Names)
+	if n == 0 {
+		return nil, fmt.Errorf("predict: snapshot has no columns")
+	}
+	if len(snap.Discretizers) != n || len(snap.Chains) != n {
+		return nil, fmt.Errorf("predict: snapshot shape mismatch (%d names, %d discretizers, %d chains)",
+			n, len(snap.Discretizers), len(snap.Chains))
+	}
+	p, err := NewUnsupervised(snap.Config, snap.Names)
+	if err != nil {
+		return nil, err
+	}
+	p.disc = make([]metrics.Discretizer, n)
+	p.chains = make([]markov.Predictor, n)
+	for j := 0; j < n; j++ {
+		d, err := metrics.DiscretizerFromSnapshot(snap.Discretizers[j])
+		if err != nil {
+			return nil, fmt.Errorf("predict: column %s: %w", snap.Names[j], err)
+		}
+		p.disc[j] = d
+		ch, err := markov.FromSnapshot(snap.Chains[j])
+		if err != nil {
+			return nil, fmt.Errorf("predict: column %s: %w", snap.Names[j], err)
+		}
+		p.chains[j] = ch
+	}
+	det, err := unsupervised.FromSnapshot(snap.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+	p.detector = det
+	p.kind = snap.Kind
+	if snap.LastRow != nil {
+		if len(snap.LastRow) != n {
+			return nil, fmt.Errorf("predict: snapshot last row has %d columns, want %d", len(snap.LastRow), n)
+		}
+		p.lastRow = append([]float64(nil), snap.LastRow...)
+	}
+	p.trained = true
+	return p, nil
+}

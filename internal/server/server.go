@@ -376,19 +376,22 @@ func (s *Server) NumShards() int { return len(s.shards) }
 
 // Stats is a point-in-time snapshot of the pipeline counters.
 type Stats struct {
-	Tenants         int    `json:"tenants"`
-	Shards          int    `json:"shards"`
-	SamplesAccepted int64  `json:"samples_accepted"`
-	SamplesApplied  int64  `json:"samples_applied"`
-	SamplesRejected int64  `json:"samples_rejected"`
-	BatchesRejected int64  `json:"batches_rejected"`
-	AppendErrors    int64  `json:"append_errors"`
-	Ticks           int64  `json:"ticks"`
-	AlertsPublished int64  `json:"alerts_published"`
-	StepsPublished  int64  `json:"steps_published"`
-	Checkpoints     int64  `json:"checkpoints"`
-	QueueDepths     []int  `json:"queue_depths"`
-	Failure         string `json:"failure,omitempty"`
+	Tenants         int   `json:"tenants"`
+	Shards          int   `json:"shards"`
+	SamplesAccepted int64 `json:"samples_accepted"`
+	SamplesApplied  int64 `json:"samples_applied"`
+	SamplesRejected int64 `json:"samples_rejected"`
+	BatchesRejected int64 `json:"batches_rejected"`
+	AppendErrors    int64 `json:"append_errors"`
+	Ticks           int64 `json:"ticks"`
+	AlertsPublished int64 `json:"alerts_published"`
+	StepsPublished  int64 `json:"steps_published"`
+	Checkpoints     int64 `json:"checkpoints"`
+	QueueDepths     []int `json:"queue_depths"`
+	// Detectors maps each tenant to its resolved detector spec (e.g.
+	// "tan" or "ensemble:tan+ewma@1").
+	Detectors map[string]string `json:"detectors"`
+	Failure   string            `json:"failure,omitempty"`
 }
 
 // Stats snapshots the pipeline counters.
@@ -406,9 +409,13 @@ func (s *Server) Stats() Stats {
 		StepsPublished:  s.stepsPublished.Load(),
 		Checkpoints:     s.checkpoints.Load(),
 		QueueDepths:     make([]int, len(s.shards)),
+		Detectors:       make(map[string]string, len(s.tenants)),
 	}
 	for i, sh := range s.shards {
 		st.QueueDepths[i] = len(sh.queue)
+	}
+	for id, t := range s.tenants {
+		st.Detectors[id] = t.ctl.DetectorSpec().String()
 	}
 	if err := s.Failure(); err != nil {
 		st.Failure = err.Error()

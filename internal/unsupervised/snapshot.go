@@ -1,0 +1,74 @@
+package unsupervised
+
+import "fmt"
+
+// Snapshot is the JSON wire form of a trained detector. Kind selects
+// the concrete type; centroid fields are empty for ZScore.
+type Snapshot struct {
+	Kind      string      `json:"kind"`
+	Center    []float64   `json:"center"`
+	Scale     []float64   `json:"scale"`
+	Centroids [][]float64 `json:"centroids,omitempty"`
+	Threshold float64     `json:"threshold"`
+}
+
+// Snapshot kinds.
+const (
+	SnapshotKMeans = "kmeans"
+	SnapshotZScore = "zscore"
+)
+
+// Snapshot captures the detector's full scoring state.
+func (k *KMeans) Snapshot() Snapshot {
+	s := Snapshot{
+		Kind:      SnapshotKMeans,
+		Center:    append([]float64(nil), k.norm.center...),
+		Scale:     append([]float64(nil), k.norm.scale...),
+		Threshold: k.threshold,
+	}
+	for _, c := range k.centroids {
+		s.Centroids = append(s.Centroids, append([]float64(nil), c...))
+	}
+	return s
+}
+
+// Snapshot captures the detector's full scoring state.
+func (z *ZScore) Snapshot() Snapshot {
+	return Snapshot{
+		Kind:      SnapshotZScore,
+		Center:    append([]float64(nil), z.norm.center...),
+		Scale:     append([]float64(nil), z.norm.scale...),
+		Threshold: z.threshold,
+	}
+}
+
+// FromSnapshot reconstructs a detector; the restored detector scores
+// identically to the saved one.
+func FromSnapshot(s Snapshot) (Detector, error) {
+	n := len(s.Center)
+	if n == 0 || len(s.Scale) != n {
+		return nil, fmt.Errorf("unsupervised: snapshot has %d centers, %d scales", n, len(s.Scale))
+	}
+	norm := &normalizer{
+		center: append([]float64(nil), s.Center...),
+		scale:  append([]float64(nil), s.Scale...),
+	}
+	switch s.Kind {
+	case SnapshotKMeans:
+		if len(s.Centroids) == 0 {
+			return nil, fmt.Errorf("unsupervised: kmeans snapshot has no centroids")
+		}
+		km := &KMeans{norm: norm, threshold: s.Threshold}
+		for _, c := range s.Centroids {
+			if len(c) != n {
+				return nil, fmt.Errorf("unsupervised: centroid has %d columns, want %d", len(c), n)
+			}
+			km.centroids = append(km.centroids, append([]float64(nil), c...))
+		}
+		return km, nil
+	case SnapshotZScore:
+		return &ZScore{norm: norm, threshold: s.Threshold}, nil
+	default:
+		return nil, fmt.Errorf("unsupervised: unknown snapshot kind %q", s.Kind)
+	}
+}

@@ -4,7 +4,8 @@
 # Compares allocs/op between two `go test -bench -benchmem` outputs and
 # fails when any scratch-path benchmark (the allocation-sensitive hot
 # paths: Markov series prediction, predictor windows, TAN scratch
-# scoring, the engine fleet tick) regressed by more than
+# scoring, the engine fleet tick, the per-VM detector fleet tick
+# BenchmarkDetector*) regressed by more than
 # BENCH_GATE_THRESHOLD percent (default 20). Benchmarks that report a
 # vm-steps/sec throughput metric (BenchmarkEngineVMSteps) are also
 # gated on it: head throughput more than BENCH_GATE_THRESHOLD percent
@@ -14,7 +15,7 @@ set -euo pipefail
 
 BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
 HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
-PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow'}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow|Detector'}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
 
 if ! grep -Eq 'allocs/op' "$BASE"; then

@@ -13,11 +13,14 @@
 # fleet benchmarks (whole-fleet ticks at 1k/10k/100k VMs, tens of
 # seconds of setup each) run -benchtime 1x. Tune with:
 #
-#   BENCH_PATTERN        micro-bench regexp  (default: the CI gate set)
-#   BENCH_COUNT          micro-bench -count  (default 3)
-#   ENGINE_BENCH_PATTERN engine regexp       (default EngineVMSteps, all fleets)
-#   ENGINE_BENCHTIME     engine -benchtime   (default 1x)
-#   SKIP_ENGINE=1        skip the engine pass (quick micro-only record)
+#   BENCH_PATTERN          micro-bench regexp  (default: the CI gate set)
+#   BENCH_COUNT            micro-bench -count  (default 3)
+#   DETECTOR_BENCH_PATTERN detector regexp     (default DetectorFleetTick)
+#   DETECTOR_BENCHTIME     detector -benchtime (default 5x; pass -short to
+#                          skip the 10k-VM tier)
+#   ENGINE_BENCH_PATTERN   engine regexp       (default EngineVMSteps, all fleets)
+#   ENGINE_BENCHTIME       engine -benchtime   (default 1x)
+#   SKIP_ENGINE=1          skip the engine pass (quick micro-only record)
 #
 # Usage:
 #   ./scripts/record_bench.sh 6            # writes BENCH_PR6.json
@@ -37,6 +40,11 @@ echo ">> micro benchmarks (${MICRO_PATTERN})" >&2
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem \
   -benchtime "${BENCH_TIME:-1000x}" -count "${BENCH_COUNT:-3}" \
   "$@" "${MICRO_PKGS[@]}" | tee -a "$RAW" >&2
+
+echo ">> detector fleet benchmarks" >&2
+go test -run '^$' -bench "${DETECTOR_BENCH_PATTERN:-DetectorFleetTick}" -benchmem \
+  -benchtime "${DETECTOR_BENCHTIME:-5x}" -timeout 60m \
+  "$@" ./internal/predict | tee -a "$RAW" >&2
 
 if [ "${SKIP_ENGINE:-0}" != "1" ]; then
   echo ">> engine fleet benchmarks (this is the slow part)" >&2
