@@ -69,6 +69,15 @@
 //	preparesim -experiment run -app rubis -fault memleak -detector ensemble:tan+ewma@1
 //	preparesim -experiment detectors -app systems -detector tan,ewma,ensemble:tan+ewma@1
 //
+// The run and engine modes accept -placement to swap migration target
+// selection: naive (the default; the substrate's least-loaded host,
+// byte-identical to prior releases) or predictive (the forecast-aware
+// placement engine with failure-domain spreading and bounded
+// preemption), and -policy to pick the prevention action (scaling-first
+// or migration):
+//
+//	preparesim -experiment run -app systems -fault cpuhog -policy migration -placement predictive
+//
 // Profiling: -cpuprofile FILE and -memprofile FILE write pprof
 // profiles covering the whole invocation:
 //
@@ -132,6 +141,8 @@ type options struct {
 	historyWindow   int
 	batch           string
 	detector        string
+	placement       string
+	policy          string
 	cpuProfile      string
 	memProfile      string
 }
@@ -157,6 +168,16 @@ func (o options) applyRetrain(sc prepare.Scenario) (prepare.Scenario, error) {
 		return sc, err
 	}
 	sc.Detector = spec
+	pm, err := prepare.PlacementModeByName(o.placement)
+	if err != nil {
+		return sc, err
+	}
+	sc.Placement = pm
+	policy, ok := policyByName(o.policy)
+	if !ok {
+		return sc, fmt.Errorf("unknown policy %q (want scaling-first or migration)", o.policy)
+	}
+	sc.Policy = policy
 	return sc, nil
 }
 
@@ -219,6 +240,10 @@ func run(args []string) error {
 		"control-loop hot path for the run and engine modes: auto, on (columnar batch) or off (per-VM scalar); output is identical either way")
 	fs.StringVar(&opts.detector, "detector", "",
 		"anomaly detector for the run, engine and detectors modes: tan (default), kmeans, zscore, ewma, zrobust, or an ensemble spec like ensemble:tan+ewma@1")
+	fs.StringVar(&opts.placement, "placement", "",
+		"migration target selection for the run and engine modes: naive (default; least-loaded host) or predictive (forecast-aware placement engine)")
+	fs.StringVar(&opts.policy, "policy", "",
+		"prevention policy for the run and engine modes: scaling-first (default) or migration")
 	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&opts.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -616,6 +641,21 @@ func batchModeByName(name string) (prepare.BatchMode, bool) {
 		return prepare.BatchOn, true
 	case "off":
 		return prepare.BatchOff, true
+	default:
+		return 0, false
+	}
+}
+
+// policyByName maps the -policy flag; the empty string keeps the
+// scenario default (scaling-first).
+func policyByName(name string) (prepare.Policy, bool) {
+	switch name {
+	case "":
+		return 0, true
+	case "scaling-first":
+		return prepare.ScalingFirst, true
+	case "migration":
+		return prepare.MigrationOnly, true
 	default:
 		return 0, false
 	}

@@ -86,6 +86,33 @@ func TestApplyRetrainWiresScenario(t *testing.T) {
 	}
 }
 
+// TestApplyRetrainWiresPlacementAndPolicy checks the -placement and
+// -policy flags land on the scenario, default to the pre-existing
+// behavior, and reject unknown spellings.
+func TestApplyRetrainWiresPlacementAndPolicy(t *testing.T) {
+	o := options{retrainMode: "auto", batch: "auto", placement: "predictive", policy: "migration"}
+	sc, err := o.applyRetrain(prepare.Scenario{App: prepare.SystemS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Placement != prepare.PlacementPredictive || sc.Policy != prepare.MigrationOnly {
+		t.Errorf("applyRetrain produced placement %v policy %v", sc.Placement, sc.Policy)
+	}
+	def, err := (options{retrainMode: "auto", batch: "auto"}).applyRetrain(prepare.Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Placement != prepare.PlacementNaive || def.Policy != 0 {
+		t.Errorf("flag defaults must keep the scenario zero values, got %+v", def)
+	}
+	if _, err := (options{retrainMode: "auto", batch: "auto", placement: "psychic"}).applyRetrain(prepare.Scenario{}); err == nil {
+		t.Error("bad placement mode should fail")
+	}
+	if _, err := (options{retrainMode: "auto", batch: "auto", policy: "prayer"}).applyRetrain(prepare.Scenario{}); err == nil {
+		t.Error("bad policy should fail")
+	}
+}
+
 func TestMetricNames(t *testing.T) {
 	if metricName(prepare.SystemS) != "throughput Ktuples/s" {
 		t.Error("systems metric name wrong")

@@ -19,6 +19,7 @@ const (
 	opMigrate
 	opMigrateTarget
 	opMigStall
+	opMigrateTo
 
 	// opInsufficientSalt offsets the spurious-insufficient roll from the
 	// transient roll sharing the same call site.

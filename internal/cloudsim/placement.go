@@ -1,0 +1,98 @@
+package cloudsim
+
+import (
+	"prepare/internal/placement"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// MigrateTo starts a live migration of the VM to an explicit target
+// host (substrate.TargetedActuator).
+func (s *Substrate) MigrateTo(now simclock.Time, id VMID, target HostID, desiredCPUPct, desiredMemMB float64) error {
+	return s.cluster.MigrateTo(now, id, target, desiredCPUPct, desiredMemMB)
+}
+
+var _ substrate.TargetedActuator = (*Substrate)(nil)
+
+// PlacementInventory returns the indexed free-capacity mirror of the
+// cluster, building it lazily on first call (a naive-placement run
+// never pays for it). The mirror snapshots the current fleet —
+// including in-flight migration reservations — and then stays current
+// through cluster bookkeeping events; it shares no state with the
+// simulator, so a mirror bug can never corrupt simulation results.
+func (s *Substrate) PlacementInventory() *placement.Inventory {
+	if s.placeInv != nil {
+		return s.placeInv
+	}
+	inv := placement.NewInventory()
+	for _, h := range s.cluster.Hosts() {
+		err := inv.AddHost(placement.HostState{
+			ID: h.ID, Domain: h.Domain, CPUCapPct: h.CPUCap, MemCapMB: h.MemCapMB,
+		})
+		if err != nil {
+			inv.MarkDamaged(err)
+		}
+	}
+	for _, vm := range s.cluster.VMs() {
+		if err := inv.Place(vm.ID, vm.host.ID, vm.CPUAllocation, vm.MemAllocationMB, ""); err != nil {
+			inv.MarkDamaged(err)
+			continue
+		}
+		if vm.migrating && vm.migrateTarget != nil {
+			if err := inv.Reserve(reservationKey(vm.ID), vm.migrateTarget.ID, vm.migrateCPU, vm.migrateMem); err != nil {
+				inv.MarkDamaged(err)
+			}
+		}
+	}
+	s.cluster.SetListener(&invMirror{inv: inv})
+	s.placeInv = inv
+	return inv
+}
+
+func reservationKey(id VMID) string { return "mig:" + string(id) }
+
+// invMirror forwards cluster bookkeeping events into the placement
+// inventory. Any structural mismatch marks the inventory damaged (the
+// engine then refuses decisions and the planner falls back to naive
+// selection) rather than risking placements against a drifted view.
+type invMirror struct {
+	inv *placement.Inventory
+}
+
+func (m *invMirror) HostAdded(id HostID, domain string, cpuCap, memCapMB float64) {
+	if err := m.inv.AddHost(placement.HostState{ID: id, Domain: domain, CPUCapPct: cpuCap, MemCapMB: memCapMB}); err != nil {
+		m.inv.MarkDamaged(err)
+	}
+}
+
+func (m *invMirror) VMPlaced(id VMID, host HostID, cpuPct, memMB float64) {
+	if err := m.inv.Place(id, host, cpuPct, memMB, ""); err != nil {
+		m.inv.MarkDamaged(err)
+	}
+}
+
+func (m *invMirror) AllocChanged(id VMID, cpuPct, memMB float64) {
+	if err := m.inv.SetAlloc(id, cpuPct, memMB); err != nil {
+		m.inv.MarkDamaged(err)
+	}
+}
+
+func (m *invMirror) MigrationStarted(id VMID, from, to HostID, resCPUPct, resMemMB float64) {
+	if err := m.inv.Reserve(reservationKey(id), to, resCPUPct, resMemMB); err != nil {
+		m.inv.MarkDamaged(err)
+	}
+}
+
+func (m *invMirror) MigrationCompleted(id VMID, from, to HostID, cpuPct, memMB float64) {
+	if err := m.inv.Release(reservationKey(id)); err != nil {
+		m.inv.MarkDamaged(err)
+		return
+	}
+	if err := m.inv.Move(id, to); err != nil {
+		m.inv.MarkDamaged(err)
+		return
+	}
+	if err := m.inv.SetAlloc(id, cpuPct, memMB); err != nil {
+		m.inv.MarkDamaged(err)
+	}
+}

@@ -1,0 +1,146 @@
+package cloudsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// assertMirror checks that the placement inventory agrees with the
+// cluster's own free-capacity accounting on every host.
+func assertMirror(t *testing.T, c *Cluster, s *Substrate) {
+	t.Helper()
+	inv := s.PlacementInventory()
+	for _, h := range c.Hosts() {
+		cpu, mem, ok := inv.Free(h.ID)
+		if !ok {
+			t.Fatalf("mirror missing host %s", h.ID)
+		}
+		if math.Abs(cpu-h.FreeCPU()) > 1e-9 || math.Abs(mem-h.FreeMemMB()) > 1e-9 {
+			t.Fatalf("mirror drift on %s: mirror %.3f/%.3f cluster %.3f/%.3f",
+				h.ID, cpu, mem, h.FreeCPU(), h.FreeMemMB())
+		}
+	}
+	if err := inv.Damaged(); err != nil {
+		t.Fatalf("mirror damaged: %v", err)
+	}
+}
+
+func TestPlacementInventoryMirrorsCluster(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddHostInDomain("h1", "rack1", 200, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHostInDomain("h2", "rack2", 200, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSubstrate(c, []VMID{"vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lazy build snapshots the pre-existing fleet.
+	inv := s.PlacementInventory()
+	if inv.NumHosts() != 2 || inv.NumVMs() != 1 {
+		t.Fatalf("snapshot = %d hosts / %d VMs, want 2/1", inv.NumHosts(), inv.NumVMs())
+	}
+	if inv != s.PlacementInventory() {
+		t.Fatalf("PlacementInventory must return the same mirror")
+	}
+	v, _ := inv.View("h1")
+	if v.Domain != "rack1" {
+		t.Fatalf("domain = %q, want rack1", v.Domain)
+	}
+	assertMirror(t, c, s)
+
+	// Post-build changes flow through the listener.
+	now := simclock.Time(0)
+	if _, err := c.AddDefaultHost("h3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm2", "h2", 40, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleCPU(now, "vm1", 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleMem(now, "vm1", 1024); err != nil {
+		t.Fatal(err)
+	}
+	assertMirror(t, c, s)
+
+	// An explicit-target migration reserves on the target until it
+	// completes, then the VM lands with its post-migration allocation.
+	if err := s.MigrateTo(now, "vm1", "h3", 120, 1024); err != nil {
+		t.Fatal(err)
+	}
+	assertMirror(t, c, s)
+	if host, _ := inv.HostOf("vm1"); host != "h1" {
+		t.Fatalf("vm1 still on h1 mid-flight, mirror says %s", host)
+	}
+	for tick := int64(1); tick <= MigrationSeconds(1024)+1; tick++ {
+		c.Tick(simclock.Time(tick))
+	}
+	assertMirror(t, c, s)
+	if host, _ := inv.HostOf("vm1"); host != "h3" {
+		t.Fatalf("vm1 on %s after completion, want h3", host)
+	}
+	cpu, mem, _ := inv.VMAlloc("vm1")
+	if cpu != 120 || mem != 1024 {
+		t.Fatalf("vm1 alloc = %v/%v, want 120/1024", cpu, mem)
+	}
+
+	// Substrate-chosen migration flows through the same events.
+	if err := c.Migrate(simclock.Time(100), "vm2", 60, 256); err != nil {
+		t.Fatal(err)
+	}
+	assertMirror(t, c, s)
+	for tick := int64(101); tick <= 100+MigrationSeconds(256)+1; tick++ {
+		c.Tick(simclock.Time(tick))
+	}
+	assertMirror(t, c, s)
+}
+
+func TestMigrateToValidatesTarget(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.AddHost("h1", 200, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("h2", 200, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("vm1", "h1", 50, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceVM("hog", "h2", 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	now := simclock.Time(0)
+	if err := c.MigrateTo(now, "vm1", "nope", 50, 512); !errors.Is(err, ErrNoSuchHost) {
+		t.Fatalf("unknown target: err = %v, want ErrNoSuchHost", err)
+	}
+	if err := c.MigrateTo(now, "vm1", "h1", 50, 512); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("current host: err = %v, want ErrInsufficient", err)
+	}
+	if err := c.MigrateTo(now, "vm1", "h2", 150, 512); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("full target: err = %v, want ErrInsufficient", err)
+	}
+	if err := c.MigrateTo(now, "vm1", "h2", 20, 512); err != nil {
+		t.Fatalf("fitting target: %v", err)
+	}
+	// Desired allocations clamp up to the current ones, like Migrate.
+	vm, _ := c.VM("vm1")
+	if vm.migrateCPU != 50 {
+		t.Fatalf("migrateCPU = %v, want clamped 50", vm.migrateCPU)
+	}
+	if err := c.MigrateTo(now, "vm1", "h2", 50, 512); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("in flight: err = %v, want ErrMigrating", err)
+	}
+	var _ substrate.TargetedActuator = (*Substrate)(nil)
+}

@@ -25,6 +25,7 @@ import (
 	"prepare/internal/infer"
 	"prepare/internal/metrics"
 	"prepare/internal/monitor"
+	"prepare/internal/placement"
 	"prepare/internal/pool"
 	"prepare/internal/predict"
 	"prepare/internal/prevent"
@@ -219,6 +220,18 @@ type Config struct {
 	Prevent prevent.Config
 	// Policy selects scaling-first or migration-only prevention.
 	Policy prevent.Policy
+	// Placement selects how migration targets are chosen. The zero value
+	// (PlacementNaive) keeps the substrate's own first-fit choice — the
+	// pre-existing behavior, byte for byte. PlacementPredictive scores
+	// candidate hosts by their forecast future load through the
+	// placement engine; it requires a substrate that provides a
+	// placement inventory and explicit-target migration.
+	Placement PlacementMode
+	// PlacementPreemptionDepth bounds evict-and-cascade preemption when
+	// predictive placement finds no direct fit (0 = preemption off,
+	// the default: victim migrations are asynchronous in every real
+	// substrate, so cascades only pay off for long-lived pressure).
+	PlacementPreemptionDepth int
 	// MonitorNoiseStd / MonitorSeed configure the sampler.
 	MonitorNoiseStd float64
 	MonitorSeed     int64
@@ -348,6 +361,12 @@ type Controller struct {
 	// re-migrating a VM that was just moved only makes matters worse.
 	lastMigration map[substrate.VMID]simclock.Time
 
+	// placeInv is the substrate's placement-inventory mirror, non-nil
+	// only under PlacementPredictive; the controller pushes per-VM CPU
+	// forecasts into it on every sampling tick so the engine scores
+	// hosts by predicted future load.
+	placeInv *placement.Inventory
+
 	// tel is the telemetry wiring (all instruments nil when disabled).
 	tel instruments
 }
@@ -375,6 +394,17 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
+	}
+	var placeInv *placement.Inventory
+	if cfg.Placement == PlacementPredictive {
+		sel, inv, err := newEngineSelector(sub, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("control: %w", err)
+		}
+		// The selector must be installed before the planner is built so
+		// NewPlanner can verify the substrate supports explicit targets.
+		cfg.Prevent.Selector = sel
+		placeInv = inv
 	}
 	planner, err := prevent.NewPlanner(sub, cfg.Policy, cfg.Prevent)
 	if err != nil {
@@ -406,6 +436,7 @@ func New(scheme Scheme, sub substrate.Substrate, app App, cfg Config) (*Controll
 		lastAlert:     make(map[substrate.VMID]simclock.Time, len(vms)),
 		workload:      wd,
 		lastMigration: make(map[substrate.VMID]simclock.Time, len(vms)),
+		placeInv:      placeInv,
 		tel:           newInstruments(cfg.Telemetry),
 	}
 	if c.batchActive() {
@@ -647,6 +678,11 @@ func (c *Controller) OnTick(now simclock.Time) error {
 			}
 		}
 	}
+
+	// With the value predictors freshly advanced, refresh the placement
+	// inventory's per-VM CPU forecasts so any migration decided below
+	// scores candidate hosts by predicted future load.
+	c.pushForecasts()
 
 	if violated {
 		c.violatedStreak++

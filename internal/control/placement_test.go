@@ -1,0 +1,222 @@
+package control
+
+import (
+	"testing"
+
+	"prepare/internal/cloudsim"
+	"prepare/internal/infer"
+	"prepare/internal/metrics"
+	"prepare/internal/prevent"
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+	"prepare/internal/telemetry"
+)
+
+func TestPlacementModeByName(t *testing.T) {
+	for name, want := range map[string]PlacementMode{
+		"": PlacementNaive, "naive": PlacementNaive, "predictive": PlacementPredictive,
+	} {
+		got, err := PlacementModeByName(name)
+		if err != nil || got != want {
+			t.Errorf("PlacementModeByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := PlacementModeByName("psychic"); err == nil {
+		t.Error("unknown mode must be rejected")
+	}
+	if PlacementPredictive.String() != "predictive" || PlacementNaive.String() != "naive" {
+		t.Error("String() must round-trip the CLI spellings")
+	}
+}
+
+// bareSubstrate hides cloudsim's placement extensions behind the plain
+// substrate interface.
+type bareSubstrate struct{ substrate.Substrate }
+
+func TestNewRejectsPredictiveWithoutPlacementSubstrate(t *testing.T) {
+	_, sub, app := newFakeWorld(t, nil)
+	if _, err := New(SchemePREPARE, bareSubstrate{sub}, app, Config{Placement: PlacementPredictive}); err == nil {
+		t.Fatal("predictive placement over a bare substrate must be rejected")
+	}
+	if _, err := New(SchemePREPARE, sub, app, Config{Placement: PlacementPredictive}); err != nil {
+		t.Fatalf("predictive placement over cloudsim: %v", err)
+	}
+	// Naive stays available on any substrate.
+	if _, err := New(SchemePREPARE, bareSubstrate{sub}, app, Config{}); err != nil {
+		t.Fatalf("naive placement over a bare substrate: %v", err)
+	}
+}
+
+// nextHotspotWorld is the ROADMAP's myopia case: the anomalous VM must
+// leave src, and the currently emptiest host (hA) is about to become
+// the next hotspot (vmG's forecast load), while hB stays cool.
+func nextHotspotWorld(t *testing.T) (*cloudsim.Cluster, *cloudsim.Substrate) {
+	t.Helper()
+	c := cloudsim.NewCluster()
+	for _, h := range []cloudsim.HostID{"hA", "hB", "src"} {
+		if _, err := c.AddDefaultHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// src: vmF (the anomalous VM, 80) + filler (110) -> free 10.
+	// hA:  vmG (15) -> free 185: emptiest now, hot soon (scales to 75).
+	// hB:  vmH (20) -> free 180: slightly fuller now, stays cool.
+	for _, p := range []struct {
+		vm   cloudsim.VMID
+		host cloudsim.HostID
+		cpu  float64
+	}{{"vmF", "src", 80}, {"filler", "src", 110}, {"vmG", "hA", 15}, {"vmH", "hB", 20}} {
+		if _, err := c.PlaceVM(p.vm, p.host, p.cpu, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := cloudsim.NewSubstrate(c, []cloudsim.VMID{"filler", "vmF", "vmG", "vmH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sub
+}
+
+// countMigrations tallies migration actions per VM from the cluster's
+// action log.
+func countMigrations(c *cloudsim.Cluster, vm cloudsim.VMID) int {
+	n := 0
+	for _, a := range c.Actions() {
+		if a.Kind == cloudsim.ActionMigrate && a.VM == vm {
+			n++
+		}
+	}
+	return n
+}
+
+func hostAlloc(t *testing.T, c *cloudsim.Cluster, id cloudsim.HostID) float64 {
+	t.Helper()
+	for _, h := range c.Hosts() {
+		if h.ID == id {
+			return h.CPUCap - h.FreeCPU()
+		}
+	}
+	t.Fatalf("no host %s", id)
+	return 0
+}
+
+// TestPredictivePlacementAvoidsNextHotspot pins the regression the
+// engine exists for: naive selection parks the migrated VM on the
+// currently emptiest host, which the forecast already marks as the next
+// hotspot, forcing a second migration; predictive selection reads the
+// forecast and parks it on the cool host, and no re-migration is ever
+// needed.
+func TestPredictivePlacementAvoidsNextHotspot(t *testing.T) {
+	diag := infer.Diagnosis{VM: "vmF", Ranked: []metrics.Attribute{metrics.CPUTotal}}
+
+	run := func(predictive bool) (firstTarget cloudsim.HostID, migrations int, rehosted bool) {
+		c, sub := nextHotspotWorld(t)
+		pcfg := prevent.Config{}
+		if predictive {
+			sel, inv, err := newEngineSelector(sub, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The trained predictors would push this on every sampling
+			// tick (pushForecasts): vmG's CPU is forecast to spike.
+			if err := inv.SetForecast("vmG", 170); err != nil {
+				t.Fatal(err)
+			}
+			pcfg.Selector = sel
+		}
+		p, err := prevent.NewPlanner(sub, prevent.MigrationOnly, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// First prevention: vmF must leave src (desired CPU 80*1.5=120).
+		if _, err := p.Prevent(1, diag, 0); err != nil {
+			t.Fatalf("first prevention: %v", err)
+		}
+		for tick := int64(2); tick <= cloudsim.MigrationSeconds(512)+2; tick++ {
+			c.Tick(simclock.Time(tick))
+		}
+		vm, err := c.VM("vmF")
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstTarget = vm.Host().ID
+
+		// The forecast materializes: vmG scales 15 -> 75.
+		now := simclock.Time(cloudsim.MigrationSeconds(512) + 3)
+		if err := c.ScaleCPU(now, "vmG", 75); err != nil {
+			t.Fatalf("vmG scale-up: %v", err)
+		}
+
+		// Second prevention fires only if vmF's new host became hot
+		// (allocation > 90% of the 200-point capacity).
+		if hostAlloc(t, c, firstTarget) > 180 {
+			if _, err := p.Prevent(now+1, diag, 0); err != nil {
+				t.Fatalf("second prevention: %v", err)
+			}
+			for tick := now.Add(2); tick <= now.Add(cloudsim.MigrationSeconds(512)+2); tick++ {
+				c.Tick(tick)
+			}
+		}
+		vm, _ = c.VM("vmF")
+		return firstTarget, countMigrations(c, "vmF"), vm.Host().ID != firstTarget
+	}
+
+	naiveTarget, naiveMigs, naiveRehosted := run(false)
+	predTarget, predMigs, predRehosted := run(true)
+
+	if naiveTarget != "hA" {
+		t.Fatalf("naive first target = %s, want hA (the currently emptiest host)", naiveTarget)
+	}
+	if predTarget != "hB" {
+		t.Fatalf("predictive first target = %s, want hB (the forecast-cool host)", predTarget)
+	}
+	if !naiveRehosted || naiveMigs != 2 {
+		t.Errorf("naive: migrations = %d rehosted = %v, want the myopic re-migration (2, true)",
+			naiveMigs, naiveRehosted)
+	}
+	if predRehosted || predMigs != 1 {
+		t.Errorf("predictive: migrations = %d rehosted = %v, want a single final placement (1, false)",
+			predMigs, predRehosted)
+	}
+	if predMigs >= naiveMigs {
+		t.Errorf("predictive migrations %d must be strictly below naive %d", predMigs, naiveMigs)
+	}
+}
+
+// TestSelectorOutcomeCountersInvariant drives the engine selector
+// through success, fallback and retry and checks the telemetry
+// invariants: requests == successes + fallbacks + retries and
+// decisions == successes + fallbacks.
+func TestSelectorOutcomeCountersInvariant(t *testing.T) {
+	_, sub := nextHotspotWorld(t)
+	sel, _, err := newEngineSelector(sub, Config{Telemetry: telemetry.New(telemetry.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := simclock.Time(1)
+	if _, ok := sel.SelectTarget(now, "vmF", 120, 512); !ok {
+		t.Fatal("feasible request must get a target")
+	}
+	sel.ReportOutcome("vmF", prevent.OutcomeRetry)
+	if _, ok := sel.SelectTarget(now, "vmF", 120, 512); !ok {
+		t.Fatal("feasible request must get a target")
+	}
+	sel.ReportOutcome("vmF", prevent.OutcomeSuccess)
+	if _, ok := sel.SelectTarget(now, "vmF", 500, 512); ok {
+		t.Fatal("infeasible request must have no answer")
+	}
+	sel.ReportOutcome("vmF", prevent.OutcomeFallback)
+
+	req, dec := sel.requests.Value(), sel.decisions.Value()
+	suc, fb, ret := sel.successes.Value(), sel.fallbacks.Value(), sel.retries.Value()
+	if req != suc+fb+ret {
+		t.Errorf("requests %d != successes %d + fallbacks %d + retries %d", req, suc, fb, ret)
+	}
+	if dec != suc+fb {
+		t.Errorf("decisions %d != successes %d + fallbacks %d", dec, suc, fb)
+	}
+	if req != 3 || dec != 2 || ret != 1 {
+		t.Errorf("counts = req %d dec %d ret %d, want 3/2/1", req, dec, ret)
+	}
+}

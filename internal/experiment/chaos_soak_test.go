@@ -7,6 +7,7 @@ import (
 	"prepare/internal/chaos"
 	"prepare/internal/control"
 	"prepare/internal/faults"
+	"prepare/internal/prevent"
 	"prepare/internal/telemetry"
 )
 
@@ -79,9 +80,11 @@ func TestChaosSoak(t *testing.T) {
 
 	const soakSteps = 5100
 	soak := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 7,
-		DurationS: soakSteps, RetrainIntervalS: 600, Chaos: chaos.Uniform(0, 0.015)}
+		DurationS: soakSteps, RetrainIntervalS: 600, Chaos: chaos.Uniform(0, 0.015),
+		Placement: control.PlacementPredictive}
 	side := Scenario{App: SystemS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 8,
-		Chaos: chaos.Uniform(0, 0.015)}
+		Chaos: chaos.Uniform(0, 0.015), Policy: prevent.MigrationOnly,
+		Placement: control.PlacementPredictive}
 
 	results, err := RunAll([]Scenario{soak, side}, BatchOptions{Workers: 2})
 	if err != nil {
@@ -167,6 +170,31 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if want := int64(len(results[0].ChaosEvents) + len(results[1].ChaosEvents)); telInjected != want {
 		t.Errorf("chaos.injected.* total = %d, want %d (sum of event logs)", telInjected, want)
+	}
+
+	// Both scenarios ran with predictive placement under actuator chaos:
+	// every selector consult must be accounted for (requests ==
+	// successes + fallbacks + retries), every final answer recorded
+	// (decisions == successes + fallbacks), and transient MigrateTo
+	// failures must have re-entered prevent's existing retry/backoff
+	// ladder rather than growing a placement-private one.
+	pReq := snap.Counter("placement.requests")
+	pDec := snap.Counter("placement.decisions")
+	pSuc := snap.Counter("placement.successes")
+	pFb := snap.Counter("placement.fallbacks")
+	pRet := snap.Counter("placement.retries")
+	if pReq == 0 {
+		t.Error("no placement requests; predictive placement never engaged under chaos")
+	}
+	if pReq != pSuc+pFb+pRet {
+		t.Errorf("placement.requests %d != successes %d + fallbacks %d + retries %d",
+			pReq, pSuc, pFb, pRet)
+	}
+	if pDec != pSuc+pFb {
+		t.Errorf("placement.decisions %d != successes %d + fallbacks %d", pDec, pSuc, pFb)
+	}
+	if pRet > 0 && snap.Counter("prevent.retries.backoff") == 0 {
+		t.Error("placement retries recorded but no prevent backoffs: the fallback is not reusing prevent's retry path")
 	}
 
 	// Soaks must be reproducible: the same scenario run serially again

@@ -110,7 +110,9 @@ func RunEngine(tenants []TenantScenario, opts EngineOptions) (EngineResult, erro
 			Telemetry:         regs[i],
 			MonitorResilience: sc.monitorResilience(),
 
-			HistoryWindowSamples: sc.HistoryWindowSamples,
+			HistoryWindowSamples:     sc.HistoryWindowSamples,
+			Placement:                sc.Placement,
+			PlacementPreemptionDepth: sc.PlacementPreemptionDepth,
 		})
 		if err != nil {
 			return EngineResult{}, fmt.Errorf("experiment: tenant %s: %w", t.ID, err)

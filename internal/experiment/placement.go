@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"prepare/internal/control"
+	"prepare/internal/prevent"
+	"prepare/internal/substrate"
+)
+
+// PlacementOutcome summarizes one run's placement-relevant results.
+type PlacementOutcome struct {
+	// EvalViolationSeconds is the SLO violation time in the evaluation
+	// window (the headline metric).
+	EvalViolationSeconds int64
+	// Migrations counts executed migration steps.
+	Migrations int
+	// ReMigrations counts migrations of a VM that had already been
+	// migrated earlier in the run — the myopic-placement tax: a VM
+	// parked on the next hotspot has to move again.
+	ReMigrations int
+}
+
+// PlacementComparison is one scenario run under both placement modes.
+type PlacementComparison struct {
+	Scenario   Scenario
+	Naive      PlacementOutcome
+	Predictive PlacementOutcome
+}
+
+// migrationStats counts migrations and re-migrations in a step log.
+func migrationStats(steps []prevent.Step) (migrations, reMigrations int) {
+	moved := map[substrate.VMID]bool{}
+	for _, s := range steps {
+		if s.Kind != substrate.ActionMigrate {
+			continue
+		}
+		migrations++
+		if moved[s.VM] {
+			reMigrations++
+		}
+		moved[s.VM] = true
+	}
+	return migrations, reMigrations
+}
+
+// ComparePlacementModes runs each scenario twice — naive and predictive
+// placement, everything else identical — and reports the outcomes side
+// by side (the PR's placement-quality sweep).
+func ComparePlacementModes(scs []Scenario) ([]PlacementComparison, error) {
+	out := make([]PlacementComparison, 0, len(scs))
+	for _, sc := range scs {
+		var cmp PlacementComparison
+		for _, mode := range []control.PlacementMode{control.PlacementNaive, control.PlacementPredictive} {
+			run := sc
+			run.Placement = mode
+			res, err := Run(run)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: placement sweep %v/%v seed %d (%v): %w",
+					sc.App, sc.Fault, sc.Seed, mode, err)
+			}
+			o := PlacementOutcome{EvalViolationSeconds: res.EvalViolationSeconds}
+			o.Migrations, o.ReMigrations = migrationStats(res.Steps)
+			if mode == control.PlacementPredictive {
+				cmp.Predictive = o
+			} else {
+				cmp.Naive = o
+				cmp.Scenario = res.Scenario
+			}
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// FormatPlacementTable renders the sweep as an aligned text table.
+func FormatPlacementTable(rows []PlacementComparison) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Placement-quality sweep: naive vs predictive migration targets")
+	fmt.Fprintf(&b, "%-10s %-12s %5s  %22s  %22s\n", "app", "fault", "seed",
+		"naive viol/mig/remig", "predictive viol/mig/remig")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %5d  %22s  %22s\n",
+			r.Scenario.App, r.Scenario.Fault, r.Scenario.Seed,
+			formatPlacementOutcome(r.Naive), formatPlacementOutcome(r.Predictive))
+	}
+	return b.String()
+}
+
+func formatPlacementOutcome(o PlacementOutcome) string {
+	return fmt.Sprintf("%ds / %d / %d", o.EvalViolationSeconds, o.Migrations, o.ReMigrations)
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"prepare/internal/control"
+	"prepare/internal/faults"
+	"prepare/internal/prevent"
+)
+
+// placementSeedBaselines are the ten seed baselines the placement knob
+// is swept over: the six paper cells under the default scaling-first
+// policy, plus four migration-only cells so the sweep actually
+// exercises target selection.
+func placementSeedBaselines() []Scenario {
+	out := make([]Scenario, 0, 10)
+	for _, app := range []AppKind{SystemS, RUBiS} {
+		for _, fault := range []faults.Kind{faults.MemoryLeak, faults.CPUHog, faults.Bottleneck} {
+			out = append(out, Scenario{App: app, Fault: fault, Scheme: control.SchemePREPARE, Seed: 1})
+		}
+	}
+	out = append(out,
+		Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 1, Policy: prevent.MigrationOnly},
+		Scenario{App: SystemS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 1, Policy: prevent.MigrationOnly},
+		Scenario{App: RUBiS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 2, Policy: prevent.MigrationOnly},
+		Scenario{App: SystemS, Fault: faults.Bottleneck, Scheme: control.SchemePREPARE, Seed: 2, Policy: prevent.MigrationOnly},
+	)
+	return out
+}
+
+// TestPlacementNaiveMatchesDefaultBaseline pins the knob's contract:
+// the zero value is naive, and an explicit Placement=naive run is
+// byte-identical to a default-config run (alerts, steps, violations).
+func TestPlacementNaiveMatchesDefaultBaseline(t *testing.T) {
+	base := Scenario{App: RUBiS, Fault: faults.MemoryLeak, Scheme: control.SchemePREPARE, Seed: 1,
+		Policy: prevent.MigrationOnly}
+	if base.Placement != control.PlacementNaive {
+		t.Fatal("the Scenario zero value must select naive placement")
+	}
+	def, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.Placement = control.PlacementNaive
+	exp, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := fmt.Sprintf("%+v|%+v|%d", def.Alerts, def.Steps, def.EvalViolationSeconds)
+	fe := fmt.Sprintf("%+v|%+v|%d", exp.Alerts, exp.Steps, exp.EvalViolationSeconds)
+	if fd != fe {
+		t.Errorf("explicit naive differs from default:\n%s\nvs\n%s", fd, fe)
+	}
+}
+
+// TestPlacementSweepNoSLORegression runs all ten seed baselines under
+// both placement modes and asserts predictive placement never regresses
+// the headline SLO metric (small absolute slack for migration-timing
+// jitter), while naive keeps the recorded baseline behavior bit for
+// bit run to run.
+func TestPlacementSweepNoSLORegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	rows, err := ComparePlacementModes(placementSeedBaselines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatPlacementTable(rows))
+	migrationsSwept := 0
+	for _, r := range rows {
+		slack := r.Naive.EvalViolationSeconds/10 + 10
+		if r.Predictive.EvalViolationSeconds > r.Naive.EvalViolationSeconds+slack {
+			t.Errorf("%v/%v seed %d: predictive violation %ds regresses naive %ds (slack %ds)",
+				r.Scenario.App, r.Scenario.Fault, r.Scenario.Seed,
+				r.Predictive.EvalViolationSeconds, r.Naive.EvalViolationSeconds, slack)
+		}
+		if r.Predictive.ReMigrations > r.Naive.ReMigrations {
+			t.Errorf("%v/%v seed %d: predictive re-migrations %d exceed naive %d",
+				r.Scenario.App, r.Scenario.Fault, r.Scenario.Seed,
+				r.Predictive.ReMigrations, r.Naive.ReMigrations)
+		}
+		migrationsSwept += r.Naive.Migrations
+	}
+	if migrationsSwept == 0 {
+		t.Error("no baseline migrated; the sweep never exercised target selection")
+	}
+}
+
+// TestEnginePredictivePlacementDeterministicAcrossShards extends the
+// engine's byte-identical guarantee to predictive placement: alerts and
+// steps (including the chosen targets in each step's detail) must be
+// identical for any shard/worker count.
+func TestEnginePredictivePlacementDeterministicAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine runs in -short mode")
+	}
+	base := Scenario{App: SystemS, Fault: faults.CPUHog, Scheme: control.SchemePREPARE, Seed: 9,
+		Policy: prevent.MigrationOnly, Placement: control.PlacementPredictive}
+	run := func(shards, workers int) EngineResult {
+		res, err := RunEngine(MultiTenant(3, base), EngineOptions{Shards: shards, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1, 1)
+	r4 := run(4, 4)
+	if a, b := fmt.Sprintf("%+v", r1.Alerts), fmt.Sprintf("%+v", r4.Alerts); a != b {
+		t.Errorf("merged alerts differ across shard counts:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := fmt.Sprintf("%+v", r1.Steps), fmt.Sprintf("%+v", r4.Steps); a != b {
+		t.Errorf("merged steps differ across shard counts:\n%s\nvs\n%s", a, b)
+	}
+	for i := range r1.Tenants {
+		fa := chaosFingerprint(r1.Tenants[i].Alerts, r1.Tenants[i].Steps, nil)
+		fb := chaosFingerprint(r4.Tenants[i].Alerts, r4.Tenants[i].Steps, nil)
+		if fa != fb {
+			t.Errorf("tenant %s differs across shard counts:\n%s\nvs\n%s", r1.Tenants[i].Tenant, fa, fb)
+		}
+	}
+	steps := make([]prevent.Step, len(r1.Steps))
+	for i, s := range r1.Steps {
+		steps[i] = s.Step
+	}
+	if migs, _ := migrationStats(steps); migs == 0 {
+		t.Fatal("no migrations executed; determinism check never exercised the engine")
+	}
+}

@@ -131,6 +131,14 @@ type Scenario struct {
 	// injection; a zero Chaos.Seed derives one from Seed so engine
 	// tenants get distinct but reproducible fault schedules.
 	Chaos chaos.Plan
+	// Placement selects migration-target selection: the zero value keeps
+	// the simulator's naive first-fit (pre-existing behavior, byte for
+	// byte), PlacementPredictive routes targets through the
+	// forecast-scored placement engine.
+	Placement control.PlacementMode
+	// PlacementPreemptionDepth bounds evict-and-cascade preemption under
+	// predictive placement (0 = off).
+	PlacementPreemptionDepth int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -312,7 +320,9 @@ func Run(sc Scenario) (Result, error) {
 		Telemetry:         reg,
 		MonitorResilience: sc.monitorResilience(),
 
-		HistoryWindowSamples: sc.HistoryWindowSamples,
+		HistoryWindowSamples:     sc.HistoryWindowSamples,
+		Placement:                sc.Placement,
+		PlacementPreemptionDepth: sc.PlacementPreemptionDepth,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment: %w", err)

@@ -1,0 +1,289 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// FuzzPlacementInventory differentially tests the incremental, indexed
+// inventory against a brute-force oracle. The fuzz input is decoded as a
+// stream of 4-byte mutation ops (add/remove/resize host, place/remove/
+// scale/forecast/move VM, reserve/release) over a small ID space; after
+// every op the error outcome must match the oracle's validity rule, and
+// after the whole stream the inventory's free-capacity accounting,
+// forecast aggregates, VM residency, and bucket-index fitting scans must
+// equal a from-scratch recomputation.
+// ---------------------------------------------------------------------------
+
+type oracleHost struct {
+	cpuCap, memCap int64
+	domain         string
+}
+
+type oracleVM struct {
+	host         string
+	cpu, mem, fc int64
+	fcExplicit   bool
+	group        string
+}
+
+type oracleRes struct {
+	host     string
+	cpu, mem int64
+}
+
+type oracle struct {
+	hosts map[string]oracleHost
+	vms   map[string]oracleVM
+	res   map[string]oracleRes
+}
+
+func newOracle() *oracle {
+	return &oracle{
+		hosts: map[string]oracleHost{},
+		vms:   map[string]oracleVM{},
+		res:   map[string]oracleRes{},
+	}
+}
+
+// free recomputes a host's free capacity from scratch.
+func (o *oracle) free(host string) (cpu, mem int64) {
+	h := o.hosts[host]
+	cpu, mem = h.cpuCap, h.memCap
+	for _, vm := range o.vms {
+		if vm.host == host {
+			cpu -= vm.cpu
+			mem -= vm.mem
+		}
+	}
+	for _, r := range o.res {
+		if r.host == host {
+			cpu -= r.cpu
+			mem -= r.mem
+		}
+	}
+	return cpu, mem
+}
+
+// forecast recomputes a host's aggregate forecast CPU from scratch.
+func (o *oracle) forecast(host string) int64 {
+	var fc int64
+	for _, vm := range o.vms {
+		if vm.host == host {
+			fc += vm.fc
+		}
+	}
+	for _, r := range o.res {
+		if r.host == host {
+			fc += r.cpu
+		}
+	}
+	return fc
+}
+
+func (o *oracle) hostHasVMs(host string) bool {
+	for _, vm := range o.vms {
+		if vm.host == host {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *oracle) hostHasRes(host string) bool {
+	for _, r := range o.res {
+		if r.host == host {
+			return true
+		}
+	}
+	return false
+}
+
+func FuzzPlacementInventory(f *testing.F) {
+	// Seed corpus: a straightforward build-up, a lifecycle with
+	// moves/resizes/releases, and an error-heavy stream (duplicates,
+	// unknown IDs, removals of occupied hosts).
+	f.Add([]byte{
+		0, 0, 0, 10, 0, 1, 0, 20, 3, 0, 0, 5, 3, 1, 0, 9,
+		3, 2, 1, 7, 6, 1, 0, 40, 8, 0, 1, 3,
+	})
+	f.Add([]byte{
+		0, 0, 0, 3, 0, 1, 0, 4, 0, 2, 0, 5, 3, 0, 0, 8,
+		7, 0, 1, 0, 2, 1, 0, 30, 5, 0, 0, 2, 6, 0, 0, 100,
+		8, 1, 2, 6, 9, 1, 0, 0, 4, 0, 0, 0, 1, 2, 0, 0,
+	})
+	f.Add([]byte{
+		0, 0, 0, 1, 0, 0, 0, 2, 3, 0, 0, 1, 3, 0, 0, 2,
+		1, 0, 0, 0, 2, 9, 0, 1, 7, 3, 9, 9, 9, 9, 0, 1,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inv := NewInventory()
+		o := newOracle()
+		for i := 0; i+4 <= len(data) && i < 4*512; i += 4 {
+			op, a, b, c := data[i]%10, data[i+1], data[i+2], data[i+3]
+			host := fmt.Sprintf("h%d", a%8)
+			vm := fmt.Sprintf("v%d", b%24)
+			key := fmt.Sprintf("r%d", a%4)
+
+			var err error
+			var wantErr bool
+			switch op {
+			case 0: // AddHost
+				cpuCap := float64(int(c%40)+1) * 10
+				memCap := float64(int(c%8)+1) * 1024
+				domain := fmt.Sprintf("d%d", b%3)
+				_, exists := o.hosts[host]
+				wantErr = exists
+				err = inv.AddHost(HostState{ID: HostID(host), Domain: domain, CPUCapPct: cpuCap, MemCapMB: memCap})
+				if !wantErr {
+					o.hosts[host] = oracleHost{cpuCap: milliOf(cpuCap), memCap: milliOf(memCap), domain: domain}
+				}
+			case 1: // RemoveHost
+				_, exists := o.hosts[host]
+				wantErr = !exists || o.hostHasVMs(host) || o.hostHasRes(host)
+				err = inv.RemoveHost(HostID(host))
+				if !wantErr {
+					delete(o.hosts, host)
+				}
+			case 2: // ResizeHost
+				cpuCap := float64(int(c%40)+1) * 10
+				memCap := float64(int(b%8)+1) * 1024
+				_, exists := o.hosts[host]
+				wantErr = !exists
+				err = inv.ResizeHost(HostID(host), cpuCap, memCap)
+				if !wantErr {
+					h := o.hosts[host]
+					h.cpuCap, h.memCap = milliOf(cpuCap), milliOf(memCap)
+					o.hosts[host] = h
+				}
+			case 3: // Place
+				cpu, mem := float64(c%160), float64(int(c%6)*256)
+				group := ""
+				if b%2 == 0 {
+					group = fmt.Sprintf("g%d", b%3)
+				}
+				_, vmExists := o.vms[vm]
+				_, hostExists := o.hosts[host]
+				wantErr = vmExists || !hostExists
+				err = inv.Place(VMID(vm), HostID(host), cpu, mem, group)
+				if !wantErr {
+					o.vms[vm] = oracleVM{host: host, cpu: milliOf(cpu), mem: milliOf(mem), fc: milliOf(cpu), group: group}
+				}
+			case 4: // Remove
+				_, exists := o.vms[vm]
+				wantErr = !exists
+				err = inv.Remove(VMID(vm))
+				if !wantErr {
+					delete(o.vms, vm)
+				}
+			case 5: // SetAlloc
+				cpu, mem := float64(c%160), float64(int(c%6)*256)
+				rec, exists := o.vms[vm]
+				wantErr = !exists
+				err = inv.SetAlloc(VMID(vm), cpu, mem)
+				if !wantErr {
+					rec.cpu, rec.mem = milliOf(cpu), milliOf(mem)
+					if !rec.fcExplicit {
+						rec.fc = rec.cpu
+					}
+					o.vms[vm] = rec
+				}
+			case 6: // SetForecast
+				fc := float64(c)
+				rec, exists := o.vms[vm]
+				wantErr = !exists
+				err = inv.SetForecast(VMID(vm), fc)
+				if !wantErr {
+					rec.fc, rec.fcExplicit = milliOf(fc), true
+					o.vms[vm] = rec
+				}
+			case 7: // Move
+				rec, vmExists := o.vms[vm]
+				_, hostExists := o.hosts[host]
+				wantErr = !vmExists || !hostExists
+				err = inv.Move(VMID(vm), HostID(host))
+				if !wantErr {
+					rec.host = host
+					o.vms[vm] = rec
+				}
+			case 8: // Reserve
+				cpu, mem := float64(c%80), float64(int(c%4)*128)
+				_, resExists := o.res[key]
+				_, hostExists := o.hosts[host]
+				wantErr = resExists || !hostExists
+				err = inv.Reserve(key, HostID(host), cpu, mem)
+				if !wantErr {
+					o.res[key] = oracleRes{host: host, cpu: milliOf(cpu), mem: milliOf(mem)}
+				}
+			case 9: // Release
+				_, exists := o.res[key]
+				wantErr = !exists
+				err = inv.Release(key)
+				if !wantErr {
+					delete(o.res, key)
+				}
+			}
+			if (err != nil) != wantErr {
+				t.Fatalf("op %d at %d: err = %v, oracle wantErr = %v", op, i, err, wantErr)
+			}
+			if inv.Damaged() != nil {
+				t.Fatalf("op %d at %d: client mutations must never damage the mirror: %v", op, i, inv.Damaged())
+			}
+		}
+
+		// Final-state differential check against from-scratch recomputation.
+		if inv.NumHosts() != len(o.hosts) {
+			t.Fatalf("NumHosts = %d, oracle has %d", inv.NumHosts(), len(o.hosts))
+		}
+		if inv.NumVMs() != len(o.vms) {
+			t.Fatalf("NumVMs = %d, oracle has %d", inv.NumVMs(), len(o.vms))
+		}
+		for host := range o.hosts {
+			cpu, mem, ok := inv.Free(HostID(host))
+			if !ok {
+				t.Fatalf("host %s missing from inventory", host)
+			}
+			oc, om := o.free(host)
+			if milliOf(cpu) != oc || milliOf(mem) != om {
+				t.Fatalf("host %s free = %v/%v, oracle %v/%v (milli)", host, milliOf(cpu), milliOf(mem), oc, om)
+			}
+			v, _ := inv.View(HostID(host))
+			if milliOf(v.ForecastCPUPct) != o.forecast(host) {
+				t.Fatalf("host %s forecast = %v, oracle %v (milli)", host, milliOf(v.ForecastCPUPct), o.forecast(host))
+			}
+		}
+		for vm, rec := range o.vms {
+			got, ok := inv.HostOf(VMID(vm))
+			if !ok || string(got) != rec.host {
+				t.Fatalf("HostOf(%s) = %v/%v, oracle %s", vm, got, ok, rec.host)
+			}
+			cpu, mem, _ := inv.VMAlloc(VMID(vm))
+			if milliOf(cpu) != rec.cpu || milliOf(mem) != rec.mem {
+				t.Fatalf("VMAlloc(%s) = %v/%v, oracle %v/%v (milli)", vm, milliOf(cpu), milliOf(mem), rec.cpu, rec.mem)
+			}
+		}
+
+		// The bucketed fitting scan must agree with a brute-force filter
+		// at several thresholds — this is what Decide prunes with.
+		for _, th := range [][2]int64{{milliOf(1), milliOf(1)}, {milliOf(55), milliOf(200)}, {milliOf(120), milliOf(1024)}} {
+			var scanned []string
+			inv.forEachFitting(th[0], th[1], func(slot int32) {
+				scanned = append(scanned, string(inv.hosts[slot].id))
+			})
+			var brute []string
+			for host := range o.hosts {
+				if cpu, mem := o.free(host); cpu >= th[0] && mem >= th[1] {
+					brute = append(brute, host)
+				}
+			}
+			sort.Strings(scanned)
+			sort.Strings(brute)
+			if fmt.Sprint(scanned) != fmt.Sprint(brute) {
+				t.Fatalf("fitting scan at %v: index %v, brute force %v", th, scanned, brute)
+			}
+		}
+	})
+}

@@ -1,0 +1,426 @@
+package placement
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func mustAddHost(t *testing.T, inv *Inventory, id HostID, domain string, cpu, mem float64) {
+	t.Helper()
+	if err := inv.AddHost(HostState{ID: id, Domain: domain, CPUCapPct: cpu, MemCapMB: mem}); err != nil {
+		t.Fatalf("AddHost(%s): %v", id, err)
+	}
+}
+
+func mustPlace(t *testing.T, inv *Inventory, vm VMID, host HostID, cpu, mem float64, group string) {
+	t.Helper()
+	if err := inv.Place(vm, host, cpu, mem, group); err != nil {
+		t.Fatalf("Place(%s on %s): %v", vm, host, err)
+	}
+}
+
+func newTestEngine(t *testing.T, inv *Inventory, cfg Config) *Engine {
+	t.Helper()
+	eng, err := NewEngine(inv, cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+// The default scorer must prefer the host with the cool *forecast*, not
+// the one with the most free capacity right now — that is the whole
+// point of predictive placement.
+func TestDecidePrefersCoolForecastOverFreeNow(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "", 200, 4096)
+	mustAddHost(t, inv, "h1", "", 200, 4096)
+	mustAddHost(t, inv, "h2", "", 200, 4096)
+	mustPlace(t, inv, "a", "h1", 100, 512, "")
+	mustPlace(t, inv, "b", "h2", 120, 512, "")
+	// h1 has more free CPU (100 vs 80) but its resident is forecast to
+	// spike; h2's resident is forecast to cool down.
+	if err := inv.SetForecast("a", 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.SetForecast("b", 20); err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine(t, inv, Config{})
+	dec, err := eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 256, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "h2" {
+		t.Fatalf("Decide picked %s, want forecast-cool h2", dec.Target)
+	}
+	if dec.Candidates != 2 {
+		t.Fatalf("Candidates = %d, want 2 (src excluded)", dec.Candidates)
+	}
+	if len(dec.Preempted) != 0 {
+		t.Fatalf("unexpected preemptions: %+v", dec.Preempted)
+	}
+}
+
+// Without a forecast, a VM contributes its allocation — so forecasts
+// degrade gracefully to allocation-based bin packing.
+func TestForecastDefaultsToAllocation(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "h1", "", 200, 4096)
+	mustPlace(t, inv, "a", "h1", 70, 512, "")
+	v, ok := inv.View("h1")
+	if !ok || v.ForecastCPUPct != 70 {
+		t.Fatalf("ForecastCPUPct = %v, want 70 (allocation default)", v.ForecastCPUPct)
+	}
+	// Explicit forecasts survive later allocation changes.
+	if err := inv.SetForecast("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.SetAlloc("a", 90, 512); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = inv.View("h1")
+	if v.ForecastCPUPct != 30 {
+		t.Fatalf("ForecastCPUPct = %v after SetAlloc, want explicit 30", v.ForecastCPUPct)
+	}
+	if v.FreeCPUPct != 110 {
+		t.Fatalf("FreeCPUPct = %v, want 110", v.FreeCPUPct)
+	}
+}
+
+func TestDecideSourceNeverCandidate(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "only", "", 200, 4096)
+	eng := newTestEngine(t, inv, Config{})
+	_, err := eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 10, Source: "only"})
+	if !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("err = %v, want ErrNoFeasibleHost (source is the only host)", err)
+	}
+}
+
+func TestDecideRespectsFit(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "", 200, 4096)
+	mustAddHost(t, inv, "small", "", 200, 4096)
+	mustAddHost(t, inv, "big", "", 200, 4096)
+	mustPlace(t, inv, "hog", "small", 180, 512, "")
+	// small has the cooler forecast but cannot fit the request.
+	if err := inv.SetForecast("hog", 0); err != nil {
+		t.Fatal(err)
+	}
+	mustPlace(t, inv, "warm", "big", 50, 512, "")
+	eng := newTestEngine(t, inv, Config{})
+	dec, err := eng.Decide(Request{VM: "x", CPUPct: 100, MemMB: 256, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "big" {
+		t.Fatalf("Decide picked %s, want big (small cannot fit)", dec.Target)
+	}
+}
+
+func TestDecideSpreadingConstraint(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "rack0", 200, 4096)
+	mustAddHost(t, inv, "r1a", "rack1", 200, 4096)
+	mustAddHost(t, inv, "r2a", "rack2", 200, 4096)
+	// rack1 already hosts a member of group "app"; r1a is otherwise the
+	// better (emptier) target.
+	mustPlace(t, inv, "peer", "r1a", 10, 128, "app")
+	mustPlace(t, inv, "warm", "r2a", 60, 512, "")
+	eng := newTestEngine(t, inv, Config{MaxGroupPerDomain: 1})
+	dec, err := eng.Decide(Request{VM: "x", Group: "app", CPUPct: 20, MemMB: 256, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "r2a" {
+		t.Fatalf("Decide picked %s, want r2a (rack1 at group cap)", dec.Target)
+	}
+	// A VM outside the group is unconstrained.
+	dec, err = eng.Decide(Request{VM: "y", CPUPct: 20, MemMB: 256, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "r1a" {
+		t.Fatalf("ungrouped Decide picked %s, want r1a", dec.Target)
+	}
+}
+
+func TestDecideDeterministicTieBreak(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "", 200, 4096)
+	// Identical empty hosts added in non-alphabetical order: the lowest
+	// ID must win the tie.
+	for _, id := range []HostID{"h9", "h3", "h7", "h1", "h5"} {
+		mustAddHost(t, inv, id, "", 200, 4096)
+	}
+	eng := newTestEngine(t, inv, Config{})
+	for i := 0; i < 3; i++ {
+		dec, err := eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 10, Source: "src"})
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if dec.Target != "h1" {
+			t.Fatalf("Decide picked %s, want h1 (ID tie-break)", dec.Target)
+		}
+	}
+}
+
+type scriptedExtender struct {
+	veto  map[HostID]bool
+	bonus map[HostID]float64
+	calls int
+}
+
+func (s *scriptedExtender) Filter(req Request, hosts []HostID) []HostID {
+	s.calls++
+	var out []HostID
+	for _, h := range hosts {
+		if !s.veto[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (s *scriptedExtender) Prioritize(req Request, hosts []HostID) map[HostID]float64 {
+	return s.bonus
+}
+
+func TestDecideExtenderFilterAndPrioritize(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "", 200, 4096)
+	mustAddHost(t, inv, "h1", "", 200, 4096)
+	mustAddHost(t, inv, "h2", "", 200, 4096)
+	mustAddHost(t, inv, "h3", "", 200, 4096)
+	mustPlace(t, inv, "a", "h2", 40, 256, "")
+	mustPlace(t, inv, "b", "h3", 40, 256, "")
+
+	// Veto the empty (best-scoring) host: the engine must respect it.
+	ext := &scriptedExtender{veto: map[HostID]bool{"h1": true}}
+	eng := newTestEngine(t, inv, Config{Extender: ext})
+	dec, err := eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 10, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target == "h1" {
+		t.Fatalf("Decide picked vetoed host h1")
+	}
+	if ext.calls == 0 {
+		t.Fatalf("extender Filter never called")
+	}
+	// h2 and h3 tie (identical state): ID break gives h2.
+	if dec.Target != "h2" {
+		t.Fatalf("Decide picked %s, want h2", dec.Target)
+	}
+
+	// A prioritize bonus flips an otherwise-losing host into the win.
+	ext = &scriptedExtender{bonus: map[HostID]float64{"h3": 100}}
+	eng = newTestEngine(t, inv, Config{Extender: ext})
+	dec, err = eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 10, Source: "src"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "h3" {
+		t.Fatalf("Decide picked %s, want bonus-boosted h3", dec.Target)
+	}
+}
+
+func snapshotFree(t *testing.T, inv *Inventory) map[HostID][2]float64 {
+	t.Helper()
+	out := make(map[HostID][2]float64)
+	for _, id := range inv.HostIDs() {
+		cpu, mem, _ := inv.Free(id)
+		out[id] = [2]float64{cpu, mem}
+	}
+	return out
+}
+
+func TestDecidePreemptionSingleLevel(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "hS", "", 100, 1000)
+	mustAddHost(t, inv, "hA", "", 100, 1000)
+	mustAddHost(t, inv, "hB", "", 100, 1000)
+	mustAddHost(t, inv, "hC", "", 100, 1000)
+	mustPlace(t, inv, "a1", "hA", 60, 100, "")
+	mustPlace(t, inv, "b1", "hB", 50, 100, "")
+	mustPlace(t, inv, "c1", "hC", 45, 100, "")
+
+	// Request 70 fits nowhere directly (free: 40/50/55). The freest
+	// candidate is tried first: evict c1 (45) from hC to hB (50 free).
+	before := snapshotFree(t, inv)
+	eng := newTestEngine(t, inv, Config{PreemptionDepth: 1})
+	dec, err := eng.Decide(Request{VM: "x", CPUPct: 70, MemMB: 100, Source: "hS"})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Target != "hC" {
+		t.Fatalf("target = %s, want hC", dec.Target)
+	}
+	want := []Move{{VM: "c1", From: "hC", To: "hB", CPUPct: 45, MemMB: 100}}
+	if !reflect.DeepEqual(dec.Preempted, want) {
+		t.Fatalf("Preempted = %+v, want %+v", dec.Preempted, want)
+	}
+	// Decide is read-only: planning trial-moves must be rolled back.
+	if after := snapshotFree(t, inv); !reflect.DeepEqual(before, after) {
+		t.Fatalf("Decide mutated inventory: %v -> %v", before, after)
+	}
+	// Without preemption the same request must fail.
+	eng = newTestEngine(t, inv, Config{})
+	if _, err := eng.Decide(Request{VM: "x", CPUPct: 70, MemMB: 100, Source: "hS"}); !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("err = %v, want ErrNoFeasibleHost with preemption off", err)
+	}
+}
+
+func TestDecidePreemptionCascadeDepth(t *testing.T) {
+	build := func() *Inventory {
+		inv := NewInventory()
+		mustAddHost(t, inv, "hS", "", 100, 1000)
+		mustAddHost(t, inv, "hT", "", 100, 1000)
+		mustAddHost(t, inv, "hA", "", 75, 1000)
+		mustAddHost(t, inv, "hB", "", 100, 1000)
+		mustPlace(t, inv, "sfix", "hS", 100, 100, "")
+		mustPlace(t, inv, "v1", "hT", 70, 100, "")
+		mustPlace(t, inv, "v2", "hA", 40, 100, "")
+		mustPlace(t, inv, "bfix", "hB", 55, 100, "")
+		return inv
+	}
+	// Request 80 from hS. Free: hT 30, hA 35, hB 45 — no direct fit,
+	// and no single eviction helps (v1=70 fits nowhere, bfix=55 fits
+	// nowhere). The only plan is a two-level cascade:
+	// v2: hA -> hB, then v1: hT -> hA, then x -> hT.
+	req := Request{VM: "x", CPUPct: 80, MemMB: 100, Source: "hS"}
+
+	inv := build()
+	eng := newTestEngine(t, inv, Config{PreemptionDepth: 1})
+	if _, err := eng.Decide(req); !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("depth 1: err = %v, want ErrNoFeasibleHost", err)
+	}
+
+	inv = build()
+	before := snapshotFree(t, inv)
+	eng = newTestEngine(t, inv, Config{PreemptionDepth: 2})
+	dec, err := eng.Decide(req)
+	if err != nil {
+		t.Fatalf("depth 2: Decide: %v", err)
+	}
+	if dec.Target != "hT" {
+		t.Fatalf("target = %s, want hT", dec.Target)
+	}
+	want := []Move{
+		{VM: "v2", From: "hA", To: "hB", CPUPct: 40, MemMB: 100},
+		{VM: "v1", From: "hT", To: "hA", CPUPct: 70, MemMB: 100},
+	}
+	if !reflect.DeepEqual(dec.Preempted, want) {
+		t.Fatalf("Preempted = %+v, want %+v", dec.Preempted, want)
+	}
+	if after := snapshotFree(t, inv); !reflect.DeepEqual(before, after) {
+		t.Fatalf("Decide mutated inventory: %v -> %v", before, after)
+	}
+}
+
+func TestDecidePreemptionBudget(t *testing.T) {
+	build := func() *Inventory {
+		inv := NewInventory()
+		mustAddHost(t, inv, "hS", "", 100, 1000)
+		mustAddHost(t, inv, "hB", "", 100, 1000)
+		mustAddHost(t, inv, "hC", "", 100, 1000)
+		mustAddHost(t, inv, "hD", "", 100, 1000)
+		mustPlace(t, inv, "sfix", "hS", 100, 100, "")
+		mustPlace(t, inv, "b1", "hB", 30, 100, "")
+		mustPlace(t, inv, "b2", "hB", 30, 100, "")
+		mustPlace(t, inv, "cfix", "hC", 65, 100, "")
+		mustPlace(t, inv, "dfix", "hD", 65, 100, "")
+		return inv
+	}
+	// Request 80: free hB 40, hC 35, hD 35. Clearing hB needs BOTH b1
+	// and b2 evicted (one each to hC and hD).
+	req := Request{VM: "x", CPUPct: 80, MemMB: 100, Source: "hS"}
+
+	eng := newTestEngine(t, build(), Config{PreemptionDepth: 1, MaxPreemptions: 1})
+	if _, err := eng.Decide(req); !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("budget 1: err = %v, want ErrNoFeasibleHost", err)
+	}
+
+	eng = newTestEngine(t, build(), Config{PreemptionDepth: 1, MaxPreemptions: 2})
+	dec, err := eng.Decide(req)
+	if err != nil {
+		t.Fatalf("budget 2: Decide: %v", err)
+	}
+	want := []Move{
+		{VM: "b1", From: "hB", To: "hC", CPUPct: 30, MemMB: 100},
+		{VM: "b2", From: "hB", To: "hD", CPUPct: 30, MemMB: 100},
+	}
+	if dec.Target != "hB" || !reflect.DeepEqual(dec.Preempted, want) {
+		t.Fatalf("got target=%s moves=%+v, want hB %+v", dec.Target, dec.Preempted, want)
+	}
+}
+
+func TestDecideDamagedInventoryRefuses(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "src", "", 200, 4096)
+	mustAddHost(t, inv, "h1", "", 200, 4096)
+	eng := newTestEngine(t, inv, Config{})
+	inv.MarkDamaged(errors.New("mirror drift"))
+	if _, err := eng.Decide(Request{VM: "x", CPUPct: 10, MemMB: 10, Source: "src"}); !errors.Is(err, ErrDamaged) {
+		t.Fatalf("err = %v, want ErrDamaged", err)
+	}
+}
+
+func TestInventoryReservationsAndMoves(t *testing.T) {
+	inv := NewInventory()
+	mustAddHost(t, inv, "h1", "", 200, 4096)
+	mustAddHost(t, inv, "h2", "", 200, 4096)
+	mustPlace(t, inv, "a", "h1", 50, 512, "g")
+	if err := inv.Reserve("mig:a", "h2", 60, 512); err != nil {
+		t.Fatal(err)
+	}
+	cpu, mem, _ := inv.Free("h2")
+	if cpu != 140 || mem != 3584 {
+		t.Fatalf("Free(h2) = %v/%v, want 140/3584 under reservation", cpu, mem)
+	}
+	v, _ := inv.View("h2")
+	if v.ForecastCPUPct != 60 {
+		t.Fatalf("reservation must contribute to forecast: got %v", v.ForecastCPUPct)
+	}
+	if err := inv.Release("mig:a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Move("a", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	if host, _ := inv.HostOf("a"); host != "h2" {
+		t.Fatalf("HostOf(a) = %s, want h2", host)
+	}
+	cpu, _, _ = inv.Free("h1")
+	if cpu != 200 {
+		t.Fatalf("Free(h1) = %v after move, want 200", cpu)
+	}
+	// Group membership moved with the VM: h1's domain is free again.
+	if got := inv.groups["g"][string(HostID("h1"))]; got != 0 {
+		t.Fatalf("group count on h1 = %d, want 0", got)
+	}
+	if got := inv.groups["g"][string(HostID("h2"))]; got != 1 {
+		t.Fatalf("group count on h2 = %d, want 1", got)
+	}
+	if err := inv.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if inv.NumVMs() != 0 {
+		t.Fatalf("NumVMs = %d, want 0", inv.NumVMs())
+	}
+	if err := inv.RemoveHost("h2"); err != nil {
+		t.Fatal(err)
+	}
+	if inv.NumHosts() != 1 {
+		t.Fatalf("NumHosts = %d, want 1", inv.NumHosts())
+	}
+	// Slot reuse: a new host may take h2's slot and must index cleanly.
+	mustAddHost(t, inv, "h3", "", 300, 8192)
+	eng := newTestEngine(t, inv, Config{})
+	dec, err := eng.Decide(Request{VM: "x", CPUPct: 250, MemMB: 100, Source: "h1"})
+	if err != nil || dec.Target != "h3" {
+		t.Fatalf("Decide after slot reuse = %v/%v, want h3", dec.Target, err)
+	}
+}

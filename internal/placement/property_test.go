@@ -1,0 +1,369 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Property-based decision invariants over generated fleets.
+//
+// Each seed deterministically generates a random fleet (host capacities,
+// failure domains, VM loads, spreading groups, pushed forecasts) and a
+// random placement request, then checks the engine's contract:
+//
+//   fit         the chosen plan never overcommits any host
+//   spreading   a domain's group count only grows while under the cap
+//   preemption  the cascade stays within MaxPreemptions and the trial
+//               planning leaves the inventory untouched
+//   determinism the decision depends only on the logical fleet state —
+//               not on host/VM insertion order, and not on the mutation
+//               history (churned builds converge to the same answer)
+//   complete    with preemption off, ErrNoFeasibleHost implies a brute
+//               force scan also finds no admissible host
+// ---------------------------------------------------------------------------
+
+// fleetSpec is the order-free logical description of a generated fleet.
+type fleetSpec struct {
+	hosts []HostState
+	vms   []fleetVM
+}
+
+type fleetVM struct {
+	id       VMID
+	host     HostID
+	cpu, mem float64
+	group    string
+	fc       float64
+	hasFc    bool
+}
+
+// genFleet builds a random but never-overcommitted fleet: hosts with
+// varied shapes across up to four failure domains, VMs packed to at
+// most their host's remaining headroom, about half carrying explicit
+// forecasts.
+func genFleet(r *rand.Rand) fleetSpec {
+	var spec fleetSpec
+	nHosts := 8 + r.Intn(32)
+	freeCPU := make([]float64, nHosts)
+	freeMem := make([]float64, nHosts)
+	for i := 0; i < nHosts; i++ {
+		h := HostState{
+			ID:        HostID(fmt.Sprintf("h%02d", i)),
+			Domain:    fmt.Sprintf("d%d", r.Intn(4)),
+			CPUCapPct: float64(100 + 50*r.Intn(7)),
+			MemCapMB:  float64(2048 + 1024*r.Intn(7)),
+		}
+		spec.hosts = append(spec.hosts, h)
+		freeCPU[i], freeMem[i] = h.CPUCapPct, h.MemCapMB
+	}
+	nVMs := 0
+	for i := range spec.hosts {
+		for k := 0; k < r.Intn(6); k++ {
+			cpu := 1 + float64(r.Intn(80))
+			mem := float64(64 * (1 + r.Intn(8)))
+			if cpu > freeCPU[i] || mem > freeMem[i] {
+				continue
+			}
+			freeCPU[i] -= cpu
+			freeMem[i] -= mem
+			vm := fleetVM{
+				id:   VMID(fmt.Sprintf("v%03d", nVMs)),
+				host: spec.hosts[i].ID,
+				cpu:  cpu, mem: mem,
+			}
+			if r.Intn(3) > 0 {
+				vm.group = fmt.Sprintf("g%d", r.Intn(3))
+			}
+			if r.Intn(2) == 0 {
+				vm.fc, vm.hasFc = float64(r.Intn(200)), true
+			}
+			spec.vms = append(spec.vms, vm)
+			nVMs++
+		}
+	}
+	return spec
+}
+
+// buildFleet materializes the spec with hosts and VMs inserted in the
+// given permutations.
+func buildFleet(t *testing.T, spec fleetSpec, hostOrder, vmOrder []int) *Inventory {
+	t.Helper()
+	inv := NewInventory()
+	for _, i := range hostOrder {
+		h := spec.hosts[i]
+		mustAddHost(t, inv, h.ID, h.Domain, h.CPUCapPct, h.MemCapMB)
+	}
+	for _, i := range vmOrder {
+		vm := spec.vms[i]
+		mustPlace(t, inv, vm.id, vm.host, vm.cpu, vm.mem, vm.group)
+		if vm.hasFc {
+			if err := inv.SetForecast(vm.id, vm.fc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return inv
+}
+
+// buildFleetChurned reaches the same logical state through a noisy
+// mutation history: every VM first lands on the wrong host with the
+// wrong allocation, then is corrected via Move/SetAlloc, with a
+// transient reservation created and released along the way.
+func buildFleetChurned(t *testing.T, spec fleetSpec) *Inventory {
+	t.Helper()
+	inv := NewInventory()
+	for _, h := range spec.hosts {
+		mustAddHost(t, inv, h.ID, h.Domain, h.CPUCapPct, h.MemCapMB)
+	}
+	if err := inv.Reserve("churn", spec.hosts[0].ID, 50, 256); err != nil {
+		t.Fatal(err)
+	}
+	for i, vm := range spec.vms {
+		wrong := spec.hosts[(i+1)%len(spec.hosts)].ID
+		mustPlace(t, inv, vm.id, wrong, vm.cpu+5, vm.mem, vm.group)
+		if err := inv.Move(vm.id, vm.host); err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.SetAlloc(vm.id, vm.cpu, vm.mem); err != nil {
+			t.Fatal(err)
+		}
+		if vm.hasFc {
+			if err := inv.SetForecast(vm.id, vm.fc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := inv.Release("churn"); err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func identPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// groupDomainCounts recomputes the (group, domain) occupancy from
+// scratch: the brute-force mirror of the inventory's incremental map.
+func groupDomainCounts(inv *Inventory, groupOf map[VMID]string) map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, id := range inv.HostIDs() {
+		v, _ := inv.View(id)
+		for _, vm := range inv.VMsOn(id) {
+			g := groupOf[vm]
+			if g == "" {
+				continue
+			}
+			if out[g] == nil {
+				out[g] = map[string]int{}
+			}
+			out[g][v.Domain]++
+		}
+	}
+	return out
+}
+
+func freeSnapshot(inv *Inventory) map[HostID][2]float64 {
+	out := map[HostID][2]float64{}
+	for _, id := range inv.HostIDs() {
+		c, m, _ := inv.Free(id)
+		out[id] = [2]float64{c, m}
+	}
+	return out
+}
+
+func TestPropertyDecisionInvariants(t *testing.T) {
+	const (
+		seeds     = 60
+		domainCap = 2
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			spec := genFleet(r)
+			groupOf := map[VMID]string{}
+			for _, vm := range spec.vms {
+				groupOf[vm.id] = vm.group
+			}
+			cfg := Config{
+				MaxGroupPerDomain: domainCap,
+				PreemptionDepth:   int(seed % 3), // 0 (off), 1, 2
+			}
+			inv := buildFleet(t, spec, identPerm(len(spec.hosts)), identPerm(len(spec.vms)))
+			eng := newTestEngine(t, inv, cfg)
+
+			req := Request{
+				VM:     "incoming",
+				CPUPct: 1 + float64(r.Intn(150)),
+				MemMB:  float64(64 * (1 + r.Intn(16))),
+				Source: spec.hosts[r.Intn(len(spec.hosts))].ID,
+			}
+			if r.Intn(2) == 0 {
+				req.Group = fmt.Sprintf("g%d", r.Intn(3))
+			}
+			groupOf[req.VM] = req.Group
+
+			before := freeSnapshot(inv)
+			gdBefore := groupDomainCounts(inv, groupOf)
+			dec, err := eng.Decide(req)
+
+			// Trial preemption planning must leave the inventory exactly
+			// as it found it, success or not.
+			if after := freeSnapshot(inv); !reflect.DeepEqual(before, after) {
+				t.Fatalf("Decide mutated the inventory:\nbefore %v\nafter  %v", before, after)
+			}
+
+			if err != nil {
+				if !errors.Is(err, ErrNoFeasibleHost) {
+					t.Fatalf("Decide: %v", err)
+				}
+				if cfg.PreemptionDepth == 0 {
+					assertNoAdmissibleHost(t, inv, req, gdBefore, domainCap)
+				}
+				return
+			}
+
+			if dec.Target == req.Source {
+				t.Fatalf("decision targets the source host %s", req.Source)
+			}
+			if len(dec.Preempted) > 0 && cfg.PreemptionDepth == 0 {
+				t.Fatalf("preemption planned with depth 0: %+v", dec.Preempted)
+			}
+			max := cfg.MaxPreemptions
+			if max == 0 {
+				max = 4 // engine default when preemption is enabled
+			}
+			if len(dec.Preempted) > max {
+				t.Fatalf("preemption cascade %d exceeds bound %d", len(dec.Preempted), max)
+			}
+
+			// Execute the plan against the mirror and check soundness:
+			// the generated fleet starts non-overcommitted, so a sound
+			// plan keeps every host's free capacity non-negative.
+			for _, mv := range dec.Preempted {
+				if got, _ := inv.HostOf(mv.VM); got != mv.From {
+					t.Fatalf("move %+v: VM is on %s", mv, got)
+				}
+				if err := inv.Move(mv.VM, mv.To); err != nil {
+					t.Fatalf("applying move %+v: %v", mv, err)
+				}
+			}
+			if err := inv.Place(req.VM, dec.Target, req.CPUPct, req.MemMB, req.Group); err != nil {
+				t.Fatalf("placing on decided target: %v", err)
+			}
+			for id, free := range freeSnapshot(inv) {
+				if free[0] < 0 || free[1] < 0 {
+					t.Errorf("host %s overcommitted after executing the plan: free %v", id, free)
+				}
+			}
+
+			// Spreading: any (group, domain) cell that grew must still
+			// be within the cap. (Cells the generator overfilled before
+			// the decision are tolerated — the engine only promises not
+			// to make things worse.)
+			gdAfter := groupDomainCounts(inv, groupOf)
+			for g, doms := range gdAfter {
+				for d, n := range doms {
+					if n > gdBefore[g][d] && n > domainCap {
+						t.Errorf("decision grew group %s in domain %s to %d (cap %d)", g, d, n, domainCap)
+					}
+				}
+			}
+
+			// Determinism: a shuffled insertion order and a churned
+			// mutation history must both yield the identical decision.
+			for variant, alt := range map[string]*Inventory{
+				"shuffled": buildFleet(t, spec,
+					r.Perm(len(spec.hosts)), r.Perm(len(spec.vms))),
+				"churned": buildFleetChurned(t, spec),
+			} {
+				altDec, altErr := newTestEngine(t, alt, cfg).Decide(req)
+				if altErr != nil {
+					t.Fatalf("%s build: Decide: %v", variant, altErr)
+				}
+				if !reflect.DeepEqual(dec, altDec) {
+					t.Errorf("%s build decided differently:\n%+v\nvs\n%+v", variant, dec, altDec)
+				}
+			}
+		})
+	}
+}
+
+// assertNoAdmissibleHost is the completeness oracle for the
+// no-preemption case: brute-force every host and verify each one is the
+// source, lacks capacity, or is domain-saturated for the request group.
+func assertNoAdmissibleHost(t *testing.T, inv *Inventory, req Request, gd map[string]map[string]int, domainCap int) {
+	t.Helper()
+	for _, id := range inv.HostIDs() {
+		if id == req.Source {
+			continue
+		}
+		v, _ := inv.View(id)
+		if v.FreeCPUPct < req.CPUPct || v.FreeMemMB < req.MemMB {
+			continue
+		}
+		if req.Group != "" && gd[req.Group][v.Domain] >= domainCap {
+			continue
+		}
+		t.Fatalf("engine reported no feasible host but %s admits the request (free %v/%v)",
+			id, v.FreeCPUPct, v.FreeMemMB)
+	}
+}
+
+// TestPropertyPreemptionTerminates stresses the cascade bound on tightly
+// packed fleets where direct placement always fails: whatever the depth,
+// planning must terminate and never journal more than MaxPreemptions
+// trial moves, and a failed plan must roll back perfectly.
+func TestPropertyPreemptionTerminates(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		inv := NewInventory()
+		nHosts := 3 + r.Intn(6)
+		for i := 0; i < nHosts; i++ {
+			mustAddHost(t, inv, HostID(fmt.Sprintf("h%d", i)), "", 100, 4096)
+		}
+		// Pack every host to 90-99% CPU so the request can only land via
+		// eviction (or not at all).
+		vmN := 0
+		for i := 0; i < nHosts; i++ {
+			load := 90 + float64(r.Intn(10))
+			for load > 0 {
+				cpu := 10 + float64(r.Intn(40))
+				if cpu > load {
+					cpu = load
+				}
+				mustPlace(t, inv, VMID(fmt.Sprintf("v%d", vmN)), HostID(fmt.Sprintf("h%d", i)), cpu, 128, "")
+				vmN++
+				load -= cpu
+			}
+		}
+		depth := 1 + int(seed%4)
+		eng := newTestEngine(t, inv, Config{PreemptionDepth: depth})
+		before := freeSnapshot(inv)
+		dec, err := eng.Decide(Request{VM: "big", CPUPct: 60, MemMB: 256, Source: "h0"})
+		if after := freeSnapshot(inv); !reflect.DeepEqual(before, after) {
+			t.Fatalf("seed %d: planning left residue:\nbefore %v\nafter  %v", seed, before, after)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrNoFeasibleHost) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			continue
+		}
+		if len(dec.Preempted) == 0 {
+			t.Fatalf("seed %d: packed fleet placed without preemption", seed)
+		}
+		if len(dec.Preempted) > 4 {
+			t.Fatalf("seed %d: %d preemptions exceed the default budget", seed, len(dec.Preempted))
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package placement
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package placement
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; wall-clock latency budgets are meaningless under its overhead.
+const raceEnabled = true

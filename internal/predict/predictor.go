@@ -266,6 +266,36 @@ func (p *Predictor) StepsFor(lookaheadS int64) int {
 	return steps
 }
 
+// ForecastValueMax returns the maximum expected value of one column
+// over the look-ahead window: for each prediction step up to
+// StepsFor(lookaheadS), the Markov chain's bin distribution is collapsed
+// to an expected value via the discretizer's bin centers, and the
+// largest step value is returned. Placement uses this to score
+// candidate hosts by their forecast peak load rather than the current
+// snapshot. Reports false when the predictor is untrained or the column
+// is out of range.
+func (p *Predictor) ForecastValueMax(col int, lookaheadS int64) (float64, bool) {
+	if !p.trained || col < 0 || col >= len(p.chains) {
+		return 0, false
+	}
+	series := p.chains[col].PredictSeries(p.StepsFor(lookaheadS))
+	if len(series) == 0 {
+		return 0, false
+	}
+	d := p.disc[col]
+	best := 0.0
+	for s, dist := range series {
+		v := 0.0
+		for b, pb := range dist {
+			v += pb * d.Center(b)
+		}
+		if s == 0 || v > best {
+			best = v
+		}
+	}
+	return best, true
+}
+
 // Predict classifies the predicted system state the given number of
 // sampling steps ahead: each attribute's Markov chain yields a value
 // distribution, and the TAN classifier scores the expected state

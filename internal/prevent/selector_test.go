@@ -1,0 +1,218 @@
+package prevent
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"prepare/internal/simclock"
+	"prepare/internal/substrate"
+)
+
+// targetedSystem extends the scripted substrate with explicit-target
+// migration, recording each requested target so tests can assert which
+// hosts the selector chose on which attempt.
+type targetedSystem struct {
+	*scriptedSystem
+	migrateToScript []error
+	targets         []substrate.HostID
+}
+
+func newTargetedSystem(migrateTo []error) *targetedSystem {
+	return &targetedSystem{
+		scriptedSystem:  newScriptedSystem(nil, nil),
+		migrateToScript: migrateTo,
+	}
+}
+
+func (s *targetedSystem) MigrateTo(_ simclock.Time, id substrate.VMID, target substrate.HostID, cpu, mem float64) error {
+	s.calls = append(s.calls, "migrate_to")
+	s.targets = append(s.targets, target)
+	if err := pop(&s.migrateToScript); err != nil {
+		return err
+	}
+	s.allocs[id] = substrate.Allocation{CPUPct: cpu, MemMB: mem}
+	s.migrating[id] = true
+	return nil
+}
+
+// fakeSelector answers SelectTarget from a mutable pick function (the
+// test's stand-in for live inventory state) and records outcomes.
+type fakeSelector struct {
+	pick     func() (substrate.HostID, bool)
+	consults int
+	outcomes []SelectionOutcome
+}
+
+func (s *fakeSelector) SelectTarget(simclock.Time, substrate.VMID, float64, float64) (substrate.HostID, bool) {
+	s.consults++
+	return s.pick()
+}
+
+func (s *fakeSelector) ReportOutcome(_ substrate.VMID, o SelectionOutcome) {
+	s.outcomes = append(s.outcomes, o)
+}
+
+func TestNewPlannerRejectsSelectorWithoutTargetedActuator(t *testing.T) {
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) { return "hA", true }}
+	if _, err := NewPlanner(newFakeSystem(), MigrationOnly, Config{Selector: sel}); err == nil {
+		t.Fatal("selector over a substrate without MigrateTo must be rejected")
+	}
+	if _, err := NewPlanner(newTargetedSystem(nil), MigrationOnly, Config{Selector: sel}); err != nil {
+		t.Fatalf("selector over a targeted substrate: %v", err)
+	}
+}
+
+func TestSelectorTargetRecordedInStep(t *testing.T) {
+	sys := newTargetedSystem(nil)
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) { return "hB", true }}
+	p, err := NewPlanner(sys, MigrationOnly, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(1, cpuDiag("vm1"), 0)
+	if err != nil {
+		t.Fatalf("Prevent: %v", err)
+	}
+	if step.Kind != substrate.ActionMigrate {
+		t.Fatalf("kind = %v, want migrate", step.Kind)
+	}
+	if !strings.Contains(step.Detail, "-> hB") {
+		t.Fatalf("Detail = %q, want target suffix '-> hB'", step.Detail)
+	}
+	if want := []SelectionOutcome{OutcomeSuccess}; !equalOutcomes(sel.outcomes, want) {
+		t.Fatalf("outcomes = %v, want %v", sel.outcomes, want)
+	}
+	if !equalStrings(sys.calls, []string{"migrate_to"}) {
+		t.Fatalf("calls = %v, want [migrate_to] (no naive fallback)", sys.calls)
+	}
+}
+
+// The stale-target regression (ISSUE 9 satellite): a transient failure
+// schedules a backed-off retry, and the retry must RE-SELECT against
+// current inventory state instead of reusing the originally chosen
+// target. The scripted "cluster" fills hA between the attempts; a
+// planner that cached the first answer would migrate into the full
+// host.
+func TestSelectorReselectsOnEachRetryAttempt(t *testing.T) {
+	sys := newTargetedSystem([]error{substrate.ErrUnavailable})
+	hostAFull := false
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) {
+		if hostAFull {
+			return "hB", true
+		}
+		return "hA", true
+	}}
+	p, err := NewPlanner(sys, MigrationOnly, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt at t=1: selector says hA, actuator fails transiently.
+	if _, err := p.Prevent(1, cpuDiag("vm1"), 0); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("first attempt err = %v, want ErrBackoff", err)
+	}
+	// Another workload fills hA while the retry backoff runs.
+	hostAFull = true
+	// Retry at t=3 (backoff 2): must consult the selector again and land
+	// on hB.
+	step, err := p.Prevent(3, cpuDiag("vm1"), 0)
+	if err != nil {
+		t.Fatalf("retry attempt err = %v", err)
+	}
+	if !strings.Contains(step.Detail, "-> hB") {
+		t.Fatalf("retry Detail = %q, want re-selected target hB", step.Detail)
+	}
+	wantTargets := []substrate.HostID{"hA", "hB"}
+	if len(sys.targets) != 2 || sys.targets[0] != wantTargets[0] || sys.targets[1] != wantTargets[1] {
+		t.Fatalf("actuated targets = %v, want %v (stale target must not be reused)", sys.targets, wantTargets)
+	}
+	if sel.consults != 2 {
+		t.Fatalf("selector consulted %d times, want 2 (once per attempt)", sel.consults)
+	}
+	if want := []SelectionOutcome{OutcomeRetry, OutcomeSuccess}; !equalOutcomes(sel.outcomes, want) {
+		t.Fatalf("outcomes = %v, want %v", sel.outcomes, want)
+	}
+}
+
+func TestSelectorPermanentRefusalFallsBackToNaive(t *testing.T) {
+	// The chosen target refuses permanently (filled between decision and
+	// actuation): the same attempt falls back to substrate-chosen
+	// migration rather than burning a retry.
+	sys := newTargetedSystem([]error{substrate.ErrInsufficient})
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) { return "hA", true }}
+	p, err := NewPlanner(sys, MigrationOnly, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := p.Prevent(1, cpuDiag("vm1"), 0)
+	if err != nil {
+		t.Fatalf("Prevent: %v", err)
+	}
+	if strings.Contains(step.Detail, "->") {
+		t.Fatalf("Detail = %q, want naive detail without target suffix", step.Detail)
+	}
+	if !equalStrings(sys.calls, []string{"migrate_to", "migrate"}) {
+		t.Fatalf("calls = %v, want [migrate_to migrate]", sys.calls)
+	}
+	if want := []SelectionOutcome{OutcomeFallback}; !equalOutcomes(sel.outcomes, want) {
+		t.Fatalf("outcomes = %v, want %v", sel.outcomes, want)
+	}
+}
+
+func TestSelectorNoAnswerFallsBackToNaive(t *testing.T) {
+	sys := newTargetedSystem(nil)
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) { return "", false }}
+	p, err := NewPlanner(sys, MigrationOnly, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Prevent(1, cpuDiag("vm1"), 0); err != nil {
+		t.Fatalf("Prevent: %v", err)
+	}
+	if !equalStrings(sys.calls, []string{"migrate"}) {
+		t.Fatalf("calls = %v, want [migrate]", sys.calls)
+	}
+	if want := []SelectionOutcome{OutcomeFallback}; !equalOutcomes(sel.outcomes, want) {
+		t.Fatalf("outcomes = %v, want %v", sel.outcomes, want)
+	}
+}
+
+// Transient failures on the selected target reuse prevent's existing
+// retry/backoff ladder — same budget, same doubling schedule — and
+// exhaustion surfaces as ErrExhausted exactly like naive migration.
+func TestSelectorTransientExhaustionMatchesNaiveLadder(t *testing.T) {
+	sys := newTargetedSystem([]error{errUnavail, errUnavail, errUnavail, errUnavail})
+	sel := &fakeSelector{pick: func() (substrate.HostID, bool) { return "hA", true }}
+	p, err := NewPlanner(sys, MigrationOnly, Config{Selector: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, terr, backoffs, _ := drive(t, p, 64)
+	if !errors.Is(terr, ErrExhausted) {
+		t.Fatalf("terminal error = %v, want ErrExhausted", terr)
+	}
+	if backoffs == 0 {
+		t.Fatal("expected backoff ticks before exhaustion")
+	}
+	// 4 attempts, all consulting the selector fresh.
+	if sel.consults != 4 {
+		t.Fatalf("selector consulted %d times, want 4", sel.consults)
+	}
+	want := []SelectionOutcome{OutcomeRetry, OutcomeRetry, OutcomeRetry, OutcomeRetry}
+	if !equalOutcomes(sel.outcomes, want) {
+		t.Fatalf("outcomes = %v, want %v", sel.outcomes, want)
+	}
+}
+
+func equalOutcomes(a, b []SelectionOutcome) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

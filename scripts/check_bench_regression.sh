@@ -7,15 +7,17 @@
 # scoring, the engine fleet tick, the per-VM detector fleet tick
 # BenchmarkDetector*) regressed by more than
 # BENCH_GATE_THRESHOLD percent (default 20). Benchmarks that report a
-# vm-steps/sec throughput metric (BenchmarkEngineVMSteps) are also
-# gated on it: head throughput more than BENCH_GATE_THRESHOLD percent
-# below base fails. Benchmarks present only in HEAD are reported but
-# never fail the gate, so adding benchmarks in a PR is safe.
+# throughput metric — vm-steps/sec (BenchmarkEngineVMSteps, the
+# detector fleet tick) or decisions/sec (BenchmarkPlacementDecision) —
+# are also gated on it: head throughput more than BENCH_GATE_THRESHOLD
+# percent below base fails. Benchmarks present only in HEAD are
+# reported but never fail the gate, so adding benchmarks in a PR is
+# safe.
 set -euo pipefail
 
 BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
 HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
-PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow|Detector'}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow|Detector|PlacementDecision'}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
 
 if ! grep -Eq 'allocs/op' "$BASE"; then
@@ -32,8 +34,11 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
     allocs = ""
     steps = ""
     for (i = 2; i <= NF; i++) {
-      if ($i == "allocs/op")    allocs = $(i - 1)
-      if ($i == "vm-steps/sec") steps = $(i - 1)
+      if ($i == "allocs/op") allocs = $(i - 1)
+      if ($i == "vm-steps/sec" || $i == "decisions/sec") {
+        steps = $(i - 1)
+        sunit[name] = $i
+      }
     }
     if (allocs == "") next
     if (fileno == 1) {
@@ -73,21 +78,22 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
       } else {
         printf "ok   %-45s allocs/op %.1f -> %.1f\n", name, base, head
       }
-      # Throughput gate: vm-steps/sec is higher-is-better, so the fail
-      # direction flips relative to the allocation gate above. A
-      # throughput metric only one side reports is skipped with a
-      # notice (newly added or retired gauge), like a new benchmark.
+      # Throughput gate: vm-steps/sec and decisions/sec are
+      # higher-is-better, so the fail direction flips relative to the
+      # allocation gate above. A throughput metric only one side
+      # reports is skipped with a notice (newly added or retired
+      # gauge), like a new benchmark.
       if (name in hssum && !(name in bssum)) {
-        printf "new  %-45s vm-steps/sec %.0f (absent from merge base; skipping gate)\n", name, hssum[name] / hscnt[name]
+        printf "new  %-45s %s %.0f (absent from merge base; skipping gate)\n", name, sunit[name], hssum[name] / hscnt[name]
       }
       if (name in hssum && name in bssum) {
         hs = hssum[name] / hscnt[name]
         bs = bssum[name] / bscnt[name]
         if (hs < bs * (1 - threshold / 100)) {
-          printf "FAIL %-45s vm-steps/sec %.0f -> %.0f (>%d%% slowdown)\n", name, bs, hs, threshold
+          printf "FAIL %-45s %s %.0f -> %.0f (>%d%% slowdown)\n", name, sunit[name], bs, hs, threshold
           status = 1
         } else {
-          printf "ok   %-45s vm-steps/sec %.0f -> %.0f\n", name, bs, hs
+          printf "ok   %-45s %s %.0f -> %.0f\n", name, sunit[name], bs, hs
         }
       }
     }

@@ -4,7 +4,7 @@
 # Runs the repo's performance benchmark suite and writes BENCH_PR<N>.json
 # mapping each benchmark (GOMAXPROCS suffix stripped, averaged across
 # -count repeats) to its ns/op, allocs/op and — where the benchmark
-# reports one — vm-steps/sec. The JSON is committed alongside the PR
+# reports one — vm-steps/sec or decisions/sec. The JSON is committed alongside the PR
 # that changed the hot path so later sessions can diff fleet throughput
 # without re-running the full sweep.
 #
@@ -20,6 +20,7 @@
 #                          skip the 10k-VM tier)
 #   ENGINE_BENCH_PATTERN   engine regexp       (default EngineVMSteps, all fleets)
 #   ENGINE_BENCHTIME       engine -benchtime   (default 1x)
+#   PLACEMENT_BENCHTIME    placement -benchtime (default 500x)
 #   SKIP_ENGINE=1          skip the engine pass (quick micro-only record)
 #
 # Usage:
@@ -40,6 +41,11 @@ echo ">> micro benchmarks (${MICRO_PATTERN})" >&2
 go test -run '^$' -bench "$MICRO_PATTERN" -benchmem \
   -benchtime "${BENCH_TIME:-1000x}" -count "${BENCH_COUNT:-3}" \
   "$@" "${MICRO_PKGS[@]}" | tee -a "$RAW" >&2
+
+echo ">> placement decision benchmarks" >&2
+go test -run '^$' -bench "${PLACEMENT_BENCH_PATTERN:-PlacementDecision}" -benchmem \
+  -benchtime "${PLACEMENT_BENCHTIME:-500x}" -count "${BENCH_COUNT:-3}" \
+  "$@" ./internal/placement | tee -a "$RAW" >&2
 
 echo ">> detector fleet benchmarks" >&2
 go test -run '^$' -bench "${DETECTOR_BENCH_PATTERN:-DetectorFleetTick}" -benchmem \
@@ -64,6 +70,7 @@ awk '
       if ($(i + 1) == "ns/op")        { ns[name] += $i; nscnt[name]++ }
       if ($(i + 1) == "allocs/op")    { al[name] += $i; alcnt[name]++ }
       if ($(i + 1) == "vm-steps/sec") { vs[name] += $i; vscnt[name]++ }
+      if ($(i + 1) == "decisions/sec") { ds[name] += $i; dscnt[name]++ }
     }
   }
   END {
@@ -81,6 +88,7 @@ awk '
       printf "  \"%s\": {\"ns_per_op\": %.1f", name, ns[name] / nscnt[name]
       if (alcnt[name]) printf ", \"allocs_per_op\": %.1f", al[name] / alcnt[name]
       if (vscnt[name]) printf ", \"vm_steps_per_sec\": %.1f", vs[name] / vscnt[name]
+      if (dscnt[name]) printf ", \"decisions_per_sec\": %.1f", ds[name] / dscnt[name]
       printf "}%s\n", (i < n - 1) ? "," : ""
     }
     printf "}\n"
