@@ -130,6 +130,8 @@ type options struct {
 	loadgen         bool
 	profile         string
 	rate            float64
+	wireMode        string
+	alertsOut       string
 	telemetry       bool
 	telemetryFormat string
 	telemetryAddr   string
@@ -218,6 +220,10 @@ func run(args []string) error {
 	fs.StringVar(&opts.profile, "profile", "short", "load profile for -loadgen: short, ingest or full")
 	fs.Float64Var(&opts.rate, "rate", -1,
 		"override the -loadgen profile's open-loop rate in samples/sec (0 = unpaced, -1 = profile default)")
+	fs.StringVar(&opts.wireMode, "wire", "",
+		"ingest transport for -loadgen: direct, json, binary or stream (default: profile's)")
+	fs.StringVar(&opts.alertsOut, "alerts-out", "",
+		"write the -loadgen run's canonical alert stream to this file (transport byte-diffs)")
 	fs.BoolVar(&opts.telemetry, "telemetry", false,
 		"collect control-loop telemetry and print an end-of-run report to stderr")
 	fs.StringVar(&opts.telemetryFormat, "telemetry-format", "text",

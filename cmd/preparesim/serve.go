@@ -47,7 +47,7 @@ func runServe(opts options) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "preparesim: serving %d tenants × %d VMs on %s (POST /v1/samples, GET /v1/alerts, /healthz)\n",
+	fmt.Fprintf(os.Stderr, "preparesim: serving %d tenants × %d VMs on %s (POST /v1/samples JSON or binary columnar, POST /v1/stream, GET /v1/alerts, /healthz)\n",
 		opts.tenants, opts.vms, opts.addr)
 	return prepare.RunServer(ctx, srv, opts.addr)
 }
@@ -62,6 +62,10 @@ func runLoadgen(opts options) error {
 	if opts.rate >= 0 {
 		cfg.Rate = opts.rate
 	}
+	if opts.wireMode != "" {
+		cfg.Wire = opts.wireMode
+	}
+	cfg.AlertsOut = opts.alertsOut
 	cfg.Seed = opts.seed
 	rep, err := prepare.RunLoadgen(cfg)
 	if err != nil {

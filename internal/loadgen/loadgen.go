@@ -17,6 +17,8 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"prepare/internal/simclock"
 	"prepare/internal/substrate"
 	"prepare/internal/telemetry"
+	"prepare/internal/wire"
 )
 
 // Config parameterizes a load-generation run. Zero values take the
@@ -57,10 +60,26 @@ type Config struct {
 	// Verify re-runs every tenant synchronously and requires the
 	// published alert stream to match byte-for-byte.
 	Verify bool
+	// Wire selects the ingest transport: "direct" (default — in-process
+	// structs through server.Ingest, the PR 7 baseline), "json" (each
+	// batch marshalled once up front, decoded per send through
+	// server.IngestJSON — the HTTP/JSON path minus the network),
+	// "binary" (columnar frames through server.IngestFrame), or
+	// "stream" (the same frames over one long-lived server.IngestStream
+	// connection).
+	Wire string
+	// AlertsOut, when set, writes the canonical published alert stream
+	// as JSON to this path after the run — two runs over the same
+	// traces must produce byte-identical files regardless of Wire,
+	// which CI pins with a plain diff.
+	AlertsOut string
 
 	Shards     int
 	QueueDepth int
 }
+
+// Wires lists the transport choices.
+func Wires() []string { return []string{"direct", "json", "binary", "stream"} }
 
 // Profiles returns the preset names.
 func Profiles() []string { return []string{"short", "ingest", "full"} }
@@ -110,12 +129,26 @@ type Report struct {
 	AlertsPublished int64   `json:"alerts_published"`
 	StepsPublished  int64   `json:"steps_published"`
 	ThroughputSPS   float64 `json:"throughput_sps"`
+	Wire            string  `json:"wire"`
 	P50IngestS      float64 `json:"p50_ingest_s"`
 	P99IngestS      float64 `json:"p99_ingest_s"`
 	P99AlertS       float64 `json:"p99_alert_s"`
 	P99ActuationS   float64 `json:"p99_actuation_s"`
-	Verified        bool    `json:"verified"`
-	VerifyError     string  `json:"verify_error,omitempty"`
+	// Per-stage transport breakdown (seconds, per batch): encode is the
+	// client-side wire encoding, send the ingest-call round trip,
+	// decode the server-side wire decoding, apply the append+watermark
+	// pass. Encode/decode are zero on the direct transport, which has
+	// neither stage.
+	P50EncodeS  float64 `json:"p50_encode_s"`
+	P99EncodeS  float64 `json:"p99_encode_s"`
+	P50SendS    float64 `json:"p50_send_s"`
+	P99SendS    float64 `json:"p99_send_s"`
+	P50DecodeS  float64 `json:"p50_decode_s"`
+	P99DecodeS  float64 `json:"p99_decode_s"`
+	P50ApplyS   float64 `json:"p50_apply_s"`
+	P99ApplyS   float64 `json:"p99_apply_s"`
+	Verified    bool    `json:"verified"`
+	VerifyError string  `json:"verify_error,omitempty"`
 }
 
 // JSON renders the report as one flat object.
@@ -125,6 +158,9 @@ func (r Report) JSON() []byte {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Wire == "" {
+		c.Wire = "direct"
+	}
 	if c.Tenants <= 0 {
 		c.Tenants = 4
 	}
@@ -188,6 +224,15 @@ func sortedVMs(traces map[substrate.VMID][]metrics.Sample) []substrate.VMID {
 // wall-clock timing.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
+	validWire := false
+	for _, w := range Wires() {
+		if cfg.Wire == w {
+			validWire = true
+		}
+	}
+	if !validWire {
+		return Report{}, fmt.Errorf("loadgen: unknown wire %q (have %v)", cfg.Wire, Wires())
+	}
 	traces := cfg.traces()
 	reg := telemetry.New(telemetry.Options{})
 
@@ -217,6 +262,7 @@ func Run(cfg Config) (Report, error) {
 		VMs:        cfg.Tenants * cfg.VMsPerTenant,
 		HorizonS:   cfg.HorizonS,
 		RateTarget: cfg.Rate,
+		Wire:       cfg.Wire,
 	}
 
 	// Precompute the whole send schedule — one batch per tenant per
@@ -255,6 +301,67 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 
+	// Pre-encode the wire bodies — one per tenant per instant, the same
+	// batching as the direct plan — timing each encode into its own
+	// stage histogram, so the timed loop pays only the send itself (a
+	// real client would encode on its side of the wire anyway).
+	encodeHist := reg.HistogramWith("loadgen.stage.encode", telemetry.LatencyBuckets)
+	sendHist := reg.HistogramWith("loadgen.stage.send", telemetry.LatencyBuckets)
+	var bodies [][][]byte // [instant][tenant] encoded batch, nil when empty
+	if cfg.Wire != "direct" {
+		bodies = make([][][]byte, len(plan))
+		for inst := range plan {
+			bodies[inst] = make([][]byte, cfg.Tenants)
+			for ti := range plan[inst] {
+				b := &plan[inst][ti]
+				if len(b.Samples) == 0 {
+					continue
+				}
+				encStart := time.Now()
+				body, err := encodeBatch(cfg.Wire, b)
+				if err != nil {
+					return rep, fmt.Errorf("loadgen: encode t=%d tenant=%s: %w", inst*5, b.Tenant, err)
+				}
+				encodeHist.ObserveSince(encStart)
+				bodies[inst][ti] = body
+			}
+		}
+	}
+
+	// The stream transport feeds every frame through one long-lived
+	// connection; the pipe write is the send, and IngestStream's
+	// internal rejection counting stands in for per-request results.
+	var streamW *io.PipeWriter
+	streamDone := make(chan error, 1)
+	if cfg.Wire == "stream" {
+		pr, pw := io.Pipe()
+		streamW = pw
+		go func() {
+			_, err := srv.IngestStream(pr)
+			pr.CloseWithError(err)
+			streamDone <- err
+		}()
+	}
+
+	send := func(inst, ti int, b *server.Batch) error {
+		switch cfg.Wire {
+		case "direct":
+			// One Ingest per tenant batch so a full shard queue rejects
+			// only that tenant's samples, mirroring independent clients.
+			_, err := srv.Ingest([]server.Batch{*b})
+			return err
+		case "json":
+			_, err := srv.IngestJSON(bodies[inst][ti])
+			return err
+		case "binary":
+			_, err := srv.IngestFrame(bodies[inst][ti])
+			return err
+		default: // stream
+			_, err := streamW.Write(bodies[inst][ti])
+			return err
+		}
+	}
+
 	// Open-loop send, paced against the wall clock, rejections counted
 	// and never retried.
 	start := time.Now()
@@ -268,17 +375,26 @@ func Run(cfg Config) (Report, error) {
 				time.Sleep(ahead)
 			}
 		}
-		// One Ingest per tenant batch so a full shard queue rejects only
-		// that tenant's samples, mirroring independent HTTP clients.
-		for _, b := range batches {
+		for ti := range batches {
+			b := &batches[ti]
 			if len(b.Samples) == 0 {
 				continue
 			}
-			if _, err := srv.Ingest([]server.Batch{b}); err != nil && err != server.ErrBackpressure {
+			sendStart := time.Now()
+			err := send(inst, ti, b)
+			sendHist.ObserveSince(sendStart)
+			if err != nil && err != server.ErrBackpressure {
 				srv.Close()
 				return rep, fmt.Errorf("loadgen: ingest at t=%d: %w", inst*5, err)
 			}
 			rep.SamplesSent += int64(len(b.Samples))
+		}
+	}
+	if streamW != nil {
+		streamW.Close()
+		if err := <-streamDone; err != nil {
+			srv.Close()
+			return rep, fmt.Errorf("loadgen: stream ingest: %w", err)
 		}
 	}
 	if err := srv.Close(); err != nil {
@@ -311,6 +427,22 @@ func Run(cfg Config) (Report, error) {
 	if h, ok := snap.Histograms["server.actuation.e2e"]; ok {
 		rep.P99ActuationS = h.Quantile(0.99)
 	}
+	if h, ok := snap.Histograms["loadgen.stage.encode"]; ok {
+		rep.P50EncodeS = h.Quantile(0.50)
+		rep.P99EncodeS = h.Quantile(0.99)
+	}
+	if h, ok := snap.Histograms["loadgen.stage.send"]; ok {
+		rep.P50SendS = h.Quantile(0.50)
+		rep.P99SendS = h.Quantile(0.99)
+	}
+	if h, ok := snap.Histograms["server.stage.decode"]; ok {
+		rep.P50DecodeS = h.Quantile(0.50)
+		rep.P99DecodeS = h.Quantile(0.99)
+	}
+	if h, ok := snap.Histograms["server.stage.apply"]; ok {
+		rep.P50ApplyS = h.Quantile(0.50)
+		rep.P99ApplyS = h.Quantile(0.99)
+	}
 
 	if cfg.Verify {
 		if err := verify(cfg, traces, srv); err != nil {
@@ -319,7 +451,72 @@ func Run(cfg Config) (Report, error) {
 			rep.Verified = true
 		}
 	}
+	if cfg.AlertsOut != "" {
+		if err := writeAlerts(cfg.AlertsOut, srv); err != nil {
+			return rep, fmt.Errorf("loadgen: write alerts: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+// encodeBatch renders one tenant batch for the chosen wire: the JSON
+// request body the HTTP handler would receive, or a binary columnar
+// frame (shared by the binary and stream transports).
+func encodeBatch(wireMode string, b *server.Batch) ([]byte, error) {
+	if wireMode == "json" {
+		return json.Marshal(struct {
+			Batches []server.Batch `json:"batches"`
+		}{Batches: []server.Batch{*b}})
+	}
+	var wb wire.Batch
+	wb.Reset([]byte(b.Tenant))
+	idx := make(map[string]int, 8)
+	for _, in := range b.Samples {
+		i, ok := idx[in.VM]
+		if !ok {
+			i = wb.AddVM([]byte(in.VM))
+			idx[in.VM] = i
+		}
+		var label metrics.Label
+		switch in.Label {
+		case "normal", "":
+			label = metrics.LabelNormal
+		case "abnormal":
+			label = metrics.LabelAbnormal
+		default:
+			label = metrics.LabelUnknown
+		}
+		wb.Add(i, in.TimeS, label, in.Values)
+	}
+	return wire.AppendBatch(nil, &wb)
+}
+
+// writeAlerts dumps the canonical published alert stream — sorted by
+// (time, tenant), sequence numbers cleared — so runs over the same
+// traces byte-diff equal regardless of transport.
+func writeAlerts(path string, srv *server.Server) error {
+	alerts := canonicalAlerts(srv.Alerts(0, 0))
+	b, err := json.MarshalIndent(alerts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// canonicalAlerts sorts a published stream by (Time, Tenant), stable,
+// and clears sequence numbers.
+func canonicalAlerts(alerts []server.Alert) []server.Alert {
+	out := append([]server.Alert{}, alerts...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	for i := range out {
+		out[i].Seq = 0
+	}
+	return out
 }
 
 // verify replays every tenant through a synchronous single-threaded
@@ -339,20 +536,8 @@ func verify(cfg Config, traces map[string]map[substrate.VMID][]metrics.Sample, s
 		}
 	}
 	got := srv.Alerts(0, 0)
-	for i := range got {
-		got[i].Seq = 0
-	}
-	canonical := func(alerts []server.Alert) []server.Alert {
-		sort.SliceStable(alerts, func(i, j int) bool {
-			if alerts[i].Time != alerts[j].Time {
-				return alerts[i].Time.Before(alerts[j].Time)
-			}
-			return alerts[i].Tenant < alerts[j].Tenant
-		})
-		return alerts
-	}
-	wb, _ := json.Marshal(canonical(want))
-	gb, _ := json.Marshal(canonical(got))
+	wb, _ := json.Marshal(canonicalAlerts(want))
+	gb, _ := json.Marshal(canonicalAlerts(got))
 	if string(wb) != string(gb) {
 		return fmt.Errorf("alert stream diverges from the synchronous controller: got %d alerts, want %d", len(got), len(want))
 	}

@@ -85,6 +85,52 @@ func TestProfileConfigUnknown(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
+	if _, err := Run(Config{Wire: "telepathy"}); err == nil {
+		t.Fatal("unknown wire accepted")
+	}
+}
+
+// TestWireTransportsEquivalent runs the same small verified scenario
+// over every transport and requires each run to (a) pass the
+// synchronous-oracle byte check and (b) write byte-identical canonical
+// alert files — the in-repo version of CI's transport byte-diff.
+func TestWireTransportsEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-transport load run outside -short")
+	}
+	dir := t.TempDir()
+	var want []byte
+	for _, w := range Wires() {
+		cfg := Config{Profile: "wire-" + w, Tenants: 2, VMsPerTenant: 2, HorizonS: 1500,
+			TrainAtS: 600, Seed: 3, ChaosRate: 0.02, Verify: true,
+			Shards: 2, QueueDepth: 2048, Wire: w,
+			AlertsOut: dir + "/" + w + ".json"}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if !rep.Verified {
+			t.Fatalf("%s: not verified: %s", w, rep.VerifyError)
+		}
+		if rep.SamplesRejected != 0 || rep.SamplesApplied != rep.SamplesSent {
+			t.Fatalf("%s: sent=%d applied=%d rejected=%d", w, rep.SamplesSent, rep.SamplesApplied, rep.SamplesRejected)
+		}
+		if rep.AlertsPublished == 0 {
+			t.Fatalf("%s: no alerts; equivalence would be vacuous", w)
+		}
+		if w != "direct" && (rep.P99EncodeS == 0 || rep.P99SendS == 0) {
+			t.Errorf("%s: missing stage breakdown: %+v", w, rep)
+		}
+		got, err := os.ReadFile(cfg.AlertsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if string(got) != string(want) {
+			t.Fatalf("%s: alert file diverges from direct transport (%d vs %d bytes)", w, len(got), len(want))
+		}
+	}
 }
 
 // TestPacingBelowRate: with a rate far above what the run can emit, the

@@ -5,10 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"prepare/internal/telemetry"
+	"prepare/internal/wire"
 )
 
 // ingestRequest is the POST /v1/samples body.
@@ -40,7 +45,12 @@ type auditResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/samples            — batched sample ingest (429 + Retry-After on backpressure)
+//	POST /v1/samples            — batched sample ingest: JSON, or one binary
+//	                              columnar frame when Content-Type is
+//	                              application/x-prepare-columnar
+//	                              (429 + Retry-After on backpressure)
+//	POST /v1/stream             — persistent binary ingest: length-prefixed
+//	                              columnar frames on one long-lived connection
 //	GET  /v1/alerts?since=&limit= — confirmed alerts after the cursor
 //	GET  /v1/audit?since=&limit=  — actuation audit log after the cursor
 //	GET  /v1/tenants/{id}/model — the tenant's current model snapshot
@@ -53,6 +63,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) newMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/samples", s.handleIngest)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/tenants/{id}/model", s.handleModel)
@@ -73,25 +84,100 @@ func (s *Server) newMux() *http.ServeMux {
 	return mux
 }
 
+// encBuf is the pooled response-encoding scratch: the encoder is bound
+// to the buffer once at pool-New time, so a steady-state response costs
+// neither a fresh json.Encoder nor a fresh buffer.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	eb := &encBuf{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	return eb
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	eb := encPool.Get().(*encBuf)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(v); err != nil {
+		encPool.Put(eb)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(eb.buf.Bytes())
+	encPool.Put(eb)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// isBinaryIngest reports whether the request negotiated the columnar
+// wire format.
+func isBinaryIngest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == wire.ContentType
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if isBinaryIngest(r) {
+		frame, err := io.ReadAll(body)
+		if err != nil {
+			writeIngestReadError(w, err)
+			return
+		}
+		res, err := s.IngestFrame(frame)
+		writeIngestResult(w, res, err)
 		return
 	}
-	res, err := s.Ingest(req.Batches)
+	payload, err := io.ReadAll(body)
+	if err != nil {
+		writeIngestReadError(w, err)
+		return
+	}
+	res, err := s.IngestJSON(payload)
+	writeIngestResult(w, res, err)
+}
+
+// IngestJSON decodes one JSON ingest request body and enqueues it —
+// the exact decode+validate path the HTTP handler runs, callable
+// in-process by the load generator to measure the JSON transport
+// without network variance.
+func (s *Server) IngestJSON(body []byte) (IngestResult, error) {
+	start := time.Now()
+	var req ingestRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return IngestResult{}, fmt.Errorf("%w: decode request: %v", ErrBadBatch, err)
+	}
+	s.tel.decodeLatency.ObserveSince(start)
+	return s.Ingest(req.Batches)
+}
+
+// writeIngestReadError maps body-read failures: MaxBytesReader overflow
+// is the client's fault and sized like ErrBatchTooLarge (413),
+// everything else is a malformed request (400).
+func writeIngestReadError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("%w: body exceeds %d bytes", ErrBatchTooLarge, tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// writeIngestResult maps Ingest/IngestFrame outcomes onto HTTP statuses.
+func writeIngestResult(w http.ResponseWriter, res IngestResult, err error) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
@@ -104,6 +190,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, ErrNotRunning):
 		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleStream drains length-prefixed binary frames from a long-lived
+// request body, applying each as it arrives. The summary is written
+// when the client closes its end (or on the first structural error);
+// per-frame results are not echoed — the stream is fire-and-forget with
+// the final tally reporting loss.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !isBinaryIngest(r) {
+		writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("stream ingest requires Content-Type %s", wire.ContentType))
+		return
+	}
+	res, err := s.IngestStream(r.Body)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBadFrame):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, ErrNotRunning):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		// The connection dropped mid-frame; complete frames are applied.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("stream truncated mid-frame after %d complete frames", res.Frames))
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}

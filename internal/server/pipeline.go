@@ -43,6 +43,10 @@ type itemKind int
 
 const (
 	itemBatch itemKind = iota
+	// itemColumnar carries a decoded binary columnar frame: the worker
+	// appends straight from the decode state's column slices, then
+	// returns it to the pool.
+	itemColumnar
 	// itemBarrier pauses the worker: it acks, then blocks until the
 	// coordinator releases the gate (checkpoint quiescing).
 	itemBarrier
@@ -55,6 +59,7 @@ type item struct {
 	kind       itemKind
 	tenant     *tenant
 	samples    []ingestSample
+	ds         *decodeState // itemColumnar
 	enqueuedAt time.Time
 
 	ack   chan<- struct{}   // itemBarrier
@@ -193,6 +198,9 @@ func (s *Server) runShard(sh *shard) {
 		case itemBatch:
 			s.tel.queueWait.ObserveSince(it.enqueuedAt)
 			s.applyBatch(sh, it)
+		case itemColumnar:
+			s.tel.queueWait.ObserveSince(it.enqueuedAt)
+			s.applyColumnar(sh, it)
 		case itemBarrier:
 			it.ack <- struct{}{}
 			<-it.gate
@@ -224,12 +232,49 @@ func (s *Server) applyBatch(sh *shard, it item) {
 		}
 		applied++
 	}
+	s.finishApply(sh, t, applied, start, it.enqueuedAt)
+}
+
+// applyColumnar is the apply stage for binary frames: identical to
+// applyBatch except rows are read straight out of the decoded column
+// slices — one stack-allocated metrics.Sample per row, no intermediate
+// sample slice — and the decode state returns to the pool afterwards.
+func (s *Server) applyColumnar(sh *shard, it item) {
+	ds := it.ds
+	defer putDecodeState(ds)
+	if s.Failure() != nil {
+		return // pipeline is latched failed; drain without side effects
+	}
+	start := time.Now()
+	t := it.tenant
+	b := ds.arena.Batch()
+	applied := 0
+	var sm metrics.Sample
+	for i, n := 0, b.Rows(); i < n; i++ {
+		sm.Time = simclock.Time(b.Times[i])
+		sm.Label = b.Labels[i]
+		for a := range b.Cols {
+			sm.Values[a] = b.Cols[a][i]
+		}
+		if err := t.sub.Append(ds.vms[b.VMIdx[i]], sm); err != nil {
+			s.appendErrors.Add(1)
+			s.tel.appendErrors.Inc()
+			continue
+		}
+		applied++
+	}
+	s.finishApply(sh, t, applied, start, it.enqueuedAt)
+}
+
+// finishApply is the shared apply-stage tail: counters, watermark
+// advance, shard ticking, and end-to-end latency.
+func (s *Server) finishApply(sh *shard, t *tenant, applied int, start time.Time, enqueuedAt time.Time) {
 	s.samplesApplied.Add(int64(applied))
 	s.tel.samplesApplied.Add(int64(applied))
 	t.watermark = t.minLastTime()
 	s.tel.applyLatency.ObserveSince(start)
-	s.advanceShard(sh, it.enqueuedAt)
-	s.tel.ingestE2E.ObserveSince(it.enqueuedAt)
+	s.advanceShard(sh, enqueuedAt)
+	s.tel.ingestE2E.ObserveSince(enqueuedAt)
 }
 
 // minLastTime recomputes the tenant's watermark: the last instant for

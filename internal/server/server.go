@@ -62,6 +62,10 @@ type Config struct {
 	// MaxBatchSamples bounds the total samples accepted in one ingest
 	// request (default 4096).
 	MaxBatchSamples int
+	// MaxBodyBytes bounds one ingest request body (JSON or a single
+	// binary frame) and each frame on the streaming endpoint (default
+	// 8 MiB). Overflow maps to 413.
+	MaxBodyBytes int64
 	// AlertLogSize / AuditLogSize bound the published alert and
 	// actuation rings (default 65536 each).
 	AlertLogSize int
@@ -86,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchSamples <= 0 {
 		c.MaxBatchSamples = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	if c.AlertLogSize <= 0 {
 		c.AlertLogSize = 65536
@@ -132,7 +139,11 @@ type tenant struct {
 	app      *replay.App
 	ctl      *control.Controller
 	vms      map[substrate.VMID]bool
-	vmOrder  []substrate.VMID
+	// intern resolves wire-format VM-ID bytes to the canonical VMID
+	// without allocating: map[string] lookups with a []byte-conversion
+	// key stay on the stack.
+	intern  map[string]substrate.VMID
+	vmOrder []substrate.VMID
 
 	watermark  simclock.Time // min over VMs of last ingested sample time
 	resumeFrom simclock.Time // ticks <= resumeFrom replay nothing (restored checkpoint)
@@ -184,6 +195,7 @@ type Server struct {
 	lastCkpt atomic.Value // []byte: most recent checkpoint snapshot
 
 	samplesAccepted atomic.Int64
+	binaryFrames    atomic.Int64
 	samplesApplied  atomic.Int64
 	samplesRejected atomic.Int64
 	batchesRejected atomic.Int64
@@ -297,11 +309,13 @@ func newTenant(tc TenantConfig, reg *telemetry.Registry) (*tenant, error) {
 		app:       app,
 		ctl:       ctl,
 		vms:       make(map[substrate.VMID]bool, len(tc.VMs)),
+		intern:    make(map[string]substrate.VMID, len(tc.VMs)),
 		watermark: -1,
 	}
 	st.vmOrder = sub.VMs()
 	for _, id := range st.vmOrder {
 		st.vms[id] = true
+		st.intern[string(id)] = id
 	}
 	return st, nil
 }
@@ -379,6 +393,7 @@ type Stats struct {
 	Tenants         int   `json:"tenants"`
 	Shards          int   `json:"shards"`
 	SamplesAccepted int64 `json:"samples_accepted"`
+	BinaryFrames    int64 `json:"binary_frames"`
 	SamplesApplied  int64 `json:"samples_applied"`
 	SamplesRejected int64 `json:"samples_rejected"`
 	BatchesRejected int64 `json:"batches_rejected"`
@@ -400,6 +415,7 @@ func (s *Server) Stats() Stats {
 		Tenants:         len(s.tenants),
 		Shards:          len(s.shards),
 		SamplesAccepted: s.samplesAccepted.Load(),
+		BinaryFrames:    s.binaryFrames.Load(),
 		SamplesApplied:  s.samplesApplied.Load(),
 		SamplesRejected: s.samplesRejected.Load(),
 		BatchesRejected: s.batchesRejected.Load(),

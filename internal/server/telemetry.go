@@ -23,16 +23,18 @@ type instruments struct {
 	stepsPublished  *telemetry.Counter
 	checkpoints     *telemetry.Counter
 	backpressure    *telemetry.Counter
+	frames          *telemetry.Counter
 
 	// queueDepth gauges track each shard's pending ingest batches.
 	queueDepth []*telemetry.Gauge
 
-	// Stage latencies (seconds): time spent queued before the shard
-	// worker picked a batch up, the append+watermark apply pass, one
-	// whole-shard tick, and a publish pass.
-	queueWait    *telemetry.Histogram
-	applyLatency *telemetry.Histogram
-	tickLatency  *telemetry.Histogram
+	// Stage latencies (seconds): binary frame decode, time spent queued
+	// before the shard worker picked a batch up, the append+watermark
+	// apply pass, one whole-shard tick, and a publish pass.
+	decodeLatency *telemetry.Histogram
+	queueWait     *telemetry.Histogram
+	applyLatency  *telemetry.Histogram
+	tickLatency   *telemetry.Histogram
 
 	// End-to-end latencies (seconds): ingest (batch enqueued → samples
 	// applied), alert (triggering batch enqueued → alert published) and
@@ -55,6 +57,8 @@ func newInstruments(reg *telemetry.Registry, shards int) instruments {
 		stepsPublished:  reg.Counter("server.steps.published"),
 		checkpoints:     reg.Counter("server.checkpoints"),
 		backpressure:    reg.Counter("server.ingest.backpressure"),
+		frames:          reg.Counter("server.ingest.frames"),
+		decodeLatency:   reg.HistogramWith("server.stage.decode", telemetry.LatencyBuckets),
 		queueWait:       reg.HistogramWith("server.stage.queue_wait", telemetry.LatencyBuckets),
 		applyLatency:    reg.HistogramWith("server.stage.apply", telemetry.LatencyBuckets),
 		tickLatency:     reg.HistogramWith("server.stage.tick", telemetry.LatencyBuckets),

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"prepare/internal/substrate"
+	"prepare/internal/telemetry"
+	"prepare/internal/wire"
+)
+
+// ErrBadFrame: the binary ingest body is not a valid columnar frame.
+// Mapped to 400 by the API layer.
+var ErrBadFrame = errors.New("server: malformed binary frame")
+
+// decodeState is the pooled per-frame scratch that carries a decoded
+// columnar batch from the ingest goroutine to the shard worker without
+// materializing intermediate sample structs: the frame buffer, the
+// decode arena whose column slices alias nothing outside the state, and
+// the dictionary resolved to interned VM IDs. Ownership passes to the
+// shard queue on enqueue; the worker returns it to the pool after the
+// apply stage.
+type decodeState struct {
+	buf   []byte // frame payload; the arena's batch aliases it
+	arena wire.Arena
+	vms   []substrate.VMID // resolved VM-ID dictionary
+}
+
+var decodePool = sync.Pool{New: func() any { return new(decodeState) }}
+
+func putDecodeState(ds *decodeState) { decodePool.Put(ds) }
+
+// StreamResult summarizes one streaming ingest connection.
+type StreamResult struct {
+	Frames      int `json:"frames"`
+	Accepted    int `json:"accepted"`
+	Rejected    int `json:"rejected"`
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+// IngestFrame ingests one length-prefixed binary columnar frame — the
+// binary counterpart of Ingest, callable in-process by the load
+// generator. The frame bytes are copied into pooled scratch, decoded
+// through the arena, validated, and enqueued whole; the shard worker
+// appends straight from the column slices.
+func (s *Server) IngestFrame(frame []byte) (IngestResult, error) {
+	var res IngestResult
+	payload, err := wire.Payload(frame)
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	ds := decodePool.Get().(*decodeState)
+	ds.buf = append(ds.buf[:0], payload...)
+	return s.ingestDecoded(ds)
+}
+
+// IngestStream drains a sequence of length-prefixed frames from r —
+// the body of a long-lived streaming connection — ingesting each as it
+// arrives. Backpressure rejects individual frames and keeps reading;
+// structural errors (malformed frame, unknown tenant, oversized batch)
+// stop the stream. A connection dropped mid-frame returns
+// io.ErrUnexpectedEOF with every complete prior frame already applied,
+// so the pipeline stays consistent: framing makes partial writes
+// detectable, and frames are all-or-nothing.
+func (s *Server) IngestStream(r io.Reader) (StreamResult, error) {
+	var res StreamResult
+	maxFrame := int(s.cfg.MaxBodyBytes)
+	var scratch []byte
+	for {
+		payload, err := wire.ReadFrame(r, scratch, maxFrame)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			if errors.Is(err, wire.ErrFrame) || errors.Is(err, wire.ErrFrameTooLarge) {
+				return res, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			}
+			return res, io.ErrUnexpectedEOF
+		}
+		scratch = payload[:0]
+		ds := decodePool.Get().(*decodeState)
+		ds.buf = append(ds.buf[:0], payload...)
+		one, err := s.ingestDecoded(ds)
+		res.Frames++
+		res.Accepted += one.Accepted
+		res.Rejected += one.Rejected
+		if err != nil {
+			if errors.Is(err, ErrBackpressure) {
+				res.RetryAfterS = one.RetryAfterS
+				continue // open loop: the frame is rejected, the stream lives
+			}
+			return res, err
+		}
+	}
+}
+
+// ingestDecoded decodes ds.buf, validates the batch against the tenant,
+// and enqueues it. On any return path that does not enqueue, ds goes
+// back to the pool. The whole path performs no per-sample allocation:
+// the tenant and VM lookups use the compiler's zero-alloc
+// map[string]-with-byte-slice-key form against interned IDs.
+func (s *Server) ingestDecoded(ds *decodeState) (IngestResult, error) {
+	var res IngestResult
+	start := time.Now()
+	b, err := wire.DecodeBatch(ds.buf, &ds.arena)
+	if err != nil {
+		putDecodeState(ds)
+		return res, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	s.tel.decodeLatency.ObserveSince(start)
+	t := s.tenants[string(b.Tenant)]
+	if t == nil {
+		putDecodeState(ds)
+		return res, fmt.Errorf("%w: %q", ErrUnknownTenant, b.Tenant)
+	}
+	n := b.Rows()
+	if n > s.cfg.MaxBatchSamples {
+		putDecodeState(ds)
+		return res, fmt.Errorf("%w: %d samples exceed the %d-sample limit", ErrBatchTooLarge, n, s.cfg.MaxBatchSamples)
+	}
+	if cap(ds.vms) < len(b.VMs) {
+		ds.vms = make([]substrate.VMID, len(b.VMs))
+	}
+	ds.vms = ds.vms[:len(b.VMs)]
+	for i, id := range b.VMs {
+		vm, ok := t.intern[string(id)]
+		if !ok {
+			putDecodeState(ds)
+			return res, fmt.Errorf("%w: tenant %q has no VM %q", ErrBadBatch, t.id, id)
+		}
+		ds.vms[i] = vm
+	}
+
+	it := item{kind: itemColumnar, tenant: t, ds: ds, enqueuedAt: time.Now()}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state != stateRunning {
+		putDecodeState(ds)
+		return res, ErrNotRunning
+	}
+	sh := s.shards[t.shardIdx]
+	select {
+	case sh.queue <- it:
+		res.Accepted = n
+		s.tel.depth(sh.idx, len(sh.queue))
+	default:
+		res.Rejected = n
+		s.batchesRejected.Add(1)
+		s.tel.backpressure.Inc()
+		if s.tel.reg != nil {
+			s.tel.reg.Emit(b.TickFirst, "", telemetry.StageServer, telemetry.KindBackpressure,
+				t.id, telemetry.F("samples", float64(n)))
+		}
+		putDecodeState(ds)
+	}
+	s.binaryFrames.Add(1)
+	s.samplesAccepted.Add(int64(res.Accepted))
+	s.samplesRejected.Add(int64(res.Rejected))
+	s.tel.batches.Inc()
+	s.tel.frames.Inc()
+	s.tel.samplesAccepted.Add(int64(res.Accepted))
+	s.tel.samplesRejected.Add(int64(res.Rejected))
+	if res.Rejected > 0 {
+		res.RetryAfterS = s.cfg.RetryAfterS
+		return res, ErrBackpressure
+	}
+	return res, nil
+}

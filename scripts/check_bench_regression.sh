@@ -8,7 +8,8 @@
 # BenchmarkDetector*) regressed by more than
 # BENCH_GATE_THRESHOLD percent (default 20). Benchmarks that report a
 # throughput metric — vm-steps/sec (BenchmarkEngineVMSteps, the
-# detector fleet tick) or decisions/sec (BenchmarkPlacementDecision) —
+# detector fleet tick), decisions/sec (BenchmarkPlacementDecision) or
+# samples/sec (BenchmarkIngestDecode, the wire-to-store decode path) —
 # are also gated on it: head throughput more than BENCH_GATE_THRESHOLD
 # percent below base fails. Benchmarks present only in HEAD are
 # reported but never fail the gate, so adding benchmarks in a PR is
@@ -17,7 +18,7 @@ set -euo pipefail
 
 BASE=${1:?usage: check_bench_regression.sh base.txt head.txt}
 HEAD=${2:?usage: check_bench_regression.sh base.txt head.txt}
-PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow|Detector|PlacementDecision'}
+PATTERN=${BENCH_GATE_PATTERN:-'PredictSeries|PredictWindow|Scratch|MarginalScore|DisabledChaos|Retrain|EngineVMSteps|FleetScoreWindow|Detector|PlacementDecision|IngestDecode'}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-20}
 
 if ! grep -Eq 'allocs/op' "$BASE"; then
@@ -35,7 +36,7 @@ awk -v pattern="$PATTERN" -v threshold="$THRESHOLD" '
     steps = ""
     for (i = 2; i <= NF; i++) {
       if ($i == "allocs/op") allocs = $(i - 1)
-      if ($i == "vm-steps/sec" || $i == "decisions/sec") {
+      if ($i == "vm-steps/sec" || $i == "decisions/sec" || $i == "samples/sec") {
         steps = $(i - 1)
         sunit[name] = $i
       }

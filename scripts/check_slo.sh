@@ -9,6 +9,13 @@
 #   SLO_MAX_P99_ALERT_S      p99 alert publish latency budget      (default 2.0)
 #   SLO_MAX_P99_ACTUATION_S  p99 alert-to-actuation latency budget (default 2.0)
 #   SLO_MIN_THROUGHPUT_SPS   accepted samples/sec floor            (default 0 = off)
+#   SLO_BASELINE_REPORT      second report to compare against      (default off)
+#   SLO_MIN_SPEEDUP_X        min throughput_sps ratio over the
+#                            baseline report                       (default 0 = off)
+#
+# The ratio gate is machine-independent: CI runs the same profile over
+# the JSON wire (baseline) and the binary wire (gated report) on the
+# same runner and requires binary >= SLO_MIN_SPEEDUP_X x JSON.
 #
 # Unconditional invariants: zero rejected samples (the run is sized
 # below the backpressure threshold), every sent sample applied, no
@@ -23,6 +30,8 @@ MAX_P99_INGEST=${SLO_MAX_P99_INGEST_S:-2.0}
 MAX_P99_ALERT=${SLO_MAX_P99_ALERT_S:-2.0}
 MAX_P99_ACTUATION=${SLO_MAX_P99_ACTUATION_S:-2.0}
 MIN_THROUGHPUT=${SLO_MIN_THROUGHPUT_SPS:-0}
+BASELINE_REPORT=${SLO_BASELINE_REPORT:-}
+MIN_SPEEDUP=${SLO_MIN_SPEEDUP_X:-0}
 
 awk -v max_ingest="$MAX_P99_INGEST" -v max_alert="$MAX_P99_ALERT" \
     -v max_act="$MAX_P99_ACTUATION" -v min_tput="$MIN_THROUGHPUT" '
@@ -89,3 +98,30 @@ awk -v max_ingest="$MAX_P99_INGEST" -v max_alert="$MAX_P99_ALERT" \
     exit status
   }
 ' "$REPORT"
+
+# Optional cross-report speedup gate: compare this report's
+# throughput_sps against a baseline report captured on the same runner
+# (e.g. -wire binary vs -wire json), so the gate survives slow CI
+# machines that an absolute floor would flake on.
+if [ -n "$BASELINE_REPORT" ] && awk -v x="$MIN_SPEEDUP" 'BEGIN { exit !(x + 0 > 0) }'; then
+  [ -r "$BASELINE_REPORT" ] || { echo "check_slo: cannot read baseline $BASELINE_REPORT" >&2; exit 2; }
+  awk -v min_speedup="$MIN_SPEEDUP" '
+    FNR == 1 { fileno++ }
+    {
+      gsub(/[",]/, "")
+      if ($1 == "throughput_sps:") tput[fileno] = $2 + 0
+    }
+    END {
+      if (tput[1] <= 0 || tput[2] <= 0) {
+        printf "FAIL speedup gate: missing throughput_sps (head %.0f, baseline %.0f)\n", tput[1], tput[2]
+        exit 1
+      }
+      ratio = tput[1] / tput[2]
+      if (ratio < min_speedup) {
+        printf "FAIL speedup %.2fx (%.0f vs baseline %.0f samples/sec) < required %.2fx\n", ratio, tput[1], tput[2], min_speedup
+        exit 1
+      }
+      printf "ok   speedup %.2fx (%.0f vs baseline %.0f samples/sec, required %.2fx)\n", ratio, tput[1], tput[2], min_speedup
+    }
+  ' "$REPORT" "$BASELINE_REPORT"
+fi

@@ -4,9 +4,9 @@
 # Runs the repo's performance benchmark suite and writes BENCH_PR<N>.json
 # mapping each benchmark (GOMAXPROCS suffix stripped, averaged across
 # -count repeats) to its ns/op, allocs/op and — where the benchmark
-# reports one — vm-steps/sec or decisions/sec. The JSON is committed alongside the PR
-# that changed the hot path so later sessions can diff fleet throughput
-# without re-running the full sweep.
+# reports one — vm-steps/sec, decisions/sec or samples/sec. The JSON is
+# committed alongside the PR that changed the hot path so later sessions
+# can diff fleet throughput without re-running the full sweep.
 #
 # Two passes keep wall-clock sane: the allocation micro-benchmarks run
 # at a fixed iteration count for stable allocs/op, while the engine
@@ -21,7 +21,12 @@
 #   ENGINE_BENCH_PATTERN   engine regexp       (default EngineVMSteps, all fleets)
 #   ENGINE_BENCHTIME       engine -benchtime   (default 1x)
 #   PLACEMENT_BENCHTIME    placement -benchtime (default 500x)
+#   WIRE_BENCH_PATTERN     wire regexp         (default IngestDecode|IngestEncode)
+#   WIRE_BENCHTIME         wire -benchtime     (default 200x)
 #   SKIP_ENGINE=1          skip the engine pass (quick micro-only record)
+#   SKIP_LOADGEN=1         skip the loadgen transport pass (ingest profile
+#                          over the JSON and binary wires; records
+#                          end-to-end accepted samples/sec per transport)
 #
 # Usage:
 #   ./scripts/record_bench.sh 6            # writes BENCH_PR6.json
@@ -42,6 +47,11 @@ go test -run '^$' -bench "$MICRO_PATTERN" -benchmem \
   -benchtime "${BENCH_TIME:-1000x}" -count "${BENCH_COUNT:-3}" \
   "$@" "${MICRO_PKGS[@]}" | tee -a "$RAW" >&2
 
+echo ">> wire ingest benchmarks" >&2
+go test -run '^$' -bench "${WIRE_BENCH_PATTERN:-IngestDecode|IngestEncode}" -benchmem \
+  -benchtime "${WIRE_BENCHTIME:-200x}" -count "${BENCH_COUNT:-3}" \
+  "$@" ./internal/wire | tee -a "$RAW" >&2
+
 echo ">> placement decision benchmarks" >&2
 go test -run '^$' -bench "${PLACEMENT_BENCH_PATTERN:-PlacementDecision}" -benchmem \
   -benchtime "${PLACEMENT_BENCHTIME:-500x}" -count "${BENCH_COUNT:-3}" \
@@ -59,10 +69,25 @@ if [ "${SKIP_ENGINE:-0}" != "1" ]; then
     "$@" ./internal/control | tee -a "$RAW" >&2
 fi
 
+# End-to-end transport throughput: the ingest profile over the JSON
+# and binary wires, recorded as loadgen/ingest/<wire> pseudo-benchmarks
+# so the JSON carries the speedup the CI ratio gate enforces.
+LG_JSON=""
+LG_BINARY=""
+if [ "${SKIP_LOADGEN:-0}" != "1" ]; then
+  for w in json binary; do
+    echo ">> loadgen ingest profile (-wire $w)" >&2
+    sps=$(go run ./cmd/preparesim -loadgen -profile ingest -wire "$w" |
+      awk '{ gsub(/[",]/, ""); if ($1 == "throughput_sps:") print $2 }')
+    echo "   $sps samples/sec" >&2
+    if [ "$w" = json ]; then LG_JSON="$sps"; else LG_BINARY="$sps"; fi
+  done
+fi
+
 # Fold the raw `go test -bench` lines into {name: {metrics}} JSON.
 # A bench line reads: BenchmarkX-8  <iters>  <v> ns/op [<v> vm-steps/sec]
 # [<v> B/op  <v> allocs/op] — value/unit pairs starting at field 3.
-awk '
+awk -v lg_json="$LG_JSON" -v lg_binary="$LG_BINARY" '
   $1 ~ /^Benchmark/ && / ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -71,6 +96,7 @@ awk '
       if ($(i + 1) == "allocs/op")    { al[name] += $i; alcnt[name]++ }
       if ($(i + 1) == "vm-steps/sec") { vs[name] += $i; vscnt[name]++ }
       if ($(i + 1) == "decisions/sec") { ds[name] += $i; dscnt[name]++ }
+      if ($(i + 1) == "samples/sec")   { ss[name] += $i; sscnt[name]++ }
     }
   }
   END {
@@ -89,8 +115,13 @@ awk '
       if (alcnt[name]) printf ", \"allocs_per_op\": %.1f", al[name] / alcnt[name]
       if (vscnt[name]) printf ", \"vm_steps_per_sec\": %.1f", vs[name] / vscnt[name]
       if (dscnt[name]) printf ", \"decisions_per_sec\": %.1f", ds[name] / dscnt[name]
-      printf "}%s\n", (i < n - 1) ? "," : ""
+      if (sscnt[name]) printf ", \"samples_per_sec\": %.1f", ss[name] / sscnt[name]
+      printf "}%s\n", (i < n - 1 || lg_json != "" || lg_binary != "") ? "," : ""
     }
+    if (lg_json != "")
+      printf "  \"loadgen/ingest/json\": {\"samples_per_sec\": %.1f}%s\n", lg_json, (lg_binary != "") ? "," : ""
+    if (lg_binary != "")
+      printf "  \"loadgen/ingest/binary\": {\"samples_per_sec\": %.1f}\n", lg_binary
     printf "}\n"
   }
 ' "$RAW" > "$OUT"
